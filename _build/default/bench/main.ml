@@ -1,0 +1,185 @@
+(* Bechamel benchmarks.
+
+   One benchmark per paper table/figure (measuring the machinery that
+   regenerates it on a representative kernel — run bin/experiments.exe
+   for the full reproduced numbers), plus per-phase benchmarks of the
+   compiler and the ablation benchmarks called out in DESIGN.md. *)
+
+open Bechamel
+open Toolkit
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+module Grouping = Slp_core.Grouping
+module Schedule = Slp_core.Schedule
+module Config = Slp_core.Config
+
+let intel = Machine.intel_dunnington
+let amd = Machine.amd_phenom_ii
+
+let kernel name = Suite.program (Suite.find name)
+
+let run_scheme ?(machine = intel) ?cores ~scheme name =
+  let b = Suite.find name in
+  let prog = Suite.program b in
+  fun () ->
+    let c = Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog in
+    ignore (Pipeline.execute ?cores ~check:false c)
+
+let compile_only ?(machine = intel) ~scheme name =
+  let b = Suite.find name in
+  let prog = Suite.program b in
+  fun () -> ignore (Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog)
+
+(* The Figure 15 block, used by the phase and ablation benchmarks. *)
+let fig15 () =
+  let open Slp_ir in
+  let env = Env.create () in
+  List.iter
+    (fun v -> Env.declare_scalar env v Types.F64)
+    [ "a"; "b"; "c"; "d"; "g"; "h"; "q"; "r" ];
+  Env.declare_array env "A" Types.F64 [ 1024 ];
+  Env.declare_array env "B" Types.F64 [ 4096 ];
+  let open Expr.Infix in
+  let i4 = 4 @* i "i" and i2 = 2 @* i "i" in
+  ( env,
+    Block.of_rhs ~label:"fig15"
+      [
+        (Operand.Scalar "a", arr "A" [ i "i" ]);
+        (Operand.Scalar "c", sc "a" * arr "B" [ i4 ]);
+        (Operand.Scalar "g", sc "q" * arr "B" [ i4 @+ -2 ]);
+        (Operand.Scalar "b", arr "A" [ i "i" @+ 1 ]);
+        (Operand.Scalar "d", sc "b" * arr "B" [ i4 @+ 4 ]);
+        (Operand.Scalar "h", sc "r" * arr "B" [ i4 @+ 2 ]);
+        (Operand.Elem ("A", [ i2 ]), sc "d" + (sc "a" * sc "c"));
+        (Operand.Elem ("A", [ i2 @+ 2 ]), sc "g" + (sc "r" * sc "h"));
+      ] )
+
+let config = Config.make ~datapath_bits:128 ()
+
+let grouping_with options () =
+  let env, block = fig15 () in
+  ignore (Grouping.run ~options ~env ~config block)
+
+let tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* Tables: model construction and suite parsing. *)
+    t "table1_intel_model" (fun () -> ignore (Machine.describe intel));
+    t "table2_amd_model" (fun () -> ignore (Machine.describe amd));
+    t "table3_suite" (fun () -> List.iter (fun b -> ignore (Suite.program b)) Suite.all);
+    (* Figure 16: the competing schemes end to end on a reuse-heavy kernel. *)
+    t "fig16_scalar_milc" (run_scheme ~scheme:Pipeline.Scalar "milc");
+    t "fig16_native_milc" (run_scheme ~scheme:Pipeline.Native "milc");
+    t "fig16_slp_milc" (run_scheme ~scheme:Pipeline.Slp "milc");
+    t "fig16_global_milc" (run_scheme ~scheme:Pipeline.Global "milc");
+    (* Figure 17: counter extraction on the widest-gap kernel. *)
+    t "fig17_counters_povray" (fun () ->
+        let b = Suite.find "povray" in
+        let prog = Suite.program b in
+        let c =
+          Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global ~machine:intel
+            prog
+        in
+        let r = Pipeline.execute ~check:false c in
+        ignore (Slp_vm.Counters.packing_instructions r.Pipeline.counters));
+    (* Figure 18: hypothetical datapath widths (iterative grouping depth). *)
+    t "fig18_width_256" (fun () ->
+        let machine = Machine.with_simd_bits intel 256 in
+        let b = Suite.find "sp" in
+        let c =
+          Pipeline.compile ~unroll:(2 * b.Suite.unroll) ~scheme:Pipeline.Global ~machine
+            (Suite.program b)
+        in
+        ignore (Pipeline.execute ~check:false c));
+    t "fig18_width_1024" (fun () ->
+        let machine = Machine.with_simd_bits intel 1024 in
+        let b = Suite.find "sp" in
+        let c =
+          Pipeline.compile ~unroll:(8 * b.Suite.unroll) ~scheme:Pipeline.Global ~machine
+            (Suite.program b)
+        in
+        ignore (Pipeline.execute ~check:false c));
+    (* Figure 19: the data layout stage (replication + arbitration). *)
+    t "fig19_global_calculix" (run_scheme ~scheme:Pipeline.Global "calculix");
+    t "fig19_layout_calculix" (run_scheme ~scheme:Pipeline.Global_layout "calculix");
+    (* Figure 20: the AMD machine model. *)
+    t "fig20_amd_global_milc" (run_scheme ~machine:amd ~scheme:Pipeline.Global "milc");
+    (* Figure 21: multicore execution. *)
+    t "fig21_multicore_sp_4c" (run_scheme ~cores:4 ~scheme:Pipeline.Global "sp");
+    t "fig21_multicore_sp_12c" (run_scheme ~cores:12 ~scheme:Pipeline.Global "sp");
+    (* Compilation overhead (the paper's +27% claim). *)
+    t "compile_overhead_slp" (compile_only ~scheme:Pipeline.Slp "cactusADM");
+    t "compile_overhead_global" (compile_only ~scheme:Pipeline.Global "cactusADM");
+    (* Phase benchmarks. *)
+    t "phase_grouping_fig15" (fun () ->
+        let env, block = fig15 () in
+        ignore (Grouping.run ~env ~config block));
+    t "phase_scheduling_fig15" (fun () ->
+        let env, block = fig15 () in
+        let g = Grouping.run ~env ~config block in
+        ignore (Schedule.run ~env ~config block g));
+    t "phase_vm_scalar_soplex" (fun () ->
+        ignore (Slp_vm.Scalar_exec.run ~machine:intel (kernel "soplex")));
+    (* Ablations (DESIGN.md). *)
+    t "ablation_recompute_weights_on"
+      (grouping_with { Grouping.default_options with Grouping.recompute_weights = true });
+    t "ablation_recompute_weights_off"
+      (grouping_with { Grouping.default_options with Grouping.recompute_weights = false });
+    t "ablation_elimination_max_degree"
+      (grouping_with
+         { Grouping.default_options with
+           Grouping.elimination = Slp_core.Groupgraph.Max_degree });
+    t "ablation_elimination_arbitrary"
+      (grouping_with
+         { Grouping.default_options with
+           Grouping.elimination = Slp_core.Groupgraph.Arbitrary });
+    t "ablation_scatter_penalty_off"
+      (grouping_with { Grouping.default_options with Grouping.scatter_penalty = 0.0 });
+    t "ablation_scheduling_reuse_driven" (fun () ->
+        let env, block = fig15 () in
+        let g = Grouping.run ~env ~config block in
+        ignore
+          (Schedule.run
+             ~options:
+               { Schedule.selection = Schedule.Reuse_driven;
+                 ordering_search = Schedule.Direct_reuse_only }
+             ~env ~config block g));
+    t "ablation_scheduling_program_order" (fun () ->
+        let env, block = fig15 () in
+        let g = Grouping.run ~env ~config block in
+        ignore
+          (Schedule.run
+             ~options:
+               { Schedule.selection = Schedule.Program_order;
+                 ordering_search = Schedule.Direct_reuse_only }
+             ~env ~config block g));
+    t "ablation_ordering_exhaustive" (fun () ->
+        let env, block = fig15 () in
+        let g = Grouping.run ~env ~config block in
+        ignore
+          (Schedule.run
+             ~options:
+               { Schedule.selection = Schedule.Reuse_driven;
+                 ordering_search = Schedule.Exhaustive }
+             ~env ~config block g));
+  ]
+
+let () =
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"slp" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        match Analyze.OLS.estimates est with
+        | Some (e :: _) -> (name, e) :: acc
+        | Some [] | None -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, e) -> Printf.printf "%-40s %14.0f ns/run\n" name e) rows

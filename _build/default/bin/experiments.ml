@@ -1,0 +1,41 @@
+(* Regenerate the paper's tables and figures.
+
+   Usage:
+     experiments                 run everything
+     experiments fig16 fig19     run selected reports
+     experiments --list          list report ids *)
+
+module E = Slp_harness.Experiments
+
+let registry =
+  [
+    ("table1", E.table1);
+    ("table2", E.table2);
+    ("table3", E.table3);
+    ("fig16", E.fig16);
+    ("fig17", E.fig17);
+    ("fig18", E.fig18);
+    ("fig19", E.fig19);
+    ("fig20", E.fig20);
+    ("fig21", E.fig21);
+    ("overhead", E.compile_overhead);
+    ("ablations", E.ablations);
+    ("reuse_value", E.reuse_value);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then
+    List.iter (fun (id, _) -> print_endline id) registry
+  else begin
+    let unknown = List.filter (fun a -> not (List.mem_assoc a registry)) args in
+    if unknown <> [] then begin
+      prerr_endline ("unknown report(s): " ^ String.concat ", " unknown);
+      prerr_endline "use --list to see available ids";
+      exit 1
+    end;
+    List.iter
+      (fun (id, f) ->
+        if args = [] || List.mem id args then print_string (E.render (f ())))
+      registry
+  end

@@ -1,0 +1,131 @@
+(* slpc — the SLP compiler driver.
+
+   Parses a kernel-language file, runs the selected SLP pipeline,
+   optionally dumps the IR / schedules / vector code, and simulates
+   the result on a machine model. *)
+
+open Cmdliner
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+
+let scheme_conv =
+  let parse = function
+    | "scalar" -> Ok Pipeline.Scalar
+    | "native" -> Ok Pipeline.Native
+    | "slp" -> Ok Pipeline.Slp
+    | "global" -> Ok Pipeline.Global
+    | "global-layout" | "layout" -> Ok Pipeline.Global_layout
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Pipeline.scheme_name s) in
+  Arg.conv (parse, print)
+
+let machine_conv =
+  let parse = function
+    | "intel" | "dunnington" -> Ok Machine.intel_dunnington
+    | "amd" | "phenom" -> Ok Machine.amd_phenom_ii
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (intel|amd)" s))
+  in
+  let print ppf (m : Machine.t) = Format.pp_print_string ppf m.Machine.name in
+  Arg.conv (parse, print)
+
+let file =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE" ~doc:"Kernel source file.")
+
+let scheme =
+  Arg.(
+    value
+    & opt scheme_conv Pipeline.Global
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:"Optimization scheme: scalar, native, slp, global, global-layout.")
+
+let machine =
+  Arg.(
+    value
+    & opt machine_conv Machine.intel_dunnington
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine model: intel or amd.")
+
+let simd =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "simd" ] ~docv:"BITS" ~doc:"Override the SIMD datapath width in bits.")
+
+let unroll =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "u"; "unroll" ] ~docv:"N" ~doc:"Loop unroll factor (default: lanes).")
+
+let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the prepared IR.")
+let dump_plan = Arg.(value & flag & info [ "dump-plan" ] ~doc:"Print groups and schedules.")
+let dump_vector = Arg.(value & flag & info [ "dump-vector" ] ~doc:"Print the vector program.")
+let run = Arg.(value & flag & info [ "run" ] ~doc:"Simulate and report counters.")
+let cores = Arg.(value & opt int 1 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Input data seed.")
+
+let main file scheme machine simd unroll dump_ir dump_plan dump_vector run cores seed =
+  let machine =
+    match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
+  in
+  match Slp_frontend.Parser.parse_file file with
+  | exception Slp_frontend.Parser.Error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
+      exit 1
+  | exception Slp_frontend.Lexer.Error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
+      exit 1
+  | prog ->
+      let compiled = Pipeline.compile ?unroll ~scheme ~machine prog in
+      Printf.printf "scheme: %s on %s (%d-bit SIMD), unroll x%d\n"
+        (Pipeline.scheme_name scheme) machine.Machine.name machine.Machine.simd_bits
+        compiled.Pipeline.unroll_factor;
+      (let st = compiled.Pipeline.spill_stats in
+       if st.Slp_codegen.Regalloc.spills > 0 then
+         Printf.printf "register allocation: %d spills, %d reloads (pressure %d)\n"
+           st.Slp_codegen.Regalloc.spills st.Slp_codegen.Regalloc.reloads
+           st.Slp_codegen.Regalloc.max_pressure);
+      if dump_ir then
+        Format.printf "-- prepared IR --@.%a@." Slp_ir.Program.pp
+          compiled.Pipeline.reference;
+      (match (dump_plan, compiled.Pipeline.plan) with
+      | true, Some plan ->
+          List.iter
+            (fun (bp : Slp_core.Driver.block_plan) ->
+              Format.printf "-- block %s --@."
+                bp.Slp_core.Driver.block.Slp_ir.Block.label;
+              (match bp.Slp_core.Driver.schedule with
+              | Some s -> Format.printf "%a@." Slp_core.Schedule.pp s
+              | None -> Format.printf "(kept scalar)@.");
+              match bp.Slp_core.Driver.estimate with
+              | Some e ->
+                  Format.printf "estimated: scalar %.1f vs vector %.1f@."
+                    e.Slp_core.Cost.scalar_cost e.Slp_core.Cost.vector_cost
+              | None -> ())
+            plan.Slp_core.Driver.plans
+      | _, _ -> ());
+      (match (dump_vector, compiled.Pipeline.vector) with
+      | true, Some v -> Format.printf "%a@." Slp_vm.Visa.pp_program v
+      | true, None -> Format.printf "(scalar scheme: no vector program)@."
+      | false, _ -> ());
+      if run then begin
+        let r = Pipeline.execute ~cores ~seed compiled in
+        Format.printf "-- execution (%d core%s, seed %d) --@.%a@." cores
+          (if cores = 1 then "" else "s")
+          seed Slp_vm.Counters.pp r.Pipeline.counters;
+        Format.printf "semantics vs scalar reference: %s@."
+          (if r.Pipeline.correct then "match" else "MISMATCH");
+        let speedup = Pipeline.speedup_over_scalar ~cores ~seed compiled in
+        Format.printf "speedup over scalar: %.3fx (%.1f%% reduction)@." speedup
+          (100.0 *. (1.0 -. (1.0 /. speedup)))
+      end
+
+let cmd =
+  let doc = "compile kernel programs with the holistic SLP framework" in
+  Cmd.v
+    (Cmd.info "slpc" ~version:"1.0" ~doc)
+    Term.(
+      const main $ file $ scheme $ machine $ simd $ unroll $ dump_ir $ dump_plan
+      $ dump_vector $ run $ cores $ seed)
+
+let () = exit (Cmd.eval cmd)

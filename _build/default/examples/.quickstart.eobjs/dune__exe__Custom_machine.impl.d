@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Format List Slp_frontend Slp_machine Slp_pipeline Slp_vm

@@ -1,0 +1,1 @@
+examples/image_blend.ml: Format List Slp_core Slp_frontend Slp_machine Slp_pipeline Slp_vm String

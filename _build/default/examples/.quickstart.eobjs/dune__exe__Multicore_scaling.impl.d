@@ -1,0 +1,1 @@
+examples/multicore_scaling.ml: Format List Slp_benchmarks Slp_machine Slp_pipeline Slp_vm

@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Block Env Expr Format Hashtbl List Operand Slp_core Slp_ir String Types

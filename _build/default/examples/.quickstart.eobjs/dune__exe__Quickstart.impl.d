@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Slp_core Slp_frontend Slp_ir Slp_machine Slp_pipeline Slp_vm

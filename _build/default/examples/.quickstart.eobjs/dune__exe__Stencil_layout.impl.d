@@ -1,0 +1,1 @@
+examples/stencil_layout.ml: Format List Slp_frontend Slp_machine Slp_pipeline Slp_vm

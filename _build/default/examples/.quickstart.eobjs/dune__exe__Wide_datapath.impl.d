@@ -1,0 +1,1 @@
+examples/wide_datapath.ml: Format List Slp_frontend Slp_machine Slp_pipeline Slp_vm

@@ -1,0 +1,34 @@
+(* Multicore execution (paper Figure 21).
+
+   The outermost loop's iteration space is split across simulated
+   cores; memory contention inflates DRAM latency with the active core
+   count, so the vectorized code — which issues fewer memory
+   operations — keeps (and slightly grows) its advantage.
+
+     dune exec examples/multicore_scaling.exe *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+module Counters = Slp_vm.Counters
+
+let () =
+  let b = Suite.find "sp" in
+  let prog = Suite.program b in
+  let machine = Machine.intel_dunnington in
+  let scalar = Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Scalar ~machine prog in
+  let global = Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global ~machine prog in
+  Format.printf "NAS '%s' (%s) on up to %d cores:@.@." b.Suite.name b.Suite.description
+    machine.Machine.cores;
+  Format.printf "%6s %14s %14s %12s@." "cores" "scalar cycles" "global cycles" "reduction";
+  List.iter
+    (fun cores ->
+      let sc =
+        Counters.total_cycles (Pipeline.execute ~cores ~check:false scalar).Pipeline.counters
+      in
+      let gc =
+        Counters.total_cycles (Pipeline.execute ~cores ~check:false global).Pipeline.counters
+      in
+      Format.printf "%6d %14.0f %14.0f %11.1f%%@." cores sc gc
+        (100.0 *. (1.0 -. (gc /. sc))))
+    [ 1; 2; 4; 6; 8; 10; 12 ]

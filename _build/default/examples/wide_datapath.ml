@@ -1,0 +1,39 @@
+(* Hypothetical wider datapaths (paper Figure 18).
+
+   The iterative grouping keeps merging pairs while superwords fit the
+   datapath, so the same kernel compiles to 2-, 4-, 8- and 16-wide
+   superword statements as the SIMD width grows.
+
+     dune exec examples/wide_datapath.exe *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Counters = Slp_vm.Counters
+
+let source =
+  {|
+f64 X[2064];
+f64 Y[2064];
+f64 Z[2064];
+for r = 0 to 4 {
+  for i = 0 to 2048 {
+    Z[i] = X[i] * Y[i] + 0.5 * X[i];
+  }
+}
+|}
+
+let () =
+  let prog = Slp_frontend.Parser.parse ~name:"wide" source in
+  Format.printf "%8s %10s %12s %12s %10s@." "width" "unroll" "total instr" "cycles"
+    "correct";
+  List.iter
+    (fun bits ->
+      let machine = Machine.with_simd_bits Machine.intel_dunnington bits in
+      let unroll = bits / 64 in
+      let compiled = Pipeline.compile ~unroll ~scheme:Pipeline.Global ~machine prog in
+      let r = Pipeline.execute compiled in
+      Format.printf "%5d-bit %10d %12d %12.0f %10b@." bits unroll
+        (Counters.total_instructions r.Pipeline.counters)
+        (Counters.total_cycles r.Pipeline.counters)
+        r.Pipeline.correct)
+    [ 128; 256; 512; 1024 ]

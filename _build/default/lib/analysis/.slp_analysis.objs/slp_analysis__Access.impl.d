@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Affine Array Format List Operand Slp_ir Slp_util String

@@ -1,0 +1,1 @@
+lib/analysis/access.mli: Format Operand Slp_ir Slp_util

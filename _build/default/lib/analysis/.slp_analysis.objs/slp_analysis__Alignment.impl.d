@@ -1,0 +1,1 @@
+lib/analysis/alignment.ml: Access Array Env Format Operand Slp_ir

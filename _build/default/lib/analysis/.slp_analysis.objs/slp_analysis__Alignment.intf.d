@@ -1,0 +1,1 @@
+lib/analysis/alignment.mli: Access Env Format Operand Slp_ir

@@ -1,0 +1,1 @@
+lib/analysis/chains.ml: Block Hashtbl List Operand Option Slp_ir Stmt String

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Block Hashtbl List Operand Option Program Slp_ir Stmt String

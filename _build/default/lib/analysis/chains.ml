@@ -1,0 +1,60 @@
+open Slp_ir
+
+type t = {
+  def_use_tbl : (int, int list) Hashtbl.t;
+  use_def_tbl : (int, (string * int) list) Hashtbl.t;
+  defs_in_order : (string * int) list;  (** (var, stmt id) in program order. *)
+}
+
+let scalar_def (s : Stmt.t) =
+  match s.Stmt.lhs with
+  | Operand.Scalar v -> Some v
+  | Operand.Const _ | Operand.Elem _ -> None
+
+let scalar_uses (s : Stmt.t) =
+  List.filter_map
+    (function
+      | Operand.Scalar v -> Some v
+      | Operand.Const _ | Operand.Elem _ -> None)
+    (Stmt.uses s)
+
+let compute block =
+  let def_use_tbl = Hashtbl.create 16 in
+  let use_def_tbl = Hashtbl.create 16 in
+  let current_def = Hashtbl.create 16 in
+  (* reaching def per var *)
+  let defs_in_order = ref [] in
+  List.iter
+    (fun (s : Stmt.t) ->
+      let id = s.Stmt.id in
+      (* record use-def for this statement's scalar reads *)
+      let ud =
+        List.filter_map
+          (fun v ->
+            Option.map (fun d -> (v, d)) (Hashtbl.find_opt current_def v))
+          (scalar_uses s)
+      in
+      Hashtbl.replace use_def_tbl id ud;
+      (* extend def-use of each reaching definition we read *)
+      List.iter
+        (fun (_, d) ->
+          let existing = Option.value (Hashtbl.find_opt def_use_tbl d) ~default:[] in
+          if not (List.mem id existing) then
+            Hashtbl.replace def_use_tbl d (existing @ [ id ]))
+        ud;
+      (* then update the reaching definition *)
+      match scalar_def s with
+      | Some v ->
+          Hashtbl.replace current_def v id;
+          defs_in_order := (v, id) :: !defs_in_order
+      | None -> ())
+    block.Block.stmts;
+  { def_use_tbl; use_def_tbl; defs_in_order = List.rev !defs_in_order }
+
+let def_use t id = Option.value (Hashtbl.find_opt t.def_use_tbl id) ~default:[]
+let use_def t id = Option.value (Hashtbl.find_opt t.use_def_tbl id) ~default:[]
+
+let reaching_def t ~var ~before =
+  List.fold_left
+    (fun acc (v, id) -> if String.equal v var && id < before then Some id else acc)
+    None t.defs_in_order

@@ -1,0 +1,26 @@
+(** Def-use / use-def chains within a basic block.
+
+    The Larsen-Amarasinghe baseline extends seed packs "by following
+    the def-use and use-def chains" (paper §2); the holistic grouping
+    does not need chains but the baseline and several diagnostics do.
+    Chains are computed for scalar variables (array elements use the
+    conservative dependence relation instead). *)
+
+open Slp_ir
+
+type t
+
+val compute : Block.t -> t
+
+val def_use : t -> int -> int list
+(** [def_use t id]: statements (by id, in program order) that read the
+    scalar defined by statement [id] before it is redefined.  Empty
+    when [id] does not define a scalar. *)
+
+val use_def : t -> int -> (string * int) list
+(** [use_def t id]: for each scalar read by statement [id], the
+    statement that supplies its reaching definition inside the block
+    (variables defined outside the block are absent). *)
+
+val reaching_def : t -> var:string -> before:int -> int option
+(** Last definition of [var] occurring before statement [before]. *)

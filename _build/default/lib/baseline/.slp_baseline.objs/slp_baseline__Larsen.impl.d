@@ -1,0 +1,1 @@
+lib/baseline/larsen.ml: Array Block Env Hashtbl List Operand Printf Queue Slp_analysis Slp_core Slp_ir Slp_util Stmt String

@@ -1,0 +1,1 @@
+lib/baseline/larsen.mli: Block Env Slp_core Slp_ir

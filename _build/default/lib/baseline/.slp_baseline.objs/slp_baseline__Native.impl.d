@@ -1,0 +1,1 @@
+lib/baseline/native.ml: Array Block Env Hashtbl Larsen List Operand Printf Slp_core Slp_ir Stmt

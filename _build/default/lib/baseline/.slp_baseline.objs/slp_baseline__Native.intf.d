@@ -1,0 +1,1 @@
+lib/baseline/native.mli: Block Env Slp_core Slp_ir

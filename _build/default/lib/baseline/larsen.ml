@@ -1,0 +1,255 @@
+open Slp_ir
+module Graph = Slp_util.Graph
+module Units = Slp_core.Units
+module Config = Slp_core.Config
+module Grouping = Slp_core.Grouping
+module Schedule = Slp_core.Schedule
+module Cost = Slp_core.Cost
+module Driver = Slp_core.Driver
+module Chains = Slp_analysis.Chains
+
+let stmt_elem_ty ~env (s : Stmt.t) =
+  match Env.operand_ty env s.Stmt.lhs with Some ty -> ty | None -> assert false
+
+let group ~env ~config (block : Block.t) =
+  let stmts = Array.of_list block.Block.stmts in
+  let units = List.map (Units.of_stmt ~env) block.Block.stmts in
+  let deps = Units.Deps.build block units in
+  let chains = Chains.compute block in
+  let row_size = Env.row_size env in
+  let packed = Hashtbl.create 16 in
+  let decided = ref [] in
+  let packs = ref [] in
+  let queue = Queue.create () in
+  let find id = Block.find block id in
+  let commit lanes =
+    List.iter (fun s -> Hashtbl.replace packed s ()) lanes;
+    (match lanes with
+    | a :: rest -> List.iter (fun b -> decided := (a, b) :: !decided) rest
+    | [] -> ());
+    packs := !packs @ [ lanes ];
+    Queue.add lanes queue
+  in
+  let can_pair s t =
+    s <> t
+    && (not (Hashtbl.mem packed s))
+    && (not (Hashtbl.mem packed t))
+    && Stmt.isomorphic ~env (find s) (find t)
+    && Config.max_lanes config (stmt_elem_ty ~env (find s)) >= 2
+    && Units.Deps.mergeable deps s t
+    && Units.Deps.merged_acyclic deps ((s, t) :: !decided)
+  in
+  (* Seed phase: adjacent memory references, greedy in program order
+     (the local heuristic the holistic framework replaces). *)
+  let adjacency_order s t =
+    (* Some position holds adjacent array elements: lane order follows
+       the addresses. *)
+    let ps = Stmt.positions (find s) and pt = Stmt.positions (find t) in
+    let rec scan = function
+      | [], [] -> None
+      | a :: ra, b :: rb ->
+          if Operand.adjacent_in_memory ~row_size a b then Some (s, t)
+          else if Operand.adjacent_in_memory ~row_size b a then Some (t, s)
+          else scan (ra, rb)
+      | _ -> None
+    in
+    scan (ps, pt)
+  in
+  let n = Array.length stmts in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let s = stmts.(i).Stmt.id and t = stmts.(j).Stmt.id in
+      if can_pair s t then
+        match adjacency_order s t with
+        | Some (first, second) -> commit [ first; second ]
+        | None -> ()
+    done
+  done;
+  (* Extension phase: def-use and use-def chains from committed packs. *)
+  let try_pair u v = if can_pair u v then commit [ u; v ] in
+  let extend lanes =
+    match lanes with
+    | [ s; t ] -> begin
+        (* def-use: statements consuming the packed definitions at the
+           same operand position. *)
+        (match (Stmt.def (find s), Stmt.def (find t)) with
+        | Operand.Scalar x, Operand.Scalar y when not (String.equal x y) ->
+            let consumers def_var def_site =
+              List.filter
+                (fun uid ->
+                  match Chains.reaching_def chains ~var:def_var ~before:uid with
+                  | Some d -> d = def_site
+                  | None -> false)
+                (Chains.def_use chains def_site)
+            in
+            let us = consumers x s and vs = consumers y t in
+            List.iter
+              (fun u ->
+                List.iter
+                  (fun v ->
+                    if u <> v then begin
+                      let pu = Stmt.positions (find u) and pv = Stmt.positions (find v) in
+                      (* same-position use required *)
+                      if
+                        List.length pu = List.length pv
+                        && List.exists2
+                             (fun a b ->
+                               Operand.equal a (Operand.Scalar x)
+                               && Operand.equal b (Operand.Scalar y))
+                             pu pv
+                      then try_pair u v
+                    end)
+                  vs)
+              us
+        | _ -> ());
+        (* use-def: producers of the scalars read at the same position. *)
+        let ps = Stmt.positions (find s) and pt = Stmt.positions (find t) in
+        List.iteri
+          (fun k a ->
+            if k > 0 then
+              match (a, List.nth pt k) with
+              | Operand.Scalar x, Operand.Scalar y when not (String.equal x y) -> begin
+                  match
+                    ( Chains.reaching_def chains ~var:x ~before:s,
+                      Chains.reaching_def chains ~var:y ~before:t )
+                  with
+                  | Some u, Some v when u <> v -> try_pair u v
+                  | _ -> ()
+                end
+              | _ -> ())
+          ps
+      end
+    | _ -> ()
+  in
+  (* The queue only ever holds pairs here; extension of a pair can
+     enqueue further pairs (transitive chain following). *)
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some lanes ->
+        extend lanes;
+        drain ()
+  in
+  drain ();
+  (* Combination phase: merge address-consecutive packs while the
+     datapath allows. *)
+  let max_lanes_of lanes =
+    Config.max_lanes config (stmt_elem_ty ~env (find (List.hd lanes)))
+  in
+  let continues p q =
+    (* q's first lane continues p's last lane at some memory position *)
+    let last_p = List.nth p (List.length p - 1) and first_q = List.hd q in
+    let pa = Stmt.positions (find last_p) and pb = Stmt.positions (find first_q) in
+    List.length pa = List.length pb
+    && List.exists2 (fun a b -> Operand.adjacent_in_memory ~row_size a b) pa pb
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rec merge_scan before = function
+      | [] -> ()
+      | p :: rest ->
+          let candidate =
+            List.find_opt
+              (fun q ->
+                List.length q = List.length p
+                && List.length p + List.length q <= max_lanes_of p
+                && continues p q
+                && Units.Deps.merged_acyclic deps
+                     ((List.hd p, List.hd q) :: !decided))
+              rest
+          in
+          (match candidate with
+          | Some q ->
+              decided := (List.hd p, List.hd q) :: !decided;
+              let merged = p @ q in
+              packs :=
+                List.rev before
+                @ [ merged ]
+                @ List.filter (fun r -> r != q) rest;
+              changed := true
+          | None -> merge_scan (p :: before) rest)
+    in
+    merge_scan [] !packs
+  done;
+  let grouped = List.concat !packs in
+  let singles =
+    List.filter_map
+      (fun (s : Stmt.t) ->
+        if List.mem s.Stmt.id grouped then None else Some s.Stmt.id)
+      block.Block.stmts
+  in
+  {
+    Grouping.groups = !packs;
+    singles;
+    rounds = (if !packs = [] then 0 else 1);
+    decisions = List.length !decided;
+  }
+
+let schedule ~env:_ ~config (block : Block.t) (grouping : Grouping.result) =
+  (* Dependence-respecting program order; lane order as committed. *)
+  let nodes = ref [] in
+  let next = ref 0 in
+  let add members =
+    let gid = !next in
+    incr next;
+    nodes := (gid, members) :: !nodes
+  in
+  List.iter add grouping.Grouping.groups;
+  List.iter (fun s -> add [ s ]) grouping.Grouping.singles;
+  let nodes = List.rev !nodes in
+  let owner = Hashtbl.create 32 in
+  List.iter (fun (gid, ms) -> List.iter (fun m -> Hashtbl.replace owner m gid) ms) nodes;
+  let dg = Graph.Directed.create () in
+  List.iter (fun (gid, ms) -> Graph.Directed.add_node dg gid ms) nodes;
+  List.iter
+    (fun (p, q) ->
+      let gp = Hashtbl.find owner p and gq = Hashtbl.find owner q in
+      if gp <> gq && not (Graph.Directed.mem_edge dg gp gq) then
+        Graph.Directed.add_edge dg gp gq)
+    (Block.dep_pairs block);
+  if Graph.Directed.has_cycle dg then
+    invalid_arg "Larsen.schedule: packs are not schedulable";
+  let items = ref [] in
+  let remaining = ref (List.length nodes) in
+  while !remaining > 0 do
+    let ready =
+      List.map (fun gid -> (gid, Graph.Directed.label dg gid)) (Graph.Directed.sources dg)
+    in
+    let best =
+      List.fold_left
+        (fun acc (gid, ms) ->
+          let first = List.fold_left min max_int ms in
+          match acc with
+          | Some (bf, _, _) when bf <= first -> acc
+          | _ -> Some (first, gid, ms))
+        None ready
+    in
+    match best with
+    | None -> invalid_arg "Larsen.schedule: no ready group"
+    | Some (_, gid, ms) ->
+        items :=
+          (match ms with
+          | [ s ] -> Schedule.Single s
+          | _ -> Schedule.Superword ms)
+          :: !items;
+        Graph.Directed.remove_node dg gid;
+        decr remaining
+  done;
+  Schedule.analyze ~config block (List.rev !items)
+
+let plan_block ?params ~env ~config ~query ~nest (block : Block.t) =
+  let grouping = group ~env ~config block in
+  if grouping.Grouping.groups = [] then
+    { Driver.block = block; nest; grouping; schedule = None; estimate = None }
+  else begin
+    let sched = schedule ~env ~config block grouping in
+    if not (Schedule.is_valid block sched) then
+      invalid_arg
+        (Printf.sprintf "Larsen.plan_block: invalid schedule for %s" block.Block.label);
+    let estimate = Cost.estimate ?params ~query block sched in
+    if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
+      { Driver.block = block; nest; grouping; schedule = Some sched; estimate = Some estimate }
+    else
+      { Driver.block = block; nest; grouping; schedule = None; estimate = Some estimate }
+  end

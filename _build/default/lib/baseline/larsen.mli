@@ -1,0 +1,36 @@
+(** The Larsen & Amarasinghe SLP algorithm (PLDI 2000) — the paper's
+    comparison baseline ("SLP" in the evaluation).
+
+    Seeds: isomorphic independent statement pairs with adjacent memory
+    references, committed greedily in program order.  Extension:
+    def-use and use-def chains from committed packs.  Combination:
+    adjacent packs merge until the datapath is filled.  Scheduling:
+    dependence-respecting program order with lanes fixed by memory
+    address — no global reuse analysis and no reuse-driven reordering,
+    which is precisely what the holistic framework improves on. *)
+
+open Slp_ir
+
+val group : env:Env.t -> config:Slp_core.Config.t -> Block.t -> Slp_core.Grouping.result
+(** The packs found (ordered member lists recorded as groups) plus
+    leftover singles.  [decisions] counts committed pairs/merges. *)
+
+val schedule :
+  env:Env.t ->
+  config:Slp_core.Config.t ->
+  Block.t ->
+  Slp_core.Grouping.result ->
+  Slp_core.Schedule.t
+(** Program-order topological emission; lane order as committed (the
+    group member lists are already ordered by address). *)
+
+val plan_block :
+  ?params:Slp_core.Cost.params ->
+  env:Env.t ->
+  config:Slp_core.Config.t ->
+  query:Slp_core.Cost.query ->
+  nest:string list ->
+  Block.t ->
+  Slp_core.Driver.block_plan
+(** Group, schedule, then apply the same profitability gate as the
+    holistic optimizer. *)

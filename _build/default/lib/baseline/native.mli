@@ -1,0 +1,20 @@
+(** A deliberately conservative auto-vectorizer standing in for the
+    "Native" compiler bars of the paper's Figure 16.
+
+    Packs statement runs only when every operand position is either a
+    contiguous aligned-stride array pack, an identical scalar
+    (broadcast), or a constant — the classic contiguous-only loop
+    vectorizer behaviour.  No reuse search, no permutations. *)
+
+open Slp_ir
+
+val group : env:Env.t -> config:Slp_core.Config.t -> Block.t -> Slp_core.Grouping.result
+
+val plan_block :
+  ?params:Slp_core.Cost.params ->
+  env:Env.t ->
+  config:Slp_core.Config.t ->
+  query:Slp_core.Cost.query ->
+  nest:string list ->
+  Block.t ->
+  Slp_core.Driver.block_plan

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: List Slp_frontend String

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Affine Array Block Env Expr Hashtbl List Operand Option Program Slp_analysis Slp_core Slp_ir Slp_machine Slp_vm Stmt String

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Slp_core Slp_machine Slp_vm

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Array Hashtbl List Option Printf Slp_vm

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.mli: Slp_vm

@@ -1,0 +1,33 @@
+(** Vector register allocation — the paper's post-processing module
+    ("the post-processing module performs register allocation and
+    other low-level optimizations", §3).
+
+    Code generation emits unbounded virtual vector registers; this
+    pass maps each straight-line block onto the machine's physical
+    register file with a forward linear scan, spilling the live value
+    with the furthest next use (Belady) to dedicated 64-byte spill
+    slots when pressure exceeds the file.  Spills and reloads are real
+    instructions ({!Slp_vm.Visa.Vspill}/[Vreload]) charged like vector
+    memory operations by the simulator. *)
+
+type stats = {
+  spills : int;  (** Static spill instructions inserted. *)
+  reloads : int;
+  max_pressure : int;  (** Peak simultaneously-live virtual registers. *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val instr_uses : Slp_vm.Visa.instr -> Slp_vm.Visa.vreg list
+val instr_def : Slp_vm.Visa.instr -> Slp_vm.Visa.vreg option
+
+val allocate_block :
+  registers:int -> Slp_vm.Visa.instr list -> Slp_vm.Visa.instr list * stats
+(** Raises [Invalid_argument] when [registers < 2] (an instruction can
+    need two simultaneous sources). *)
+
+val program :
+  registers:int -> Slp_vm.Visa.program -> Slp_vm.Visa.program * stats
+(** Allocate every block of the body (setup code contains no vector
+    instructions). *)

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: List Option Printf Slp_ir String Token

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Affine Array Block Env Expr Filename Float Format Lexer List Operand Printf Program Slp_ir Stmt Token Types

@@ -1,0 +1,94 @@
+exception Error of string * int * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword_of_string s =
+  match s with
+  | "for" -> Some Token.Kw_for
+  | "to" -> Some Token.Kw_to
+  | "step" -> Some Token.Kw_step
+  | "min" -> Some Token.Kw_min
+  | "max" -> Some Token.Kw_max
+  | "sqrt" -> Some Token.Kw_sqrt
+  | "abs" -> Some Token.Kw_abs
+  | _ ->
+      Option.map (fun ty -> Token.Kw_type ty) (Slp_ir.Types.scalar_ty_of_string s)
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let emit token l c = out := { Token.token; line = l; col = c } :: !out in
+  let advance () =
+    (if src.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l = !line and cl = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' || (c = '/' && peek 1 = Some '/') then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do advance () done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        advance ();
+        while !pos < n && is_digit src.[!pos] do advance () done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        advance ();
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then advance ();
+        if not (!pos < n && is_digit src.[!pos]) then
+          raise (Error ("malformed exponent", !line, !col));
+        while !pos < n && is_digit src.[!pos] do advance () done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then emit (Token.Float (float_of_string text)) l cl
+      else emit (Token.Int (int_of_string text)) l cl
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && is_alnum src.[!pos] do advance () done;
+      let text = String.sub src start (!pos - start) in
+      match keyword_of_string text with
+      | Some kw -> emit kw l cl
+      | None -> emit (Token.Ident text) l cl
+    end
+    else begin
+      let simple tok =
+        advance ();
+        emit tok l cl
+      in
+      match c with
+      | '(' -> simple Token.Lparen
+      | ')' -> simple Token.Rparen
+      | '{' -> simple Token.Lbrace
+      | '}' -> simple Token.Rbrace
+      | '[' -> simple Token.Lbracket
+      | ']' -> simple Token.Rbracket
+      | '+' -> simple Token.Plus
+      | '-' -> simple Token.Minus
+      | '*' -> simple Token.Star
+      | '/' -> simple Token.Slash
+      | '=' -> simple Token.Assign
+      | ',' -> simple Token.Comma
+      | ';' -> simple Token.Semicolon
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, l, cl))
+    end
+  done;
+  emit Token.Eof !line !col;
+  List.rev !out

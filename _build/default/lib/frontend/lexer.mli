@@ -1,0 +1,9 @@
+(** Hand-written lexer for the kernel language.
+
+    Comments run from ['#'] or ["//"] to end of line.  Raises
+    [Error (message, line, col)] on malformed input. *)
+
+exception Error of string * int * int
+
+val tokenize : string -> Token.located list
+(** The result always ends with an [Eof] token. *)

@@ -1,0 +1,265 @@
+open Slp_ir
+
+exception Error of string * int * int
+
+type state = {
+  tokens : Token.located array;
+  mutable cursor : int;
+  env : Env.t;
+  mutable next_block : int;
+}
+
+let current st = st.tokens.(st.cursor)
+let peek_token st = (current st).Token.token
+
+let fail st fmt =
+  let { Token.line; col; _ } = current st in
+  Format.kasprintf (fun msg -> raise (Error (msg, line, col))) fmt
+
+let advance st = if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let expect st tok =
+  if peek_token st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (peek_token st))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | other -> fail st "expected an identifier, found %s" (Token.to_string other)
+
+let expect_int st =
+  match peek_token st with
+  | Token.Int n ->
+      advance st;
+      n
+  | other -> fail st "expected an integer, found %s" (Token.to_string other)
+
+(* -- expressions --------------------------------------------------- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let rec loop acc =
+    match peek_token st with
+    | Token.Plus ->
+        advance st;
+        loop (Expr.Bin (Types.Add, acc, parse_multiplicative st))
+    | Token.Minus ->
+        advance st;
+        loop (Expr.Bin (Types.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek_token st with
+    | Token.Star ->
+        advance st;
+        loop (Expr.Bin (Types.Mul, acc, parse_unary st))
+    | Token.Slash ->
+        advance st;
+        loop (Expr.Bin (Types.Div, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek_token st with
+  | Token.Minus ->
+      advance st;
+      Expr.Un (Types.Neg, parse_unary st)
+  | Token.Kw_sqrt ->
+      advance st;
+      expect st Token.Lparen;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      Expr.Un (Types.Sqrt, e)
+  | Token.Kw_abs ->
+      advance st;
+      expect st Token.Lparen;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      Expr.Un (Types.Abs, e)
+  | Token.Kw_min | Token.Kw_max ->
+      let op = if peek_token st = Token.Kw_min then Types.Min else Types.Max in
+      advance st;
+      expect st Token.Lparen;
+      let a = parse_expr st in
+      expect st Token.Comma;
+      let b = parse_expr st in
+      expect st Token.Rparen;
+      Expr.Bin (op, a, b)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek_token st with
+  | Token.Int n ->
+      advance st;
+      Expr.Leaf (Operand.Const (float_of_int n))
+  | Token.Float f ->
+      advance st;
+      Expr.Leaf (Operand.Const f)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Ident _ ->
+      let name = expect_ident st in
+      let subscripts = parse_subscripts st in
+      if subscripts = [] then Expr.Leaf (Operand.Scalar name)
+      else Expr.Leaf (Operand.Elem (name, subscripts))
+  | other -> fail st "expected an expression, found %s" (Token.to_string other)
+
+(* -- affine conversion --------------------------------------------- *)
+
+and affine_of_expr st e =
+  let rec go = function
+    | Expr.Leaf (Operand.Const f) ->
+        if Float.is_integer f then Affine.const (int_of_float f)
+        else fail st "non-integer constant %g in affine context" f
+    | Expr.Leaf (Operand.Scalar v) -> Affine.var v
+    | Expr.Leaf (Operand.Elem (b, _)) ->
+        fail st "array reference %s not allowed in affine context" b
+    | Expr.Un (Types.Neg, e) -> Affine.neg (go e)
+    | Expr.Un ((Types.Abs | Types.Sqrt), _) ->
+        fail st "non-affine operator in subscript or bound"
+    | Expr.Bin (Types.Add, a, b) -> Affine.add (go a) (go b)
+    | Expr.Bin (Types.Sub, a, b) -> Affine.sub (go a) (go b)
+    | Expr.Bin (Types.Mul, a, b) -> begin
+        let aa = go a and ab = go b in
+        match (Affine.to_const aa, Affine.to_const ab) with
+        | Some k, _ -> Affine.scale k ab
+        | _, Some k -> Affine.scale k aa
+        | None, None -> fail st "non-linear subscript or bound"
+      end
+    | Expr.Bin ((Types.Div | Types.Min | Types.Max), _, _) ->
+        fail st "non-affine operator in subscript or bound"
+  in
+  go e
+
+and parse_subscripts st =
+  let rec loop acc =
+    match peek_token st with
+    | Token.Lbracket ->
+        advance st;
+        let e = parse_expr st in
+        expect st Token.Rbracket;
+        loop (affine_of_expr st e :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+(* -- declarations, statements, loops ------------------------------- *)
+
+let parse_decl st ty =
+  let name = expect_ident st in
+  let rec dims acc =
+    match peek_token st with
+    | Token.Lbracket ->
+        advance st;
+        let d = expect_int st in
+        expect st Token.Rbracket;
+        dims (d :: acc)
+    | _ -> List.rev acc
+  in
+  let ds = dims [] in
+  (try
+     if ds = [] then Env.declare_scalar st.env name ty
+     else Env.declare_array st.env name ty ds
+   with Invalid_argument msg -> fail st "%s" msg);
+  expect st Token.Semicolon
+
+let parse_stmt st ~next_id =
+  let name = expect_ident st in
+  let subscripts = parse_subscripts st in
+  let lhs =
+    if subscripts = [] then Operand.Scalar name else Operand.Elem (name, subscripts)
+  in
+  expect st Token.Assign;
+  let rhs = parse_expr st in
+  expect st Token.Semicolon;
+  Stmt.make ~id:next_id ~lhs ~rhs
+
+let rec parse_items st =
+  let items = ref [] in
+  let pending = ref [] in
+  let next_id = ref 1 in
+  let flush () =
+    if !pending <> [] then begin
+      let label = Printf.sprintf "bb%d" st.next_block in
+      st.next_block <- st.next_block + 1;
+      items := Program.Stmts (Block.make ~label (List.rev !pending)) :: !items;
+      pending := []
+    end
+  in
+  let rec loop () =
+    match peek_token st with
+    | Token.Ident _ ->
+        pending := parse_stmt st ~next_id:!next_id :: !pending;
+        incr next_id;
+        loop ()
+    | Token.Kw_for ->
+        flush ();
+        next_id := 1;
+        advance st;
+        let index = expect_ident st in
+        expect st Token.Assign;
+        let lo = affine_of_expr st (parse_expr st) in
+        expect st Token.Kw_to;
+        let hi = affine_of_expr st (parse_expr st) in
+        let step =
+          if peek_token st = Token.Kw_step then begin
+            advance st;
+            expect_int st
+          end
+          else 1
+        in
+        if step <= 0 then fail st "loop step must be positive";
+        expect st Token.Lbrace;
+        let body = parse_items st in
+        expect st Token.Rbrace;
+        items := Program.Loop { Program.index; lo; hi; step; body } :: !items;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  flush ();
+  List.rev !items
+
+let parse ~name src =
+  let tokens =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
+  in
+  let st = { tokens; cursor = 0; env = Env.create (); next_block = 1 } in
+  (* Declarations first: every leading type keyword opens a decl. *)
+  let rec decls () =
+    match peek_token st with
+    | Token.Kw_type ty ->
+        advance st;
+        parse_decl st ty;
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  let body = parse_items st in
+  expect st Token.Eof;
+  let program = Program.make ~name ~env:st.env body in
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error msg -> raise (Error (msg, (current st).Token.line, (current st).Token.col)));
+  program
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse ~name src

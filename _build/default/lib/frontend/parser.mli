@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the kernel language.
+
+    Grammar (comments run to end of line):
+    {v
+    program   ::= decl* item*
+    decl      ::= ty IDENT ("[" INT "]")* ";"
+    item      ::= stmt | loop
+    loop      ::= "for" IDENT "=" aff "to" aff ("step" INT)? "{" item* "}"
+    stmt      ::= lvalue "=" expr ";"
+    lvalue    ::= IDENT ("[" aff "]")*
+    expr      ::= additive with "+ - * /", unary "-", "sqrt(e)",
+                  "abs(e)", "min(e,e)", "max(e,e)", parentheses
+    aff       ::= expr restricted to affine forms over loop indices
+    v}
+
+    Loop upper bounds are exclusive ([for i = 0 to n] runs [n] times).
+    Consecutive statements form one basic block. *)
+
+exception Error of string * int * int
+
+val parse : name:string -> string -> Slp_ir.Program.t
+(** Parses and validates; raises [Error] on syntax or semantic
+    problems. *)
+
+val parse_file : string -> Slp_ir.Program.t
+(** [parse_file path] with the program named after the basename. *)

@@ -1,0 +1,55 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_for
+  | Kw_to
+  | Kw_step
+  | Kw_min
+  | Kw_max
+  | Kw_sqrt
+  | Kw_abs
+  | Kw_type of Slp_ir.Types.scalar_ty
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Assign
+  | Comma
+  | Semicolon
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Float f -> Printf.sprintf "float %g" f
+  | Kw_for -> "'for'"
+  | Kw_to -> "'to'"
+  | Kw_step -> "'step'"
+  | Kw_min -> "'min'"
+  | Kw_max -> "'max'"
+  | Kw_sqrt -> "'sqrt'"
+  | Kw_abs -> "'abs'"
+  | Kw_type ty -> Printf.sprintf "type %s" (Slp_ir.Types.scalar_ty_to_string ty)
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Assign -> "'='"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Eof -> "end of input"
+
+type located = { token : t; line : int; col : int }

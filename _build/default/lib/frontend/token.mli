@@ -1,0 +1,32 @@
+(** Tokens of the kernel language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_for
+  | Kw_to
+  | Kw_step
+  | Kw_min
+  | Kw_max
+  | Kw_sqrt
+  | Kw_abs
+  | Kw_type of Slp_ir.Types.scalar_ty
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Assign
+  | Comma
+  | Semicolon
+  | Eof
+
+val to_string : t -> string
+
+type located = { token : t; line : int; col : int }

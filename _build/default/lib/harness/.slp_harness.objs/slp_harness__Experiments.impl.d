@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Float List Printf Runner Slp_benchmarks Slp_core Slp_machine Slp_pipeline Slp_util Slp_vm String Sys

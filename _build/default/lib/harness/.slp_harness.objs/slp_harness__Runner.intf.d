@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Pipeline Slp_benchmarks Slp_machine Slp_pipeline Slp_vm

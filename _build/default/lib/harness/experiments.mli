@@ -1,0 +1,60 @@
+(** One function per paper table/figure; each returns a rendered
+    plain-text report (and the functions share memoised measurements).
+
+    Paper-expected values are embedded in the report footers so that
+    EXPERIMENTS.md can show paper-vs-measured side by side. *)
+
+type report = { id : string; title : string; body : string }
+
+val table1 : unit -> report
+(** Intel Dunnington configuration. *)
+
+val table2 : unit -> report
+(** AMD Phenom II configuration. *)
+
+val table3 : unit -> report
+(** Benchmark descriptions. *)
+
+val fig16 : unit -> report
+(** Execution-time reductions of Native/SLP/Global over scalar on the
+    Intel machine, ordered by the Global improvement, with the three
+    paper categories marked. *)
+
+val fig17 : unit -> report
+(** Reductions brought by Global over SLP in dynamic instructions
+    (excluding packing) and in packing/unpacking operations.  Paper
+    averages: 14.5% and 43.5%. *)
+
+val fig18 : unit -> report
+(** Dynamic instructions eliminated by Global over scalar for
+    hypothetical 128/256/512/1024-bit datapaths.  Paper: 49.1% at 128
+    rising to 54.5% at 1024. *)
+
+val fig19 : unit -> report
+(** Global+Layout vs Global on Intel; which benchmarks layout helps;
+    the maximum improvement of Global+Layout over SLP (paper: 15.2%). *)
+
+val fig20 : unit -> report
+(** AMD results with Intel averages for comparison (paper: AMD
+    10.8%/14.1%, Intel 12%/14.9%). *)
+
+val fig21 : unit -> report
+(** NAS multicore scaling: improvements of Global and Global+Layout
+    for core counts 1..12 on the Intel machine. *)
+
+val compile_overhead : unit -> report
+(** Compilation-time overhead of Global relative to SLP (paper: +27%
+    average). *)
+
+val ablations : unit -> report
+(** DESIGN.md's ablation list: rerun the suite with one design choice
+    altered at a time (weight recomputation, conflict elimination
+    order, scatter penalty, scheduling selection, lane-order search). *)
+
+val reuse_value : unit -> report
+(** Lower the same Global plans with and without register-resident
+    superword reuse and compare cycles/packing — quantifying the
+    mechanism the paper's grouping maximises. *)
+
+val all : unit -> report list
+val render : report -> string

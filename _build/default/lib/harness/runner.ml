@@ -1,0 +1,56 @@
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+
+type key = {
+  bench : string;
+  scheme : Pipeline.scheme;
+  machine_name : string;
+  simd_bits : int;
+  cores : int;
+}
+
+type measurement = {
+  key : key;
+  counters : Slp_vm.Counters.t;
+  correct : bool;
+  compile_seconds : float;
+  replica_count : int;
+}
+
+let cache : (key, measurement) Hashtbl.t = Hashtbl.create 128
+
+let measure ?(cores = 1) ~machine ~scheme (b : Suite.t) =
+  let key =
+    {
+      bench = b.Suite.name;
+      scheme;
+      machine_name = machine.Machine.name;
+      simd_bits = machine.Machine.simd_bits;
+      cores;
+    }
+  in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+      let prog = Suite.program b in
+      let unroll = max 1 (b.Suite.unroll * machine.Machine.simd_bits / 128) in
+      let compiled = Pipeline.compile ~unroll ~scheme ~machine prog in
+      let r = Pipeline.execute ~cores ~check:(cores = 1) compiled in
+      let m =
+        {
+          key;
+          counters = r.Pipeline.counters;
+          correct = r.Pipeline.correct;
+          compile_seconds = compiled.Pipeline.compile_seconds;
+          replica_count = compiled.Pipeline.replica_count;
+        }
+      in
+      Hashtbl.replace cache key m;
+      m
+
+let cycles m = Slp_vm.Counters.total_cycles m.counters
+
+let reduction ~baseline m = 1.0 -. (cycles m /. cycles baseline)
+
+let clear_cache () = Hashtbl.reset cache

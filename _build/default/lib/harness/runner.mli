@@ -1,0 +1,42 @@
+(** Shared measurement infrastructure for the experiment harness.
+
+    Compiles and simulates benchmark kernels under the five schemes,
+    memoising results within a process (several figures share the same
+    underlying runs).  All measurements are deterministic: fixed seed,
+    fixed machine models, no wall-clock dependence (except the
+    compile-time experiment, which measures the optimizer itself). *)
+
+open Slp_pipeline
+
+type key = {
+  bench : string;
+  scheme : Pipeline.scheme;
+  machine_name : string;
+  simd_bits : int;
+  cores : int;
+}
+
+type measurement = {
+  key : key;
+  counters : Slp_vm.Counters.t;
+  correct : bool;
+  compile_seconds : float;
+  replica_count : int;
+}
+
+val measure :
+  ?cores:int ->
+  machine:Slp_machine.Machine.t ->
+  scheme:Pipeline.scheme ->
+  Slp_benchmarks.Suite.t ->
+  measurement
+(** Memoised per (bench, scheme, machine, simd width, cores).  The
+    unroll factor scales with the datapath
+    ([kernel unroll × simd_bits / 128]) so wider machines get filled. *)
+
+val cycles : measurement -> float
+
+val reduction : baseline:measurement -> measurement -> float
+(** Execution-time reduction [1 - m/baseline] (the paper's y-axis). *)
+
+val clear_cache : unit -> unit

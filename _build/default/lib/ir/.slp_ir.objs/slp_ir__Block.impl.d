@@ -1,0 +1,1 @@
+lib/ir/block.ml: Format Hashtbl List Operand Printf Slp_util Stmt String

@@ -1,0 +1,1 @@
+lib/ir/block.mli: Expr Format Operand Slp_util Stmt

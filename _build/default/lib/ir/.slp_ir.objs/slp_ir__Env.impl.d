@@ -1,0 +1,1 @@
+lib/ir/env.ml: Format Hashtbl List Operand Printf String Types

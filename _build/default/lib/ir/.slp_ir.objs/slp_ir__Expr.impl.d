@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Affine Either Format List Operand Stdlib Types

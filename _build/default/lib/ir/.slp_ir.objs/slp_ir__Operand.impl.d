@@ -1,0 +1,1 @@
+lib/ir/operand.ml: Affine Float Format List String

@@ -1,0 +1,1 @@
+lib/ir/operand.mli: Affine Format

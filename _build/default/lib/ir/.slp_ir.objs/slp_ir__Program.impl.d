@@ -1,0 +1,1 @@
+lib/ir/program.ml: Affine Block Env Expr Format List Operand Option Stmt Types

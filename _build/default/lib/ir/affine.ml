@@ -1,0 +1,80 @@
+module Smap = Map.Make (String)
+
+type t = { coeffs : int Smap.t; const : int }
+(* Invariant: no binding in [coeffs] is zero. *)
+
+let normalise coeffs = Smap.filter (fun _ k -> k <> 0) coeffs
+
+let const c = { coeffs = Smap.empty; const = c }
+
+let var ?(coeff = 1) v =
+  { coeffs = normalise (Smap.singleton v coeff); const = 0 }
+
+let make terms c =
+  let coeffs =
+    List.fold_left
+      (fun acc (v, k) ->
+        Smap.update v (function None -> Some k | Some k' -> Some (k + k')) acc)
+      Smap.empty terms
+  in
+  { coeffs = normalise coeffs; const = c }
+
+let merge f a b =
+  Smap.merge
+    (fun _ ka kb ->
+      let k = f (Option.value ka ~default:0) (Option.value kb ~default:0) in
+      if k = 0 then None else Some k)
+    a b
+
+let add a b = { coeffs = merge ( + ) a.coeffs b.coeffs; const = a.const + b.const }
+let sub a b = { coeffs = merge ( - ) a.coeffs b.coeffs; const = a.const - b.const }
+
+let scale k a =
+  if k = 0 then const 0
+  else { coeffs = Smap.map (fun c -> k * c) a.coeffs; const = k * a.const }
+
+let neg a = scale (-1) a
+let terms a = Smap.bindings a.coeffs
+let const_part a = a.const
+let coeff a v = Option.value (Smap.find_opt v a.coeffs) ~default:0
+let is_const a = Smap.is_empty a.coeffs
+let to_const a = if is_const a then Some a.const else None
+let vars a = List.map fst (terms a)
+let equal a b = a.const = b.const && Smap.equal ( = ) a.coeffs b.coeffs
+
+let compare a b =
+  let c = compare a.const b.const in
+  if c <> 0 then c else Smap.compare Stdlib.compare a.coeffs b.coeffs
+
+let subst e v by =
+  match Smap.find_opt v e.coeffs with
+  | None -> e
+  | Some k -> add { e with coeffs = Smap.remove v e.coeffs } (scale k by)
+
+let eval e env =
+  Smap.fold (fun v k acc -> acc + (k * env v)) e.coeffs e.const
+
+let diff_const a b =
+  let d = sub a b in
+  to_const d
+
+let pp ppf a =
+  let ts = terms a in
+  if ts = [] then Format.fprintf ppf "%d" a.const
+  else begin
+    List.iteri
+      (fun i (v, k) ->
+        if i = 0 then
+          if k = 1 then Format.fprintf ppf "%s" v
+          else if k = -1 then Format.fprintf ppf "-%s" v
+          else Format.fprintf ppf "%d*%s" k v
+        else if k = 1 then Format.fprintf ppf "+%s" v
+        else if k = -1 then Format.fprintf ppf "-%s" v
+        else if k > 0 then Format.fprintf ppf "+%d*%s" k v
+        else Format.fprintf ppf "-%d*%s" (-k) v)
+      ts;
+    if a.const > 0 then Format.fprintf ppf "+%d" a.const
+    else if a.const < 0 then Format.fprintf ppf "%d" a.const
+  end
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,49 @@
+(** Affine expressions over loop-index variables.
+
+    Array subscripts and loop bounds in the kernel language are affine
+    functions of the enclosing loop indices (paper §5.2: "we focus on
+    loop nests in which the loop bounds and array references are affine
+    functions of the enclosing loop indices").  An affine expression is
+    a sum [c + Σ k_v · v] kept in a canonical form: terms sorted by
+    variable name, no zero coefficients. *)
+
+type t
+
+val const : int -> t
+val var : ?coeff:int -> string -> t
+val make : (string * int) list -> int -> t
+(** [make terms const]; duplicate variables are summed. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+
+val terms : t -> (string * int) list
+(** Canonical (sorted, non-zero) coefficient list. *)
+
+val const_part : t -> int
+val coeff : t -> string -> int
+(** 0 when the variable does not occur. *)
+
+val is_const : t -> bool
+val to_const : t -> int option
+val vars : t -> string list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val subst : t -> string -> t -> t
+(** [subst e v by] replaces every occurrence of [v] with the affine
+    expression [by] (used by loop unrolling: [i := u·i' + k]). *)
+
+val eval : t -> (string -> int) -> int
+(** Evaluate under an environment for the index variables.  Raises
+    whatever the environment raises on unbound variables. *)
+
+val diff_const : t -> t -> int option
+(** [diff_const a b] is [Some d] when [a - b] is the constant [d] —
+    the dependence test and the memory-adjacency test both reduce to
+    this question. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,79 @@
+type array_info = { elem_ty : Types.scalar_ty; dims : int list }
+
+type t = {
+  scalar_tbl : (string, Types.scalar_ty) Hashtbl.t;
+  array_tbl : (string, array_info) Hashtbl.t;
+}
+
+let create () = { scalar_tbl = Hashtbl.create 16; array_tbl = Hashtbl.create 16 }
+
+let copy t =
+  { scalar_tbl = Hashtbl.copy t.scalar_tbl; array_tbl = Hashtbl.copy t.array_tbl }
+
+let declare_scalar t name ty =
+  if Hashtbl.mem t.array_tbl name then
+    invalid_arg (Printf.sprintf "Env.declare_scalar: %s is an array" name);
+  match Hashtbl.find_opt t.scalar_tbl name with
+  | Some ty' when ty' <> ty ->
+      invalid_arg (Printf.sprintf "Env.declare_scalar: %s redeclared" name)
+  | Some _ | None -> Hashtbl.replace t.scalar_tbl name ty
+
+let declare_array t name elem_ty dims =
+  if dims = [] || List.exists (fun d -> d <= 0) dims then
+    invalid_arg "Env.declare_array: dimensions must be positive";
+  if Hashtbl.mem t.scalar_tbl name then
+    invalid_arg (Printf.sprintf "Env.declare_array: %s is a scalar" name);
+  match Hashtbl.find_opt t.array_tbl name with
+  | Some info when info <> { elem_ty; dims } ->
+      invalid_arg (Printf.sprintf "Env.declare_array: %s redeclared" name)
+  | Some _ | None -> Hashtbl.replace t.array_tbl name { elem_ty; dims }
+
+let scalar_ty t name = Hashtbl.find_opt t.scalar_tbl name
+let array_info t name = Hashtbl.find_opt t.array_tbl name
+
+let is_declared t name =
+  Hashtbl.mem t.scalar_tbl name || Hashtbl.mem t.array_tbl name
+
+let operand_ty t = function
+  | Operand.Const _ -> None
+  | Operand.Scalar v -> begin
+      match scalar_ty t v with
+      | Some ty -> Some ty
+      | None -> invalid_arg (Printf.sprintf "Env.operand_ty: undeclared scalar %s" v)
+    end
+  | Operand.Elem (b, _) -> begin
+      match array_info t b with
+      | Some info -> Some info.elem_ty
+      | None -> invalid_arg (Printf.sprintf "Env.operand_ty: undeclared array %s" b)
+    end
+
+let compatible_ty t a b =
+  match (operand_ty t a, operand_ty t b) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> x = y
+
+let row_size t name =
+  match array_info t name with
+  | Some info -> info.dims
+  | None -> invalid_arg (Printf.sprintf "Env.row_size: unknown array %s" name)
+
+let scalars t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.scalar_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let arrays t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.array_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (n, ty) -> Format.fprintf ppf "%a %s;@," Types.pp_scalar_ty ty n)
+    (scalars t);
+  List.iter
+    (fun (n, info) ->
+      Format.fprintf ppf "%a %s" Types.pp_scalar_ty info.elem_ty n;
+      List.iter (Format.fprintf ppf "[%d]") info.dims;
+      Format.fprintf ppf ";@,")
+    (arrays t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Declaration environment: scalar and array symbol tables.
+
+    Isomorphism requires corresponding operands to "have the same data
+    type" (paper §2); the environment answers type queries, and its
+    array dimensions feed the memory-adjacency test used by the
+    baseline SLP seeds and the pack cost model. *)
+
+type array_info = { elem_ty : Types.scalar_ty; dims : int list }
+(** Row-major array; [dims] outermost first, all positive. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val declare_scalar : t -> string -> Types.scalar_ty -> unit
+(** Raises [Invalid_argument] when redeclared with a different type or
+    when the name is already an array. *)
+
+val declare_array : t -> string -> Types.scalar_ty -> int list -> unit
+
+val scalar_ty : t -> string -> Types.scalar_ty option
+val array_info : t -> string -> array_info option
+val is_declared : t -> string -> bool
+
+val operand_ty : t -> Operand.t -> Types.scalar_ty option
+(** [None] for constants (they unify with any type) — raises
+    [Invalid_argument] on undeclared variables. *)
+
+val compatible_ty : t -> Operand.t -> Operand.t -> bool
+(** Equal declared types, or at least one side is a constant. *)
+
+val row_size : t -> string -> int list
+(** Dimension list for the adjacency test; raises on unknown arrays. *)
+
+val scalars : t -> (string * Types.scalar_ty) list
+(** Sorted by name. *)
+
+val arrays : t -> (string * array_info) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+type item = Stmts of Block.t | Loop of loop
+
+and loop = {
+  index : string;
+  lo : Affine.t;
+  hi : Affine.t;
+  step : int;
+  body : item list;
+}
+
+type t = { name : string; env : Env.t; body : item list }
+
+let loop ?(step = 1) index ~lo ~hi body =
+  if step <= 0 then invalid_arg "Program.loop: step must be positive";
+  Loop { index; lo; hi; step; body }
+
+let make ~name ~env body = { name; env; body }
+
+let rec blocks_of_items items =
+  List.concat_map
+    (function Stmts b -> [ b ] | Loop l -> blocks_of_items l.body)
+    items
+
+let blocks t = blocks_of_items t.body
+
+let map_blocks t ~f =
+  let rec go items =
+    List.map
+      (function
+        | Stmts b -> Stmts (f b)
+        | Loop l -> Loop { l with body = go l.body })
+      items
+  in
+  { t with body = go t.body }
+
+let stmt_count t =
+  List.fold_left (fun acc b -> acc + Block.size b) 0 (blocks t)
+
+let trip_count l =
+  match (Affine.to_const l.lo, Affine.to_const l.hi) with
+  | Some lo, Some hi ->
+      if hi <= lo then Some 0 else Some (((hi - lo) + l.step - 1) / l.step)
+  | _, _ -> None
+
+let max_loop_depth t =
+  let rec depth items =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Stmts _ -> acc
+        | Loop l -> max acc (1 + depth l.body))
+      0 items
+  in
+  depth t.body
+
+(* -- validation ---------------------------------------------------- *)
+
+let validate t =
+  let err fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  let exception Bad of string in
+  let fail fmt = Format.kasprintf (fun msg -> raise (Bad msg)) fmt in
+  let check_operand ~indices op =
+    match op with
+    | Operand.Const _ -> ()
+    | Operand.Scalar v ->
+        if List.mem v indices then ()
+        else if Env.scalar_ty t.env v = None then
+          fail "undeclared scalar %s" v
+    | Operand.Elem (b, idxs) -> begin
+        match Env.array_info t.env b with
+        | None -> fail "undeclared array %s" b
+        | Some info ->
+            if List.length idxs <> List.length info.Env.dims then
+              fail "array %s used with rank %d, declared rank %d" b
+                (List.length idxs)
+                (List.length info.Env.dims);
+            List.iter
+              (fun ix ->
+                List.iter
+                  (fun v ->
+                    if not (List.mem v indices) then
+                      fail "subscript variable %s of %s is not an enclosing loop index"
+                        v b)
+                  (Affine.vars ix))
+              idxs
+      end
+  in
+  let operand_ty ~indices op =
+    match op with
+    | Operand.Const _ -> None
+    | Operand.Scalar v when List.mem v indices -> Some Types.I64
+    | Operand.Scalar v -> Env.scalar_ty t.env v
+    | Operand.Elem (b, _) ->
+        Option.map (fun info -> info.Env.elem_ty) (Env.array_info t.env b)
+  in
+  let check_stmt ~indices (s : Stmt.t) =
+    (match s.Stmt.lhs with
+    | Operand.Scalar v when List.mem v indices ->
+        fail "loop index %s assigned in S%d" v s.Stmt.id
+    | _ -> ());
+    List.iter (check_operand ~indices) (Stmt.positions s);
+    (* Type homogeneity: all typed positions must agree. *)
+    let tys = List.filter_map (operand_ty ~indices) (Stmt.positions s) in
+    match tys with
+    | [] -> ()
+    | ty :: rest ->
+        if not (List.for_all (fun ty' -> ty' = ty) rest) then
+          fail "statement S%d mixes scalar types" s.Stmt.id
+  in
+  let check_bound ~indices which a =
+    List.iter
+      (fun v ->
+        if not (List.mem v indices) then
+          fail "%s bound uses unbound variable %s" which v)
+      (Affine.vars a)
+  in
+  let rec check_items ~indices items =
+    List.iter
+      (function
+        | Stmts b ->
+            (* Block.make already rejects duplicate ids; re-validate for
+               blocks built by record syntax. *)
+            ignore (Block.make ~label:b.Block.label b.Block.stmts);
+            List.iter (check_stmt ~indices) b.Block.stmts
+        | Loop l ->
+            if l.step <= 0 then fail "loop %s has non-positive step" l.index;
+            if List.mem l.index indices then
+              fail "loop index %s shadows an enclosing index" l.index;
+            if Env.is_declared t.env l.index then
+              fail "loop index %s collides with a declaration" l.index;
+            check_bound ~indices "lower" l.lo;
+            check_bound ~indices "upper" l.hi;
+            check_items ~indices:(l.index :: indices) l.body)
+      items
+  in
+  match check_items ~indices:[] t.body with
+  | () -> Ok ()
+  | exception Bad msg -> err "%s: %s" t.name msg
+  | exception Invalid_argument msg -> err "%s: %s" t.name msg
+
+(* -- printing ------------------------------------------------------ *)
+
+(* Programs print as valid kernel-language source (modulo the header
+   line), so dumps can be re-parsed; statement ids are Block.pp's
+   concern. *)
+let rec pp_items ppf items =
+  List.iter
+    (function
+      | Stmts b ->
+          List.iter
+            (fun (s : Stmt.t) ->
+              Format.fprintf ppf "%a = %a;@," Operand.pp s.Stmt.lhs Expr.pp s.Stmt.rhs)
+            b.Block.stmts
+      | Loop l ->
+          Format.fprintf ppf "@[<v 2>for %s = %a to %a step %d {@," l.index
+            Affine.pp l.lo Affine.pp l.hi l.step;
+          pp_items ppf l.body;
+          Format.fprintf ppf "@]}@,")
+    items
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s@,%a@,@[<v>%a@]@]" t.name Env.pp t.env
+    pp_items t.body
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,46 @@
+(** Whole kernel programs: declarations plus a body of loops and basic
+    blocks.
+
+    Loops carry affine bounds; bodies nest arbitrarily.  The SLP
+    pipeline rewrites each basic block in place (after unrolling) and
+    leaves the loop structure intact for the simulator to iterate. *)
+
+type item = Stmts of Block.t | Loop of loop
+
+and loop = {
+  index : string;  (** Loop index variable, bound within [body]. *)
+  lo : Affine.t;  (** Inclusive lower bound. *)
+  hi : Affine.t;  (** Exclusive upper bound. *)
+  step : int;  (** Positive step. *)
+  body : item list;
+}
+
+type t = { name : string; env : Env.t; body : item list }
+
+val loop : ?step:int -> string -> lo:Affine.t -> hi:Affine.t -> item list -> item
+(** Raises [Invalid_argument] when [step <= 0]. *)
+
+val make : name:string -> env:Env.t -> item list -> t
+
+val blocks : t -> Block.t list
+(** Every basic block, outermost-first, in program order. *)
+
+val map_blocks : t -> f:(Block.t -> Block.t) -> t
+
+val stmt_count : t -> int
+(** Static statement count over all blocks. *)
+
+val trip_count : loop -> int option
+(** Number of iterations when both bounds are constants:
+    [ceil((hi-lo)/step)], never negative. *)
+
+val validate : t -> (unit, string) result
+(** Checks: all names declared with the right kind, subscript ranks
+    match declarations, every subscript variable is an enclosing loop
+    index, every statement is type-homogeneous (all non-constant
+    operands share one scalar type), loop indices are not assigned, and
+    statement ids are unique per block. *)
+
+val max_loop_depth : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

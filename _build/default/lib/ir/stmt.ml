@@ -1,0 +1,59 @@
+type t = { id : int; lhs : Operand.t; rhs : Expr.t }
+
+let make ~id ~lhs ~rhs =
+  (match lhs with
+  | Operand.Const _ -> invalid_arg "Stmt.make: constant store target"
+  | Operand.Scalar _ | Operand.Elem _ -> ());
+  { id; lhs; rhs }
+
+let positions s = s.lhs :: Expr.leaves s.rhs
+let position_count s = List.length (positions s)
+
+let same_lhs_kind a b =
+  match (a.lhs, b.lhs) with
+  | Operand.Scalar _, Operand.Scalar _ | Operand.Elem _, Operand.Elem _ -> true
+  | (Operand.Scalar _ | Operand.Elem _ | Operand.Const _), _ -> false
+
+let isomorphic ~env a b =
+  same_lhs_kind a b
+  && Expr.same_shape a.rhs b.rhs
+  &&
+  let pa = positions a and pb = positions b in
+  List.for_all2 (Env.compatible_ty env) pa pb
+
+let def s = s.lhs
+
+let uses s =
+  List.filter
+    (function Operand.Const _ -> false | Operand.Scalar _ | Operand.Elem _ -> true)
+    (Expr.leaves s.rhs)
+
+let depends earlier later =
+  let raw = List.exists (Operand.may_alias (def earlier)) (uses later) in
+  let war = List.exists (Operand.may_alias (def later)) (uses earlier) in
+  let waw = Operand.may_alias (def earlier) (def later) in
+  raw || war || waw
+
+let op_count s = Expr.op_count s.rhs
+
+let subst_index s v by =
+  {
+    s with
+    lhs = Operand.subst_index s.lhs v by;
+    rhs = Expr.map_leaves (fun op -> Operand.subst_index op v by) s.rhs;
+  }
+
+let rename_scalar s ~old_name ~new_name =
+  let ren op =
+    match op with
+    | Operand.Scalar v when String.equal v old_name -> Operand.Scalar new_name
+    | Operand.Const _ | Operand.Scalar _ | Operand.Elem _ -> op
+  in
+  { s with lhs = ren s.lhs; rhs = Expr.map_leaves ren s.rhs }
+
+let equal a b = a.id = b.id && Operand.equal a.lhs b.lhs && Expr.equal a.rhs b.rhs
+
+let pp ppf s =
+  Format.fprintf ppf "S%d: %a = %a" s.id Operand.pp s.lhs Expr.pp s.rhs
+
+let to_string s = Format.asprintf "%a" pp s

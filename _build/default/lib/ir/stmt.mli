@@ -1,0 +1,39 @@
+(** Statements of the kernel IR: [lhs := rhs].
+
+    A statement's operand *positions* are numbered with the store
+    target at position 0 followed by the rhs leaves left-to-right;
+    variable packs (paper §4.2.1) take one operand from the same
+    position of each statement in a candidate group. *)
+
+type t = { id : int; lhs : Operand.t; rhs : Expr.t }
+(** [id] is unique within a basic block and names the statement in
+    every SLP graph.  [lhs] must be [Scalar] or [Elem], never
+    [Const]. *)
+
+val make : id:int -> lhs:Operand.t -> rhs:Expr.t -> t
+(** Raises [Invalid_argument] if [lhs] is a constant. *)
+
+val positions : t -> Operand.t list
+(** Position 0 = lhs; positions 1.. = rhs leaves. *)
+
+val position_count : t -> int
+
+val isomorphic : env:Env.t -> t -> t -> bool
+(** Same store-target kind (both memory or both scalar), same operator
+    skeleton, and compatible data type at every corresponding position
+    (paper §4.1 constraint 3); constants unify with any type. *)
+
+val def : t -> Operand.t
+val uses : t -> Operand.t list
+(** Rhs leaf operands that read storage (constants excluded). *)
+
+val depends : t -> t -> bool
+(** [depends earlier later]: RAW, WAR or WAW dependence assuming
+    [earlier] executes first. *)
+
+val op_count : t -> int
+val subst_index : t -> string -> Affine.t -> t
+val rename_scalar : t -> old_name:string -> new_name:string -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

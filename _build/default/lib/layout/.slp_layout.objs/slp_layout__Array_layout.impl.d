@@ -1,0 +1,1 @@
+lib/layout/array_layout.ml: Affine Block Env Expr Hashtbl List Operand Option Printf Program Slp_core Slp_ir Slp_vm Stmt String

@@ -1,0 +1,1 @@
+lib/layout/array_layout.mli: Slp_core Slp_ir Slp_vm

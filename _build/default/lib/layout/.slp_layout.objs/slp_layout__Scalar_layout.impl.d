@@ -1,0 +1,1 @@
+lib/layout/scalar_layout.ml: Block Env Hashtbl List Operand Option Slp_core Slp_ir Stmt String

@@ -1,0 +1,1 @@
+lib/layout/scalar_layout.mli: Env Slp_core Slp_ir

@@ -1,0 +1,1 @@
+lib/layout/transform.ml: Array List Mat Rat Slp_util

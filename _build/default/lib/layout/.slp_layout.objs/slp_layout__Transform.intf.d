@@ -1,0 +1,1 @@
+lib/layout/transform.mli: Mat Rat Slp_util

@@ -1,0 +1,68 @@
+(** Data layout optimization for array reference superwords (paper
+    §5.2).
+
+    A read-only, intra-array source pack whose lanes access
+    [A[a·i + b_k]] in the innermost loop is mapped/replicated onto a
+    fresh array [R] holding the accessed elements in an interleaved
+    strided layout — lane [k] of iteration [t] at [R[L·t + k]]
+    (Figure 14, Equation 4) — so the pack becomes one aligned vector
+    load.  Replication is legal only for read-only references and may
+    duplicate data; packs larger than [max_replica_elems] are skipped
+    ("in case the input data sizes are too large ... we can skip the
+    layout transformation").
+
+    This module implements the executable one-dimensional
+    innermost-loop case; the general multi-dimensional mapping
+    functions (Equations 5-8) live in {!Transform} and are exercised
+    analytically. *)
+
+
+type replica = {
+  source : string;
+  name : string;
+  lanes : int;
+  stride : int;  (** Original innermost stride [a]. *)
+  lane_offsets : int list;  (** [b_k] per lane. *)
+  loop_index : string;
+  lo : int;
+  hi : int;
+  step : int;
+  coeff : int;  (** Rewritten stride [c = lanes / step]. *)
+  size : int;  (** Elements of the strided dimension. *)
+  outer_dim : int option;
+      (** Rank-2 sources: size of the preserved leading dimension. *)
+  outer_sub : Slp_ir.Affine.t option;
+      (** Rank-2 sources: the lane-invariant leading subscript. *)
+}
+
+type result = {
+  plan : Slp_core.Driver.program_plan;  (** Rewritten program and plans. *)
+  setup : Slp_vm.Visa.item list;  (** Replication loops, run once. *)
+  replicas : replica list;
+}
+
+val apply : ?max_replica_elems:int -> Slp_core.Driver.program_plan -> result
+(** Default [max_replica_elems] is 4M elements. *)
+
+val replicable_pack :
+  env:Slp_ir.Env.t ->
+  written:(string -> bool) ->
+  innermost:string option ->
+  Slp_ir.Operand.t list ->
+  bool
+(** Structural test (without bounds/profitability): could this ordered
+    pack be mapped onto a strided replica?  Used by the Global+Layout
+    cost gate to anticipate stage 2 ("layout-aware" profitability). *)
+
+val written_set : Slp_ir.Program.t -> string -> bool
+(** Arrays stored to anywhere in the program. *)
+
+val amortizes : lanes:int -> repeat:int -> bool
+(** The replication profitability rule: copying costs roughly a cold
+    miss per element once, each re-run of the loop saves a gather
+    minus a vector load per iteration; [repeat] is the product of the
+    enclosing loops' trip counts. *)
+
+val outer_repeat_of_block : Slp_ir.Program.t -> string -> int
+(** Product of the trip counts of every loop enclosing the named block
+    except the innermost (1 when unknown). *)

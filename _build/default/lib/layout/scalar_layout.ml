@@ -1,0 +1,105 @@
+open Slp_ir
+module Sched = Slp_core.Schedule
+module Driver = Slp_core.Driver
+
+(* Ordered packs (every position) of every superword statement in every
+   vectorized block. *)
+let all_ordered_packs (plan : Driver.program_plan) =
+  List.concat_map
+    (fun (p : Driver.block_plan) ->
+      match p.Driver.schedule with
+      | None -> []
+      | Some sched ->
+          List.concat_map
+            (function
+              | Sched.Single _ -> []
+              | Sched.Superword order ->
+                  let stmts = List.map (Block.find p.Driver.block) order in
+                  let npos = Stmt.position_count (List.hd stmts) in
+                  List.init npos (fun pos ->
+                      List.map (fun s -> List.nth (Stmt.positions s) pos) stmts))
+            sched.Sched.items)
+    plan.Driver.plans
+
+let scalar_lanes ~env ordered =
+  let names =
+    List.map
+      (function
+        | Operand.Scalar v when Env.scalar_ty env v <> None -> Some v
+        | Operand.Const _ | Operand.Scalar _ | Operand.Elem _ -> None)
+      ordered
+  in
+  if List.for_all Option.is_some names && List.length names >= 2 then
+    Some (List.map Option.get names)
+  else None
+
+let collect_scalar_superwords ~env (plan : Driver.program_plan) =
+  let superwords = List.filter_map (scalar_lanes ~env) (all_ordered_packs plan) in
+  (* Group by variable multiset; count occurrences; keep the dominant
+     lane order. *)
+  let by_multiset = Hashtbl.create 16 in
+  List.iter
+    (fun names ->
+      let key = List.sort String.compare names in
+      let existing = Option.value (Hashtbl.find_opt by_multiset key) ~default:[] in
+      Hashtbl.replace by_multiset key (names :: existing))
+    superwords;
+  Hashtbl.fold
+    (fun _ orderings acc ->
+      let count = List.length orderings in
+      (* Dominant ordering: the most frequent; ties broken towards the
+         lexicographically smallest for determinism. *)
+      let tally = Hashtbl.create 4 in
+      List.iter
+        (fun o ->
+          Hashtbl.replace tally o
+            (1 + Option.value (Hashtbl.find_opt tally o) ~default:0))
+        orderings;
+      let dominant =
+        Hashtbl.fold
+          (fun o n best ->
+            match best with
+            | Some (bn, bo) when bn > n || (bn = n && compare bo o <= 0) -> best
+            | _ -> Some (n, o))
+          tally None
+        |> Option.get |> snd
+      in
+      (dominant, count) :: acc)
+    by_multiset []
+  |> List.sort (fun (oa, ca) (ob, cb) ->
+         if ca <> cb then compare cb ca else compare oa ob)
+
+type placement = {
+  offsets : (string * int) list;
+  placed_superwords : string list list;
+  skipped : int;
+}
+
+let place ~env plan =
+  let ranked = collect_scalar_superwords ~env plan in
+  let assigned = Hashtbl.create 16 in
+  let next = ref 0 in
+  let offsets = ref [] in
+  let placed = ref [] in
+  let skipped = ref 0 in
+  List.iter
+    (fun (names, _count) ->
+      if List.exists (Hashtbl.mem assigned) names then incr skipped
+      else begin
+        let lanes = List.length names in
+        let align = 8 * lanes in
+        let base = (!next + align - 1) / align * align in
+        List.iteri
+          (fun k v ->
+            Hashtbl.replace assigned v ();
+            offsets := (v, base + (8 * k)) :: !offsets)
+          names;
+        next := base + (8 * lanes);
+        placed := names :: !placed
+      end)
+    ranked;
+  {
+    offsets = List.rev !offsets;
+    placed_superwords = List.rev !placed;
+    skipped = !skipped;
+  }

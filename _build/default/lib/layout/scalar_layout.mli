@@ -1,0 +1,25 @@
+(** Data layout optimization for scalar superwords (paper §5.1).
+
+    Scalar superwords produced by stage 1 are sorted by occurrence;
+    the most frequent ones get consecutive aligned 8-byte slots in the
+    scalar segment, in lane order, so that packing or unpacking them
+    costs one vector memory operation instead of per-lane register
+    moves.  Superwords sharing a variable with an already-placed one
+    are skipped ("those with higher access frequencies are handled
+    with priority"). *)
+
+open Slp_ir
+
+type placement = {
+  offsets : (string * int) list;  (** Byte offsets in the scalar segment. *)
+  placed_superwords : string list list;  (** Lane-ordered names, by priority. *)
+  skipped : int;  (** Superwords skipped due to conflicts. *)
+}
+
+val collect_scalar_superwords :
+  env:Env.t -> Slp_core.Driver.program_plan -> (string list * int) list
+(** All-scalar superwords (lane-ordered names) with occurrence counts,
+    most frequent first; orderings of the same variable multiset are
+    merged onto the dominant ordering. *)
+
+val place : env:Env.t -> Slp_core.Driver.program_plan -> placement

@@ -1,0 +1,63 @@
+open Slp_util
+
+let spatial_transform ~l_default ~l_opt =
+  (* Ldefault·M = Lopt  =>  M = Ldefault^{-1}·Lopt *)
+  match Mat.inverse l_default with
+  | None -> None
+  | Some inv -> Some (Mat.mul inv l_opt)
+
+let transformed_access ~m ~q ~offset = (Mat.mul m q, Mat.mul_vec m offset)
+
+let mapping_1d ~a ~b ~lanes ~position d =
+  if a = 0 then None
+  else begin
+    let num = d - b in
+    if num mod a <> 0 then None
+    else begin
+      let t = num / a in
+      if t < 0 then None else Some ((lanes * t) + position)
+    end
+  end
+
+let mapping_nd ~q1 ~offset ~lanes ~position d =
+  let n = Mat.rows q1 in
+  if Array.length d <> n || Array.length offset <> n || n < 2 then None
+  else begin
+    (* Equation 6-7: recover the outer iteration sub-vector i' from
+       d' = Q1'·i' + O', i.e. i' = Q1'^{-1}·(d' - O'). *)
+    let q1' = Mat.drop_last_row_col q1 in
+    match Mat.inverse q1' with
+    | None -> None
+    | Some inv ->
+        let d' =
+          Array.init (n - 1) (fun k -> Rat.sub (Rat.of_int d.(k)) offset.(k))
+        in
+        let i' = Mat.mul_vec inv d' in
+        if not (Array.for_all Rat.is_integer i') then None
+        else begin
+          (* Equation 8: the innermost coordinate.  The last dimension
+             of d satisfies d_n = q_{n,1..n-1}·i' + q_{n,n}·i_n + O_n;
+             solve for the innermost iteration count i_n. *)
+          let q_last_row = Mat.row q1 (n - 1) in
+          let partial =
+            Array.to_list (Array.sub q_last_row 0 (n - 1))
+            |> List.mapi (fun k c -> Rat.mul c i'.(k))
+            |> List.fold_left Rat.add Rat.zero
+          in
+          let q_nn = q_last_row.(n - 1) in
+          if Rat.is_zero q_nn then None
+          else begin
+            let i_n =
+              Rat.div
+                (Rat.sub (Rat.sub (Rat.of_int d.(n - 1)) offset.(n - 1)) partial)
+                q_nn
+            in
+            if not (Rat.is_integer i_n) then None
+            else begin
+              let f' = Array.map Rat.to_int_exn i' in
+              let inner = (lanes * Rat.to_int_exn i_n) + position in
+              Some (Array.append f' [| inner |])
+            end
+          end
+        end
+  end

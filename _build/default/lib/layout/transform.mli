@@ -1,0 +1,46 @@
+(** The general affine transformation and mapping/replication
+    machinery of paper §5.2 (Equations 1-8).
+
+    Given a reference [r = Q·i + O] (Equation 1):
+
+    - {!spatial_transform} solves [Ldefault·M = Lopt] (Equation 2) for
+      a layout transformation matrix M and produces the transformed
+      access [r1 = Q1·i + O1] with [Q1 = M·Q], [O1 = M·O] (Equation 3);
+    - {!mapping_1d} is the one-dimensional mapping function [f(d) =
+      (d - b)/a · L + p] (Equation 4);
+    - {!mapping_nd} is the general N-dimensional mapping of Equations
+      6-8: invert the truncated access matrix Q1' to recover the
+      iteration sub-vector, then position the element at stride L,
+      offset p, in the innermost dimension of the new array.
+
+    {!Array_layout} executes the 1-D case end-to-end; these functions
+    also serve multi-dimensional analyses and are exercised by unit
+    tests against the paper's examples. *)
+
+open Slp_util
+
+val spatial_transform :
+  l_default:Mat.t -> l_opt:Mat.t -> Mat.t option
+(** Solve [Ldefault·M = Lopt] for M; [None] when [Ldefault] is
+    singular. *)
+
+val transformed_access :
+  m:Mat.t -> q:Mat.t -> offset:Rat.t array -> Mat.t * Rat.t array
+(** Equation 3: [(Q1, O1) = (M·Q, M·O)]. *)
+
+val mapping_1d : a:int -> b:int -> lanes:int -> position:int -> int -> int option
+(** [mapping_1d ~a ~b ~lanes ~position d] = [L·(d-b)/a + p] when [a]
+    divides [d-b] (the element is accessed), [None] otherwise. *)
+
+val mapping_nd :
+  q1:Mat.t ->
+  offset:Rat.t array ->
+  lanes:int ->
+  position:int ->
+  int array ->
+  int array option
+(** Equations 6-8: map data index [d] of the transformed array to its
+    index in the replicated array [B].  Requires a square nonsingular
+    truncated matrix [Q1'] (drop last row/column of [q1]); returns
+    [None] when the element is not accessed by the reference or the
+    matrix is singular. *)

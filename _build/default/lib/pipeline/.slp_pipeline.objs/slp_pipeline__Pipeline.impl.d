@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: List Program Slp_analysis Slp_baseline Slp_codegen Slp_core Slp_ir Slp_layout Slp_machine Slp_transform Slp_vm Sys

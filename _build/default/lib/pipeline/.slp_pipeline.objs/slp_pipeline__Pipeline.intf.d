@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Program Slp_codegen Slp_core Slp_ir Slp_machine Slp_vm

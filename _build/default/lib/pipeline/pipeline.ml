@@ -1,0 +1,236 @@
+open Slp_ir
+module M = Slp_machine.Machine
+module Config = Slp_core.Config
+module Driver = Slp_core.Driver
+module Cost = Slp_core.Cost
+
+type scheme = Scalar | Native | Slp | Global | Global_layout
+
+let scheme_name = function
+  | Scalar -> "Scalar"
+  | Native -> "Native"
+  | Slp -> "SLP"
+  | Global -> "Global"
+  | Global_layout -> "Global+Layout"
+
+let all_schemes = [ Scalar; Native; Slp; Global; Global_layout ]
+
+type compiled = {
+  scheme : scheme;
+  machine : M.t;
+  reference : Program.t;
+  vector : Slp_vm.Visa.program option;
+  scalar_offsets : (string * int) list;
+  plan : Driver.program_plan option;
+  compile_seconds : float;
+  replica_count : int;
+  unroll_factor : int;
+  spill_stats : Slp_codegen.Regalloc.stats;
+}
+
+(* The gate should predict the simulator: derive its per-instruction
+   costs from the machine model, with memory operations priced at an
+   L1-hit (the common case inside a vectorizable loop). *)
+let params_of_machine (m : M.t) =
+  let c = m.M.costs in
+  let l1 = float_of_int m.M.l1.M.latency in
+  {
+    Cost.scalar_op = float_of_int c.M.scalar_op;
+    vector_op = float_of_int c.M.vector_op;
+    divide = float_of_int c.M.divide;
+    square_root = float_of_int c.M.square_root;
+    scalar_load = float_of_int c.M.load_issue +. l1;
+    scalar_store = float_of_int c.M.store_issue +. l1;
+    vector_load = float_of_int c.M.load_issue +. l1;
+    vector_store = float_of_int c.M.store_issue +. l1;
+    unaligned_extra = 1.0;
+    insert = float_of_int c.M.insert;
+    extract = float_of_int c.M.extract;
+    permute = float_of_int c.M.permute;
+    broadcast = float_of_int c.M.broadcast;
+  }
+
+let config_of_machine (m : M.t) =
+  Config.make ~vector_registers:m.M.vector_registers ~datapath_bits:m.M.simd_bits ()
+
+let query_for ?(layout_aware = false) ~config (prog : Program.t) =
+  let env = prog.Program.env in
+  let lanes = max 2 (config.Config.datapath_bits / 64) in
+  let liveness = Slp_analysis.Liveness.compute prog in
+  let written = Slp_layout.Array_layout.written_set prog in
+  fun ~nest (block : Slp_ir.Block.t) ->
+    let q = Cost.default_query ~env ~nest ~lanes in
+    let innermost = List.nth_opt (List.rev nest) 0 in
+    let repeat =
+      Slp_layout.Array_layout.outer_repeat_of_block prog block.Slp_ir.Block.label
+    in
+    let will_replicate ops =
+      Slp_layout.Array_layout.replicable_pack ~env ~written ~innermost ops
+      && Slp_layout.Array_layout.amortizes ~lanes:(List.length ops) ~repeat
+    in
+    let contiguous ops = q.Cost.contiguous ops || (layout_aware && will_replicate ops) in
+    let aligned ops =
+      q.Cost.aligned ops
+      || (layout_aware && (not (q.Cost.contiguous ops)) && will_replicate ops)
+    in
+    {
+      Cost.contiguous = (if layout_aware then contiguous else q.Cost.contiguous);
+      aligned = (if layout_aware then aligned else q.Cost.aligned);
+      scalar_live_out = Slp_analysis.Liveness.demanded liveness block;
+    }
+
+let plan_with f ~config ~params (prog : Program.t) =
+  let query_of = query_for ~config prog in
+  let env = prog.Program.env in
+  let plans =
+    List.map
+      (fun (block, nest) ->
+        f ~params ~env ~config ~query:(query_of ~nest block) ~nest block)
+      (Driver.blocks_with_nest prog)
+  in
+  { Driver.program = prog; plans }
+
+let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
+    ~scheme ~machine (prog : Program.t) =
+  let unroll_factor =
+    match unroll with Some u -> u | None -> max 1 (machine.M.simd_bits / 64)
+  in
+  let config = config_of_machine machine in
+  let params = params_of_machine machine in
+  let prepared =
+    Slp_transform.Simplify.fold_program prog
+    |> Slp_transform.Unroll.program ~factor:unroll_factor
+  in
+  let t0 = Sys.time () in
+  let vector, plan, scalar_offsets, replica_count =
+    match scheme with
+    | Scalar -> (None, None, [], 0)
+    | Native ->
+        let plan =
+          plan_with
+            (fun ~params ~env ~config ~query ~nest b ->
+              Slp_baseline.Native.plan_block ~params ~env ~config ~query ~nest b)
+            ~config ~params prepared
+        in
+        (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
+    | Slp ->
+        let plan =
+          plan_with
+            (fun ~params ~env ~config ~query ~nest b ->
+              Slp_baseline.Larsen.plan_block ~params ~env ~config ~query ~nest b)
+            ~config ~params prepared
+        in
+        (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
+    | Global ->
+        let query_of = query_for ~config prepared in
+        let plan =
+          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+            ~query_of:(fun ~nest block -> query_of ~nest block)
+            ~config prepared
+        in
+        ( Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan),
+          Some plan, [], 0 )
+    | Global_layout ->
+        (* Stage 1 planned under a layout-aware cost gate, then stage 2
+           applied; the analytic amortisation rule cannot see cache
+           footprint effects, so the final arbitration is measured: the
+           laid-out variant must actually beat the plain Global variant
+           on the simulator, else layout is skipped (the paper:
+           "the benefit of layout optimization has to outweigh the
+           cost; otherwise we skip the data optimization phase"). *)
+        let plain_query = query_for ~config prepared in
+        let plain_plan =
+          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+            ~query_of:(fun ~nest block -> plain_query ~nest block)
+            ~config prepared
+        in
+        let plain_vec = Slp_codegen.Lower.lower ~machine plain_plan in
+        let query_of = query_for ~layout_aware:true ~config prepared in
+        let plan =
+          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+            ~query_of:(fun ~nest block -> query_of ~nest block)
+            ~config prepared
+        in
+        let placement = Slp_layout.Scalar_layout.place ~env:prepared.Program.env plan in
+        let arr = Slp_layout.Array_layout.apply plan in
+        let laid_vec =
+          Slp_codegen.Lower.lower ~machine
+            ~scalar_offsets:placement.Slp_layout.Scalar_layout.offsets
+            ~setup:arr.Slp_layout.Array_layout.setup arr.Slp_layout.Array_layout.plan
+        in
+        let probe vec offsets =
+          let memory =
+            Slp_vm.Memory.create ~scalar_layout:offsets ~env:vec.Slp_vm.Visa.env ()
+          in
+          Slp_vm.Memory.init_arrays memory ~seed:42;
+          let r = Slp_vm.Vector_exec.run ~memory ~machine vec in
+          Slp_vm.Counters.total_cycles r.Slp_vm.Vector_exec.counters
+        in
+        let offsets = placement.Slp_layout.Scalar_layout.offsets in
+        if
+          List.length arr.Slp_layout.Array_layout.replicas = 0 && offsets = []
+          || probe laid_vec offsets < probe plain_vec []
+        then
+          ( Some laid_vec,
+            Some arr.Slp_layout.Array_layout.plan,
+            offsets,
+            List.length arr.Slp_layout.Array_layout.replicas )
+        else (Some plain_vec, Some plain_plan, [], 0)
+  in
+  (* Post-processing: map virtual vector registers onto the machine's
+     register file (paper Figure 3's register allocation box). *)
+  let vector, spill_stats =
+    match vector with
+    | None -> (None, Slp_codegen.Regalloc.zero_stats)
+    | Some v ->
+        let v', st =
+          Slp_codegen.Regalloc.program ~registers:machine.M.vector_registers v
+        in
+        (Some v', st)
+  in
+  let compile_seconds = Sys.time () -. t0 in
+  {
+    scheme;
+    machine;
+    reference = prepared;
+    vector;
+    scalar_offsets;
+    plan;
+    compile_seconds;
+    replica_count;
+    unroll_factor;
+    spill_stats;
+  }
+
+type exec_result = { counters : Slp_vm.Counters.t; correct : bool }
+
+let execute ?(cores = 1) ?(seed = 42) ?(check = true) (c : compiled) =
+  match c.vector with
+  | None ->
+      let r = Slp_vm.Scalar_exec.run ~cores ~seed ~machine:c.machine c.reference in
+      { counters = r.Slp_vm.Scalar_exec.counters; correct = true }
+  | Some vprog ->
+      let memory = Slp_vm.Memory.create ~scalar_layout:c.scalar_offsets ~env:vprog.Slp_vm.Visa.env () in
+      Slp_vm.Memory.init_arrays memory ~seed;
+      let r = Slp_vm.Vector_exec.run ~cores ~seed ~memory ~machine:c.machine vprog in
+      let correct =
+        if not check then true
+        else begin
+          let ref_run = Slp_vm.Scalar_exec.run ~cores:1 ~seed ~machine:c.machine c.reference in
+          Slp_vm.Memory.same_contents ref_run.Slp_vm.Scalar_exec.memory
+            r.Slp_vm.Vector_exec.memory
+        end
+      in
+      { counters = r.Slp_vm.Vector_exec.counters; correct }
+
+let cycles_of ?(cores = 1) ?(seed = 42) (c : compiled) =
+  let r = execute ~cores ~seed ~check:false c in
+  Slp_vm.Counters.total_cycles r.counters
+
+let speedup_over_scalar ?(cores = 1) ?(seed = 42) (c : compiled) =
+  let scalar = { c with scheme = Scalar; vector = None } in
+  let s = cycles_of ~cores ~seed scalar in
+  let v = cycles_of ~cores ~seed c in
+  s /. v
+
+let reduction_over_scalar ?cores ?seed c = 1.0 -. (1.0 /. speedup_over_scalar ?cores ?seed c)

@@ -1,0 +1,67 @@
+(** End-to-end compilation pipelines — the five schemes compared in the
+    paper's evaluation.
+
+    - [Scalar]: no SLP optimization (the normalisation baseline);
+    - [Native]: the conservative contiguous-only vectorizer;
+    - [Slp]: Larsen & Amarasinghe PLDI 2000;
+    - [Global]: the paper's superword statement generation (stage 1);
+    - [Global_layout]: stage 1 plus the data layout optimization
+      (stage 2).
+
+    Every scheme shares the same pre-processing (constant folding +
+    loop unrolling), code generator, and simulator, so measured
+    differences come only from grouping/scheduling/layout decisions —
+    mirroring the paper's methodology (§7.1: "both the implementations
+    use exactly the same pre-processing steps"). *)
+
+open Slp_ir
+
+type scheme = Scalar | Native | Slp | Global | Global_layout
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+
+type compiled = {
+  scheme : scheme;
+  machine : Slp_machine.Machine.t;
+  reference : Program.t;  (** Unrolled + folded program (scalar semantics). *)
+  vector : Slp_vm.Visa.program option;  (** [None] for [Scalar]. *)
+  scalar_offsets : (string * int) list;
+  plan : Slp_core.Driver.program_plan option;
+  compile_seconds : float;  (** Time spent inside the optimizer. *)
+  replica_count : int;
+  unroll_factor : int;
+  spill_stats : Slp_codegen.Regalloc.stats;
+      (** Register-allocation outcome of the post-processing pass. *)
+}
+
+val compile :
+  ?unroll:int ->
+  ?grouping_options:Slp_core.Grouping.options ->
+  ?schedule_options:Slp_core.Schedule.options ->
+  ?register_reuse:bool ->
+  scheme:scheme ->
+  machine:Slp_machine.Machine.t ->
+  Program.t ->
+  compiled
+(** Default [unroll]: the machine's f64 lane count ([simd_bits/64]),
+    the factor that exactly fills the datapath for double kernels and
+    half-fills it for floats. *)
+
+type exec_result = {
+  counters : Slp_vm.Counters.t;
+  correct : bool;
+      (** Vectorized memory state matches scalar execution (always
+          true for [Scalar]). *)
+}
+
+val execute : ?cores:int -> ?seed:int -> ?check:bool -> compiled -> exec_result
+(** [check] (default true) runs the scalar reference and compares
+    array contents; disable inside benchmark loops. *)
+
+val speedup_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
+(** [scalar_cycles / scheme_cycles] on the same input. *)
+
+val reduction_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
+(** Execution-time reduction [1 - scheme/scalar] — the paper's
+    y-axis. *)

@@ -1,0 +1,1 @@
+lib/slp_core/candidate.ml: Array Config Format List Pack Slp_analysis Units

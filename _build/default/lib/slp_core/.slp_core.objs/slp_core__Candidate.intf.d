@@ -1,0 +1,1 @@
+lib/slp_core/candidate.mli: Config Env Format Pack Slp_ir Units

@@ -1,0 +1,1 @@
+lib/slp_core/config.ml: Format Slp_ir

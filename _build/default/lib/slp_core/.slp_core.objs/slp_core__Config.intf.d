@@ -1,0 +1,1 @@
+lib/slp_core/config.mli: Format Slp_ir

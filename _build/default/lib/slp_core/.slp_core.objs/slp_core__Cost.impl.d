@@ -1,0 +1,1 @@
+lib/slp_core/cost.ml: Array Block Either Expr Hashtbl List Live Operand Pack Schedule Slp_analysis Slp_ir Stmt Types

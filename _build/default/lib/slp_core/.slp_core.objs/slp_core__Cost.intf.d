@@ -1,0 +1,1 @@
+lib/slp_core/cost.mli: Block Env Operand Schedule Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/driver.ml: Block Config Cost Grouping List Printf Program Schedule Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/driver.mli: Block Config Cost Env Grouping Program Schedule Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/groupgraph.ml: Candidate List Pack Packgraph Slp_util

@@ -1,0 +1,1 @@
+lib/slp_core/groupgraph.mli: Candidate Pack Packgraph

@@ -1,0 +1,1 @@
+lib/slp_core/grouping.ml: Block Candidate Groupgraph Hashtbl List Packgraph Slp_ir Stmt Units

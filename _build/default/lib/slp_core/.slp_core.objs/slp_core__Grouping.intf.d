@@ -1,0 +1,1 @@
+lib/slp_core/grouping.mli: Block Config Env Groupgraph Slp_ir

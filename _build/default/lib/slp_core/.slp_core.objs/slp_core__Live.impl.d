@@ -1,0 +1,1 @@
+lib/slp_core/live.ml: List Operand Pack Slp_ir

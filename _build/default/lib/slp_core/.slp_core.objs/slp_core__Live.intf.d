@@ -1,0 +1,1 @@
+lib/slp_core/live.mli: Operand Pack Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/pack.ml: Format List Map Operand Set Slp_ir String

@@ -1,0 +1,1 @@
+lib/slp_core/pack.mli: Format Map Operand Set Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/packgraph.ml: Candidate Format Hashtbl List Pack Slp_util

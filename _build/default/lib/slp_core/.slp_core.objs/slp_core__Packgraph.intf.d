@@ -1,0 +1,1 @@
+lib/slp_core/packgraph.mli: Candidate Format Pack

@@ -1,0 +1,1 @@
+lib/slp_core/schedule.ml: Affine Block Config Format Grouping Hashtbl List Live Operand Option Pack Slp_ir Slp_util Stmt String

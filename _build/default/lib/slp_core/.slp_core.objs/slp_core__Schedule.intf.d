@@ -1,0 +1,1 @@
+lib/slp_core/schedule.mli: Block Config Env Format Grouping Slp_ir

@@ -1,0 +1,1 @@
+lib/slp_core/units.ml: Array Block Env Expr Format Hashtbl List Operand Pack Slp_ir Slp_util Stmt String Types

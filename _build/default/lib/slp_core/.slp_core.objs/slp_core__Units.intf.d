@@ -1,0 +1,1 @@
+lib/slp_core/units.mli: Block Env Expr Format Pack Slp_ir Stmt Types

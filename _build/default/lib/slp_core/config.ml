@@ -1,0 +1,15 @@
+type t = { datapath_bits : int; vector_registers : int }
+
+let make ?(vector_registers = 16) ~datapath_bits () =
+  if datapath_bits <= 0 || datapath_bits mod 64 <> 0 then
+    invalid_arg "Config.make: datapath_bits must be a positive multiple of 64";
+  if vector_registers < 2 then
+    invalid_arg "Config.make: vector_registers must be at least 2";
+  { datapath_bits; vector_registers }
+
+let default = make ~datapath_bits:128 ()
+
+let max_lanes t ty = max 1 (t.datapath_bits / Slp_ir.Types.bits ty)
+
+let pp ppf t =
+  Format.fprintf ppf "datapath=%d bits, vregs=%d" t.datapath_bits t.vector_registers

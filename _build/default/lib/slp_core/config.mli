@@ -1,0 +1,23 @@
+(** SLP optimizer configuration.
+
+    The datapath width bounds superword sizes (paper §4.1 constraint 4)
+    and drives the iterative grouping rounds (§4.2.2); the vector
+    register count bounds the live superword set used during
+    scheduling. *)
+
+type t = {
+  datapath_bits : int;  (** SIMD width: 128 for SSE2, up to 1024 for Fig 18. *)
+  vector_registers : int;  (** Size of the vector register file (16 for SSE2). *)
+}
+
+val default : t
+(** 128-bit datapath, 16 vector registers. *)
+
+val make : ?vector_registers:int -> datapath_bits:int -> unit -> t
+(** Raises [Invalid_argument] unless [datapath_bits] is a positive
+    multiple of 64 and [vector_registers >= 2]. *)
+
+val max_lanes : t -> Slp_ir.Types.scalar_ty -> int
+(** How many elements of a type fit the datapath (at least 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+open Slp_ir
+
+type block_plan = {
+  block : Block.t;
+  nest : string list;
+  grouping : Grouping.result;
+  schedule : Schedule.t option;
+  estimate : Cost.estimate option;
+}
+
+let blocks_with_nest (prog : Program.t) =
+  let rec go nest items =
+    List.concat_map
+      (function
+        | Program.Stmts b -> [ (b, List.rev nest) ]
+        | Program.Loop l -> go (l.Program.index :: nest) l.Program.body)
+      items
+  in
+  go [] prog.Program.body
+
+(* One grouping/scheduling/estimation attempt. *)
+let attempt ~options ~schedule_options ?params ~env ~config ~query ~nest block =
+  let grouping = Grouping.run ~options ~env ~config block in
+  if grouping.Grouping.groups = [] then
+    { block; nest; grouping; schedule = None; estimate = None }
+  else begin
+    let schedule = Schedule.run ~options:schedule_options ~env ~config block grouping in
+    if not (Schedule.is_valid block schedule) then
+      invalid_arg
+        (Printf.sprintf "Driver.optimize_block: invalid schedule for %s"
+           block.Block.label);
+    let estimate = Cost.estimate ?params ~query block schedule in
+    if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
+      { block; nest; grouping; schedule = Some schedule; estimate = Some estimate }
+    else { block; nest; grouping; schedule = None; estimate = Some estimate }
+  end
+
+let optimize_block ?(options = Grouping.default_options)
+    ?(schedule_options = Schedule.default_options) ?params ~env ~config ~query ~nest
+    block =
+  let first = attempt ~options ~schedule_options ?params ~env ~config ~query ~nest block in
+  match first.schedule with
+  | Some _ -> first
+  | None when not options.Grouping.exclude_scattered ->
+      (* The reuse-driven grouping was rejected by the cost gate; try
+         again without scattered-store candidates, whose unpack costs
+         are what usually sinks the estimate ("we skip the current
+         basic block" is the paper's whole-block fallback; this retry
+         salvages the profitably-groupable remainder first). *)
+      let second =
+        attempt
+          ~options:{ options with Grouping.exclude_scattered = true }
+          ~schedule_options ?params ~env ~config ~query ~nest block
+      in
+      if second.schedule <> None then second else first
+  | None -> first
+
+type program_plan = { program : Program.t; plans : block_plan list }
+
+let optimize_program ?options ?schedule_options ?params ?query_of ~config
+    (prog : Program.t) =
+  let env = prog.Program.env in
+  let query_of =
+    match query_of with
+    | Some f -> f
+    | None ->
+        fun ~nest _block ->
+          Cost.default_query ~env ~nest
+            ~lanes:(max 2 (config.Config.datapath_bits / 64))
+  in
+  let plans =
+    List.map
+      (fun (block, nest) ->
+        optimize_block ?options ?schedule_options ?params ~env ~config
+          ~query:(query_of ~nest block) ~nest block)
+      (blocks_with_nest prog)
+  in
+  { program = prog; plans }
+
+let vectorized_block_count plan =
+  List.length (List.filter (fun p -> p.schedule <> None) plan.plans)
+
+let superword_statement_count plan =
+  List.fold_left
+    (fun acc p ->
+      match p.schedule with
+      | None -> acc
+      | Some s ->
+          acc
+          + List.length
+              (List.filter
+                 (function Schedule.Superword _ -> true | Schedule.Single _ -> false)
+                 s.Schedule.items))
+    0 plan.plans

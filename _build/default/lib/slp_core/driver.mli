@@ -1,0 +1,48 @@
+(** The holistic SLP optimizer driver (paper §3, §4): grouping, then
+    scheduling, then the profitability gate, per basic block.
+
+    Blocks where no groups form or where the cost model predicts a
+    slowdown keep their scalar schedule ("we skip the current basic
+    block and move on to the next one"). *)
+
+open Slp_ir
+
+type block_plan = {
+  block : Block.t;
+  nest : string list;  (** Enclosing loop indices, outermost first. *)
+  grouping : Grouping.result;
+  schedule : Schedule.t option;  (** [None]: block stays scalar. *)
+  estimate : Cost.estimate option;
+}
+
+val blocks_with_nest : Program.t -> (Block.t * string list) list
+(** All basic blocks in traversal (program) order with their enclosing
+    loop nests. *)
+
+val optimize_block :
+  ?options:Grouping.options ->
+  ?schedule_options:Schedule.options ->
+  ?params:Cost.params ->
+  env:Env.t ->
+  config:Config.t ->
+  query:Cost.query ->
+  nest:string list ->
+  Block.t ->
+  block_plan
+
+type program_plan = { program : Program.t; plans : block_plan list }
+(** [plans] follows {!blocks_with_nest} order. *)
+
+val optimize_program :
+  ?options:Grouping.options ->
+  ?schedule_options:Schedule.options ->
+  ?params:Cost.params ->
+  ?query_of:(nest:string list -> Block.t -> Cost.query) ->
+  config:Config.t ->
+  Program.t ->
+  program_plan
+(** Default [query_of] is {!Cost.default_query} with f64 lane count
+    derived from the datapath (conservative for narrower types). *)
+
+val vectorized_block_count : program_plan -> int
+val superword_statement_count : program_plan -> int

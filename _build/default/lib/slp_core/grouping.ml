@@ -1,0 +1,194 @@
+open Slp_ir
+
+type options = {
+  recompute_weights : bool;
+  elimination : Groupgraph.elimination;
+  exclude_scattered : bool;
+      (** Drop scattered-store candidates outright — the driver's
+          second attempt when the cost gate rejects the first
+          grouping. *)
+  scatter_penalty : float;
+      (** Subtracted from the reuse weight of candidates whose store
+          target scatters over memory: the scatter's unpack cost
+          cannot be repaired later and routinely exceeds what one
+          captured reuse saves.  A deviation from the paper's
+          reuse-only weight, documented in DESIGN.md. *)
+}
+
+let default_options =
+  {
+    recompute_weights = true;
+    elimination = Groupgraph.Max_degree;
+    exclude_scattered = false;
+    scatter_penalty = 1.0;
+  }
+
+type result = {
+  groups : int list list;
+  singles : int list;
+  rounds : int;
+  decisions : int;
+}
+
+(* One application of the basic grouping algorithm over the current
+   unit set.  Returns the merged unit list and the number of decisions
+   made this round. *)
+let round ~options ~env ~config ~block units =
+  let deps = Units.Deps.build block units in
+  let candidates =
+    Candidate.find ~env ~config ~units ~deps
+    |> List.filter (fun (c : Candidate.t) ->
+           not (options.exclude_scattered && c.Candidate.scattered_store))
+  in
+  if candidates = [] then (units, 0)
+  else begin
+    let cand_tbl = Hashtbl.create 64 in
+    List.iter (fun (c : Candidate.t) -> Hashtbl.replace cand_tbl c.Candidate.cid c) candidates;
+    (* Memoised symmetric conflict relation on candidate ids. *)
+    let conflict_memo = Hashtbl.create 256 in
+    let conflict a b =
+      if a = b then false
+      else begin
+        let key = if a < b then (a, b) else (b, a) in
+        match Hashtbl.find_opt conflict_memo key with
+        | Some v -> v
+        | None ->
+            let v =
+              match (Hashtbl.find_opt cand_tbl a, Hashtbl.find_opt cand_tbl b) with
+              | Some ca, Some cb -> Candidate.conflicts ~deps ca cb
+              | _ -> false
+            in
+            Hashtbl.replace conflict_memo key v;
+            v
+      end
+    in
+    let vp = Packgraph.build ~candidates ~conflict in
+    let alive = Hashtbl.copy cand_tbl in
+    let decided_pairs = ref [] in
+    let decided_packs = ref [] in
+    let decisions = ref 0 in
+    let weight_of =
+      let static = Hashtbl.create 64 in
+      if not options.recompute_weights then
+        List.iter
+          (fun (c : Candidate.t) ->
+            Hashtbl.replace static c.Candidate.cid
+              (Groupgraph.weight ~vp ~conflict ~elimination:options.elimination
+                 ~decided_packs:[] ~cand:c))
+          candidates;
+      fun (c : Candidate.t) ->
+        let base =
+          if options.recompute_weights then
+            Groupgraph.weight ~vp ~conflict ~elimination:options.elimination
+              ~decided_packs:!decided_packs ~cand:c
+          else Hashtbl.find static c.Candidate.cid
+        in
+        if c.Candidate.scattered_store then base -. options.scatter_penalty
+        else base
+    in
+    let best_alive () =
+      (* Highest weight; ties prefer memory-adjacent packs, then the
+         smaller candidate id (deterministic). *)
+      let better (bw, (bc : Candidate.t)) w (c : Candidate.t) =
+        bw > w
+        || (bw = w && bc.Candidate.adjacency > c.Candidate.adjacency)
+        || (bw = w
+           && bc.Candidate.adjacency = c.Candidate.adjacency
+           && bc.Candidate.cid < c.Candidate.cid)
+      in
+      Hashtbl.fold
+        (fun _ (c : Candidate.t) best ->
+          let w = weight_of c in
+          match best with
+          | Some (bw, bc) when better (bw, bc) w c -> best
+          | _ -> Some (w, c))
+        alive None
+    in
+    let drop (c : Candidate.t) = Hashtbl.remove alive c.Candidate.cid in
+    let rec decide () =
+      match best_alive () with
+      | None -> ()
+      | Some (_, c) ->
+          let pair = (c.Candidate.u1, c.Candidate.u2) in
+          if not (Units.Deps.merged_acyclic deps (pair :: !decided_pairs)) then begin
+            (* Committing this candidate would create a dependence
+               cycle with earlier decisions: discard it. *)
+            drop c;
+            Packgraph.remove_owner vp c.Candidate.cid;
+            decide ()
+          end
+          else begin
+            decided_pairs := pair :: !decided_pairs;
+            decided_packs := !decided_packs @ c.Candidate.packs;
+            incr decisions;
+            Packgraph.remove_decided vp c.Candidate.cid;
+            (* Remove the decided candidate, every candidate sharing one
+               of its units, and every conflicting candidate. *)
+            let doomed =
+              Hashtbl.fold
+                (fun _ (o : Candidate.t) acc ->
+                  if
+                    Candidate.shares_unit c o
+                    || conflict c.Candidate.cid o.Candidate.cid
+                  then o :: acc
+                  else acc)
+                alive []
+            in
+            List.iter drop doomed;
+            decide ()
+          end
+    in
+    decide ();
+    if !decisions = 0 then (units, 0)
+    else begin
+      (* Merge decided pairs into new units for the next round. *)
+      let unit_tbl = Hashtbl.create 32 in
+      List.iter (fun (u : Units.t) -> Hashtbl.replace unit_tbl u.Units.uid u) units;
+      let next_uid =
+        ref (1 + List.fold_left (fun m (u : Units.t) -> max m u.Units.uid) 0 units)
+      in
+      let merged_away = Hashtbl.create 16 in
+      let merged_units =
+        List.rev_map
+          (fun (a, b) ->
+            let ua = Hashtbl.find unit_tbl a and ub = Hashtbl.find unit_tbl b in
+            Hashtbl.replace merged_away a ();
+            Hashtbl.replace merged_away b ();
+            let uid = !next_uid in
+            incr next_uid;
+            Units.merge ~uid ua ub)
+          !decided_pairs
+      in
+      let untouched =
+        List.filter (fun (u : Units.t) -> not (Hashtbl.mem merged_away u.Units.uid)) units
+      in
+      (untouched @ merged_units, !decisions)
+    end
+  end
+
+let run ?(options = default_options) ~env ~config (block : Block.t) =
+  let initial = List.map (Units.of_stmt ~env) block.Block.stmts in
+  let rec iterate units rounds decisions =
+    let units', made = round ~options ~env ~config ~block units in
+    if made = 0 then (units, rounds, decisions)
+    else iterate units' (rounds + 1) (decisions + made)
+  in
+  let final_units, rounds, decisions = iterate initial 0 0 in
+  let groups =
+    List.filter_map
+      (fun (u : Units.t) ->
+        if List.length u.Units.members >= 2 then Some u.Units.members else None)
+      final_units
+  in
+  let grouped = List.concat groups in
+  let singles =
+    List.filter_map
+      (fun (s : Stmt.t) ->
+        if List.mem s.Stmt.id grouped then None else Some s.Stmt.id)
+      block.Block.stmts
+  in
+  let groups = List.sort (fun a b -> compare (List.hd a) (List.hd b)) groups in
+  { groups; singles; rounds; decisions }
+
+let group_count r = List.length r.groups
+let grouped_stmt_count r = List.fold_left (fun acc g -> acc + List.length g) 0 r.groups

@@ -1,0 +1,45 @@
+(** Statement grouping — the first phase of superword statement
+    generation (paper §4.2): the basic grouping algorithm's decision
+    loop (step 4) plus the iterative extension to wider groups
+    (§4.2.2).
+
+    Each round identifies candidates over the current units, builds the
+    variable pack conflicting graph, weighs every candidate by its
+    global reuse benefit, and repeatedly commits the heaviest candidate
+    (updating both graphs) until no candidates remain; decided groups
+    then become the units of the next round, until the SIMD datapath is
+    filled or no further grouping is possible. *)
+
+open Slp_ir
+
+type options = {
+  recompute_weights : bool;
+      (** Recompute edge weights after every decision (paper).  The
+          cheap variant computes them once — ablation only. *)
+  elimination : Groupgraph.elimination;
+  exclude_scattered : bool;
+      (** Drop scattered-store candidates from the candidate set —
+          used by the driver's second attempt after a cost-gate
+          rejection. *)
+  scatter_penalty : float;
+      (** Subtracted from the weight of candidates whose memory store
+          target scatters: the forced unpack is unfixable and
+          routinely outweighs a captured reuse.  Default 1.0; a
+          documented deviation from the paper's reuse-only weight. *)
+}
+
+val default_options : options
+
+type result = {
+  groups : int list list;
+      (** Statement-id member sets of each SIMD group (size >= 2),
+          unordered (sorted ascending), in decision order. *)
+  singles : int list;  (** Ungrouped statement ids, program order. *)
+  rounds : int;  (** Rounds that made at least one decision. *)
+  decisions : int;  (** Total pairwise grouping decisions. *)
+}
+
+val run : ?options:options -> env:Env.t -> config:Config.t -> Block.t -> result
+
+val group_count : result -> int
+val grouped_stmt_count : result -> int

@@ -1,0 +1,33 @@
+open Slp_ir
+
+type t = { mutable entries : Operand.t list list; capacity : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Live.create: capacity must be positive";
+  { entries = []; capacity }
+
+let entries t = t.entries
+let size t = List.length t.entries
+let mem_exact t ordered = List.exists (List.equal Operand.equal ordered) t.entries
+
+let mem_multiset t pack =
+  List.exists (fun l -> Pack.equal (Pack.of_operands l) pack) t.entries
+
+let find_multiset t pack =
+  List.find_opt (fun l -> Pack.equal (Pack.of_operands l) pack) t.entries
+
+let invalidate t ~defs =
+  t.entries <-
+    List.filter
+      (fun l -> not (List.exists (fun d -> List.exists (Operand.may_alias d) l) defs))
+      t.entries
+
+let insert t ordered =
+  let pack = Pack.of_operands ordered in
+  t.entries <-
+    ordered
+    :: List.filter (fun l -> not (Pack.equal (Pack.of_operands l) pack)) t.entries;
+  if List.length t.entries > t.capacity then
+    t.entries <- List.filteri (fun i _ -> i < t.capacity) t.entries
+
+let copy t = { entries = t.entries; capacity = t.capacity }

@@ -1,0 +1,33 @@
+(** The live superword set (paper §4.3): ordered superwords most likely
+    resident in vector registers at the current scheduling point.
+
+    Shared by the scheduler (reuse-driven group selection and lane
+    ordering), the cost model (§4.3's profitability gate), and code
+    generation (realising reuses as register moves).  Entries are
+    ordered operand lists; capacity models the vector register file
+    with least-recently-inserted eviction. *)
+
+open Slp_ir
+
+type t
+
+val create : capacity:int -> t
+val entries : t -> Operand.t list list
+(** Most recently inserted first. *)
+
+val size : t -> int
+val mem_exact : t -> Operand.t list -> bool
+val mem_multiset : t -> Pack.t -> bool
+
+val find_multiset : t -> Pack.t -> Operand.t list option
+(** Most recent live superword carrying exactly this multiset. *)
+
+val invalidate : t -> defs:Operand.t list -> unit
+(** Drop every superword containing an operand that may alias one of
+    the (re)defined operands. *)
+
+val insert : t -> Operand.t list -> unit
+(** Insert an ordered superword, replacing any entry with the same
+    multiset; evicts the oldest entry beyond capacity. *)
+
+val copy : t -> t

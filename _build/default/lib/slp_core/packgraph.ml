@@ -1,0 +1,109 @@
+module Graph = Slp_util.Graph
+
+type node = { nid : int; pack : Pack.t; owner : int }
+
+type t = { graph : node Graph.Undirected.t; by_owner : (int, int list) Hashtbl.t }
+
+let build ~candidates ~conflict =
+  let graph = Graph.Undirected.create () in
+  let by_owner = Hashtbl.create 32 in
+  let next = ref 0 in
+  List.iter
+    (fun (c : Candidate.t) ->
+      let cid = c.Candidate.cid in
+      let my_nodes =
+        List.map
+          (fun pack ->
+            let nid = !next in
+            incr next;
+            let node = { nid; pack; owner = cid } in
+            Graph.Undirected.add_node graph nid node;
+            nid)
+          c.Candidate.packs
+      in
+      (* Connect to all previously-built nodes of conflicting owners. *)
+      Hashtbl.iter
+        (fun other_cid other_nodes ->
+          if other_cid <> cid && conflict cid other_cid then
+            List.iter
+              (fun a -> List.iter (fun b -> Graph.Undirected.add_edge graph a b) other_nodes)
+              my_nodes)
+        by_owner;
+      Hashtbl.replace by_owner cid my_nodes)
+    candidates;
+  { graph; by_owner }
+
+let live_nodes t =
+  List.filter_map
+    (fun nid ->
+      if Graph.Undirected.mem_node t.graph nid then
+        Some (Graph.Undirected.label t.graph nid)
+      else None)
+    (Graph.Undirected.nodes t.graph)
+
+let nodes t = live_nodes t
+let node_count t = Graph.Undirected.node_count t.graph
+let edge_count t = Graph.Undirected.edge_count t.graph
+let has_edge t a b = Graph.Undirected.mem_edge t.graph a b
+
+let nodes_of_owner t cid =
+  match Hashtbl.find_opt t.by_owner cid with
+  | None -> []
+  | Some nids ->
+      List.filter_map
+        (fun nid ->
+          if Graph.Undirected.mem_node t.graph nid then
+            Some (Graph.Undirected.label t.graph nid)
+          else None)
+        nids
+
+let alive t cid = nodes_of_owner t cid <> []
+
+let matching t ~pack_types ~exclude_owner ~compatible =
+  List.filter
+    (fun n ->
+      n.owner <> exclude_owner
+      && Pack.Set.mem n.pack pack_types
+      && compatible n.owner)
+    (live_nodes t)
+
+let edges_among t selected =
+  let ids = List.map (fun n -> n.nid) selected in
+  let rec pairs acc = function
+    | [] -> acc
+    | a :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc b -> if has_edge t a b then (a, b) :: acc else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs [] ids
+
+let remove_decided t cid =
+  match Hashtbl.find_opt t.by_owner cid with
+  | None -> ()
+  | Some nids ->
+      let doomed =
+        List.concat_map
+          (fun nid ->
+            if Graph.Undirected.mem_node t.graph nid then
+              nid :: Graph.Undirected.neighbours t.graph nid
+            else [])
+          nids
+        |> List.sort_uniq compare
+      in
+      List.iter (Graph.Undirected.remove_node t.graph) doomed
+
+let remove_owner t cid =
+  match Hashtbl.find_opt t.by_owner cid with
+  | None -> ()
+  | Some nids -> List.iter (Graph.Undirected.remove_node t.graph) nids
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>VP: %d nodes, %d edges@," (node_count t) (edge_count t);
+  List.iter
+    (fun n -> Format.fprintf ppf "  n%d %a (C%d)@," n.nid Pack.pp n.pack n.owner)
+    (nodes t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** The variable pack conflicting graph VP — step 2 of the basic
+    grouping algorithm (paper §4.2.1).
+
+    One node per variable pack instance of each candidate group, tagged
+    with its owning candidate; edges join nodes whose owning candidates
+    conflict.  Multiple nodes may carry the same pack (generated from
+    different candidates) — the number of such nodes that can coexist
+    is exactly the reuse count of that superword. *)
+
+type node = { nid : int; pack : Pack.t; owner : int  (** cid *) }
+
+type t
+
+val build :
+  candidates:Candidate.t list -> conflict:(int -> int -> bool) -> t
+(** [conflict] is consulted on candidate-id pairs (symmetric). *)
+
+val nodes : t -> node list
+val node_count : t -> int
+val edge_count : t -> int
+val has_edge : t -> int -> int -> bool
+val nodes_of_owner : t -> int -> node list
+val alive : t -> int -> bool
+
+val matching :
+  t -> pack_types:Pack.Set.t -> exclude_owner:int -> compatible:(int -> bool) -> node list
+(** Live nodes whose pack belongs to [pack_types], not owned by
+    [exclude_owner], and whose owner satisfies [compatible] — the raw
+    material of an auxiliary graph. *)
+
+val edges_among : t -> node list -> (int * int) list
+(** VP edges restricted to the given nodes (by nid). *)
+
+val remove_decided : t -> int -> unit
+(** Delete the nodes of a decided candidate and every node connected
+    to them (paper step 4's VP update). *)
+
+val remove_owner : t -> int -> unit
+(** Delete only the given candidate's own nodes — used when a
+    candidate is discarded (not decided), so that other candidates'
+    reuse information survives. *)
+
+val pp : Format.formatter -> t -> unit

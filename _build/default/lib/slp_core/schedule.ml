@@ -1,0 +1,381 @@
+open Slp_ir
+module Graph = Slp_util.Graph
+
+type item = Single of int | Superword of int list
+
+type stats = {
+  direct_reuses : int;
+  permuted_reuses : int;
+  packed_sources : int;
+  permutations : int;
+}
+
+type t = { items : item list; stats : stats }
+
+type selection = Reuse_driven | Program_order
+type ordering_search = Direct_reuse_only | Exhaustive
+
+type options = { selection : selection; ordering_search : ordering_search }
+
+let default_options = { selection = Reuse_driven; ordering_search = Direct_reuse_only }
+
+(* All permutations of a list, lazily bounded. *)
+let permutations ~limit xs =
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go acc remaining =
+    if !count < limit then
+      match remaining with
+      | [] -> begin
+          results := List.rev acc :: !results;
+          incr count
+        end
+      | _ ->
+          List.iter
+            (fun x ->
+              if !count < limit then
+                go (x :: acc) (List.filter (fun y -> y <> x) remaining))
+            remaining
+  in
+  go [] xs;
+  List.rev !results
+
+(* -- per-group operand tables -------------------------------------- *)
+
+type gnode = {
+  gid : int;
+  members : int list;  (** Sorted ascending (program order). *)
+  is_super : bool;
+}
+
+let positions_of_member block m = Stmt.positions (Block.find block m)
+
+let ordered_pack block order pos =
+  List.map (fun m -> List.nth (positions_of_member block m) pos) order
+
+let position_count block g =
+  match g.members with
+  | m :: _ -> List.length (positions_of_member block m)
+  | [] -> 0
+
+(* Enumerate lane orders of [members] that place, at source position
+   [pos], exactly the live superword [target] — the "orders with at
+   least one direct reuse".  Bounded to avoid factorial blow-up on
+   packs full of duplicates. *)
+let orders_matching block members pos target =
+  let limit = 24 in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go remaining target_ops acc =
+    if !count < limit then
+      match target_ops with
+      | [] -> begin
+          results := List.rev acc :: !results;
+          incr count
+        end
+      | want :: rest ->
+          List.iter
+            (fun m ->
+              if !count < limit then
+                let op = List.nth (positions_of_member block m) pos in
+                if Operand.equal op want then
+                  go (List.filter (fun x -> x <> m) remaining) rest (m :: acc))
+            remaining
+  in
+  go members target [];
+  !results
+
+(* Lane order following row-major memory order of the pack at [pos],
+   when all pairwise address differences are constant. *)
+let memory_order block members pos =
+  let with_ops = List.map (fun m -> (m, List.nth (positions_of_member block m) pos)) members in
+  let comparable =
+    List.for_all
+      (fun (_, a) ->
+        List.for_all
+          (fun (_, b) ->
+            match (a, b) with
+            | Operand.Elem (x, ix), Operand.Elem (y, iy)
+              when String.equal x y && List.length ix = List.length iy ->
+                List.for_all2 (fun p q -> Affine.diff_const p q <> None) ix iy
+            | _ -> false)
+          with_ops)
+      with_ops
+  in
+  if not comparable then None
+  else begin
+    let key (_, op) =
+      match op with
+      | Operand.Elem (_, ix) ->
+          (* Lexicographic by per-dimension constant offset relative to
+             the first member. *)
+          let ref_ix =
+            match snd (List.hd with_ops) with
+            | Operand.Elem (_, r) -> r
+            | _ -> assert false
+          in
+          List.map2 (fun a b -> Option.value (Affine.diff_const a b) ~default:0) ix ref_ix
+      | _ -> []
+    in
+    let sorted = List.stable_sort (fun a b -> compare (key a) (key b)) with_ops in
+    Some (List.map fst sorted)
+  end
+
+(* -- stats replay --------------------------------------------------- *)
+
+let analyze ~config (block : Block.t) items =
+  let live = Live.create ~capacity:config.Config.vector_registers in
+  let direct = ref 0 and permuted = ref 0 and packed = ref 0 in
+  List.iter
+    (function
+      | Single sid ->
+          Live.invalidate live ~defs:[ Stmt.def (Block.find block sid) ]
+      | Superword order ->
+          let stmts = List.map (Block.find block) order in
+          let npos = Stmt.position_count (List.hd stmts) in
+          for pos = 1 to npos - 1 do
+            let ordered = List.map (fun s -> List.nth (Stmt.positions s) pos) stmts in
+            let pack = Pack.of_operands ordered in
+            if not (Pack.all_constant pack) then
+              if Live.mem_exact live ordered then incr direct
+              else if Live.mem_multiset live pack then incr permuted
+              else incr packed
+          done;
+          Live.invalidate live ~defs:(List.map Stmt.def stmts);
+          for pos = npos - 1 downto 0 do
+            let ordered = List.map (fun s -> List.nth (Stmt.positions s) pos) stmts in
+            if not (Pack.all_constant (Pack.of_operands ordered)) then
+              Live.insert live ordered
+          done)
+    items;
+  {
+    items;
+    stats =
+      {
+        direct_reuses = !direct;
+        permuted_reuses = !permuted;
+        packed_sources = !packed;
+        permutations = !permuted;
+      };
+  }
+
+(* -- main ----------------------------------------------------------- *)
+
+let run ?(options = default_options) ~env:_ ~config (block : Block.t)
+    (grouping : Grouping.result) =
+  (* Group nodes: one per SIMD group, one per single. *)
+  let nodes = ref [] in
+  let next = ref 0 in
+  let add members is_super =
+    let gid = !next in
+    incr next;
+    nodes := { gid; members = List.sort compare members; is_super } :: !nodes
+  in
+  List.iter (fun g -> add g true) grouping.Grouping.groups;
+  List.iter (fun s -> add [ s ] false) grouping.Grouping.singles;
+  let nodes = List.rev !nodes in
+  let owner = Hashtbl.create 32 in
+  List.iter (fun g -> List.iter (fun m -> Hashtbl.replace owner m g.gid) g.members) nodes;
+  (* Dependence DAG over groups. *)
+  let dg = Graph.Directed.create () in
+  List.iter (fun g -> Graph.Directed.add_node dg g.gid g) nodes;
+  List.iter
+    (fun (p, q) ->
+      let gp = Hashtbl.find owner p and gq = Hashtbl.find owner q in
+      if gp <> gq && not (Graph.Directed.mem_edge dg gp gq) then
+        Graph.Directed.add_edge dg gp gq)
+    (Block.dep_pairs block);
+  if Graph.Directed.has_cycle dg then
+    invalid_arg "Schedule.run: groups are not schedulable (dependence cycle)";
+  let live = Live.create ~capacity:config.Config.vector_registers in
+  let items = ref [] in
+  let direct = ref 0 and permuted = ref 0 and packed = ref 0 in
+  (* Non-constant packs of a group (by position), as multisets. *)
+  let group_packs g =
+    List.init (position_count block g) (fun pos ->
+        (pos, Pack.of_operands (List.map (fun m -> List.nth (positions_of_member block m) pos) g.members)))
+    |> List.filter (fun (_, p) -> not (Pack.all_constant p))
+  in
+  let reuse_count g =
+    List.length (List.filter (fun (_, p) -> Live.mem_multiset live p) (group_packs g))
+  in
+  let defs_of g = List.map (fun m -> Stmt.def (Block.find block m)) g.members in
+  let emit_single g =
+    items := Single (List.hd g.members) :: !items;
+    Live.invalidate live ~defs:(defs_of g)
+  in
+  let emit_superword g =
+    (* Choose the lane order. *)
+    let candidates = ref [] in
+    let add_order o = if not (List.mem o !candidates) then candidates := o :: !candidates in
+    List.iter
+      (fun (pos, pack) ->
+        if Live.mem_multiset live pack then
+          List.iter
+            (fun l ->
+              if Pack.equal (Pack.of_operands l) pack then
+                List.iter add_order (orders_matching block g.members pos l))
+            (Live.entries live))
+      (group_packs g);
+    List.iter
+      (fun (pos, _) ->
+        match memory_order block g.members pos with
+        | Some o -> add_order o
+        | None -> ())
+      (group_packs g);
+    (match options.ordering_search with
+    | Direct_reuse_only -> ()
+    | Exhaustive -> List.iter add_order (permutations ~limit:120 g.members));
+    add_order g.members;
+    (* Cost of an order: one permutation per live-matched source pack
+       in the wrong lane order; ties prefer program order. *)
+    let cost order =
+      let perms = ref 0 in
+      List.iter
+        (fun (pos, pack) ->
+          if Live.mem_multiset live pack then begin
+            let ordered = ordered_pack block order pos in
+            if not (Live.mem_exact live ordered) then incr perms
+          end)
+        (group_packs g);
+      !perms
+    in
+    let best =
+      List.fold_left
+        (fun acc order ->
+          let c = cost order in
+          match acc with
+          | Some (bc, border)
+            when bc < c || (bc = c && compare border order <= 0) ->
+              acc
+          | _ -> Some (c, order))
+        None
+        (List.rev !candidates)
+    in
+    let order = match best with Some (_, o) -> o | None -> g.members in
+    (* Account reuse statistics for the chosen order. *)
+    let npos = position_count block g in
+    let source_packs =
+      List.filter (fun (pos, _) -> pos > 0) (group_packs g)
+    in
+    List.iter
+      (fun (pos, pack) ->
+        let ordered = ordered_pack block order pos in
+        if Live.mem_exact live ordered then incr direct
+        else if Live.mem_multiset live pack then incr permuted
+        else incr packed)
+      source_packs;
+    items := Superword order :: !items;
+    Live.invalidate live ~defs:(defs_of g);
+    (* Sources first, destination last (most recently touched). *)
+    for pos = npos - 1 downto 0 do
+      let ordered = ordered_pack block order pos in
+      if not (Pack.all_constant (Pack.of_operands ordered)) then Live.insert live ordered
+    done
+  in
+  (* Ready-driven emission: prefer the superword statement with the
+     highest live reuse; emit singles only when no superword is ready. *)
+  let emitted = Hashtbl.create 32 in
+  let remaining = ref (List.length nodes) in
+  while !remaining > 0 do
+    let ready =
+      List.filter
+        (fun gid -> not (Hashtbl.mem emitted gid))
+        (Graph.Directed.sources dg)
+      |> List.map (fun gid -> Graph.Directed.label dg gid)
+    in
+    (match List.filter (fun g -> g.is_super) ready with
+    | [] -> begin
+        match List.sort (fun a b -> compare a.members b.members) ready with
+        | g :: _ ->
+            emit_single g;
+            Hashtbl.replace emitted g.gid ();
+            Graph.Directed.remove_node dg g.gid;
+            decr remaining
+        | [] -> invalid_arg "Schedule.run: no ready group (cycle?)"
+      end
+    | supers ->
+        let best =
+          match options.selection with
+          | Program_order ->
+              List.fold_left
+                (fun acc g ->
+                  match acc with
+                  | Some (bg : gnode) when compare bg.members g.members <= 0 -> acc
+                  | _ -> Some g)
+                None supers
+              |> Option.map (fun g -> (0, g))
+          | Reuse_driven ->
+              List.fold_left
+                (fun acc g ->
+                  let r = reuse_count g in
+                  match acc with
+                  | Some (br, (bg : gnode))
+                    when br > r || (br = r && compare bg.members g.members <= 0) ->
+                      acc
+                  | _ -> Some (r, g))
+                None supers
+        in
+        let g = match best with Some (_, g) -> g | None -> assert false in
+        emit_superword g;
+        Hashtbl.replace emitted g.gid ();
+        Graph.Directed.remove_node dg g.gid;
+        decr remaining)
+  done;
+  let stats =
+    {
+      direct_reuses = !direct;
+      permuted_reuses = !permuted;
+      packed_sources = !packed;
+      permutations = !permuted;
+    }
+  in
+  { items = List.rev !items; stats }
+
+let scheduled_stmt_ids t =
+  List.concat_map (function Single s -> [ s ] | Superword ms -> ms) t.items
+
+let is_valid (block : Block.t) t =
+  let order_of = Hashtbl.create 32 in
+  List.iteri
+    (fun idx item ->
+      List.iter
+        (fun m -> Hashtbl.replace order_of m idx)
+        (match item with Single s -> [ s ] | Superword ms -> ms))
+    t.items;
+  let all_present =
+    List.for_all (fun id -> Hashtbl.mem order_of id) (Block.stmt_ids block)
+    && List.length (scheduled_stmt_ids t) = Block.size block
+  in
+  let independent_members =
+    List.for_all
+      (function
+        | Single _ -> true
+        | Superword ms ->
+            let rec pairs = function
+              | [] -> true
+              | a :: rest ->
+                  List.for_all (fun b -> Block.independent block a b) rest
+                  && pairs rest
+            in
+            pairs ms)
+      t.items
+  in
+  let deps_forward =
+    List.for_all
+      (fun (p, q) -> Hashtbl.find order_of p < Hashtbl.find order_of q)
+      (Block.dep_pairs block)
+  in
+  all_present && independent_members && deps_forward
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (function
+      | Single s -> Format.fprintf ppf "S%d@," s
+      | Superword ms ->
+          Format.fprintf ppf "<%s>@,"
+            (String.concat ", " (List.map (fun m -> "S" ^ string_of_int m) ms)))
+    t.items;
+  Format.fprintf ppf "reuses: %d direct, %d permuted, %d packed@]"
+    t.stats.direct_reuses t.stats.permuted_reuses t.stats.packed_sources

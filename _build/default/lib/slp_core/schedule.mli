@@ -1,0 +1,70 @@
+(** Statement scheduling — the second phase of superword statement
+    generation (paper §4.3).
+
+    Orders the SIMD groups (and remaining singles) into a valid
+    execution sequence that brings superword reuses close together,
+    and fixes the lane order of each superword statement so that as
+    many reuses as possible are *direct* (no permutation) and the rest
+    cost only one vector permutation instead of a memory trip.
+
+    A live superword set tracks the ordered superwords most recently
+    produced or consumed; the ready group with the most live reuses
+    runs next; lane orders are searched only among orders that realise
+    at least one direct reuse (plus the row-major memory orders of the
+    group's contiguous packs, which make the eventual pack a single
+    vector load). *)
+
+open Slp_ir
+
+type item = Single of int | Superword of int list  (** Ordered statement ids. *)
+
+type selection = Reuse_driven | Program_order
+(** How the next ready superword statement is chosen: most live
+    reuses (paper §4.3) or earliest program position (ablation). *)
+
+type ordering_search = Direct_reuse_only | Exhaustive
+(** Which lane orders are tested: only those realising at least one
+    direct reuse plus the memory orders (paper: "we don't employ
+    exhaustive search across all valid orderings"), or every
+    permutation up to a safety cap (ablation). *)
+
+type options = { selection : selection; ordering_search : ordering_search }
+
+val default_options : options
+(** Reuse-driven, direct-reuse-only — the paper's configuration. *)
+
+type stats = {
+  direct_reuses : int;
+      (** Source packs found live in matching lane order. *)
+  permuted_reuses : int;
+      (** Source packs found live in a different lane order (cost: one
+          permutation). *)
+  packed_sources : int;
+      (** Source packs that had to be packed from memory/scalars. *)
+  permutations : int;  (** Predicted permutation instructions. *)
+}
+
+type t = { items : item list; stats : stats }
+
+val run :
+  ?options:options -> env:Env.t -> config:Config.t -> Block.t -> Grouping.result -> t
+(** Raises [Invalid_argument] if the groups are not schedulable (the
+    grouping phase guarantees they are). *)
+
+val analyze : config:Config.t -> Block.t -> item list -> t
+(** Replay a fixed item sequence against a fresh live superword set and
+    compute its reuse statistics — used to evaluate schedules produced
+    by other algorithms (the Larsen-Amarasinghe baseline, the native
+    vectorizer) on an equal footing. *)
+
+val scheduled_stmt_ids : t -> int list
+(** Statement ids in final execution order (superword members
+    flattened in lane order). *)
+
+val is_valid : Block.t -> t -> bool
+(** Checks the paper's validity constraints 1 and 2: members of one
+    superword statement are pairwise independent, and every
+    statement-level dependence goes forward in the emitted sequence of
+    items. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+open Slp_ir
+module Graph = Slp_util.Graph
+
+type t = {
+  uid : int;
+  members : int list;
+  shape : Expr.t;
+  positions : Pack.t array;
+  elem_ty : Types.scalar_ty;
+  mem_dest : bool;  (** Store target is an array element. *)
+}
+
+let stmt_elem_ty ~env (s : Stmt.t) =
+  match Env.operand_ty env s.Stmt.lhs with
+  | Some ty -> ty
+  | None -> assert false (* lhs is never a constant *)
+
+let of_stmt ~env (s : Stmt.t) =
+  {
+    uid = s.Stmt.id;
+    members = [ s.Stmt.id ];
+    shape = s.Stmt.rhs;
+    positions =
+      Array.of_list (List.map (fun op -> Pack.of_operands [ op ]) (Stmt.positions s));
+    elem_ty = stmt_elem_ty ~env s;
+    mem_dest = (match s.Stmt.lhs with Operand.Elem _ -> true | _ -> false);
+  }
+
+let merge ~uid a b =
+  if Array.length a.positions <> Array.length b.positions then
+    invalid_arg "Units.merge: position count mismatch";
+  {
+    uid;
+    members = List.sort_uniq compare (a.members @ b.members);
+    shape = a.shape;
+    positions = Array.map2 Pack.union a.positions b.positions;
+    elem_ty = a.elem_ty;
+    mem_dest = a.mem_dest;
+  }
+
+let lane_count u = List.length u.members
+let width_bits u = lane_count u * Types.bits u.elem_ty
+
+let isomorphic ~env:_ a b =
+  a.mem_dest = b.mem_dest
+  && Expr.same_shape a.shape b.shape
+  && a.elem_ty = b.elem_ty
+  && lane_count a = lane_count b
+  && Array.length a.positions = Array.length b.positions
+
+let pp ppf u =
+  Format.fprintf ppf "u%d{S%s} " u.uid
+    (String.concat ",S" (List.map string_of_int u.members));
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf " ";
+      Pack.pp ppf p)
+    u.positions
+
+module Deps = struct
+  type unit_graph = {
+    graph : unit Graph.Directed.t;  (** uid-level dependence DAG *)
+  }
+
+  let build (block : Block.t) units =
+    let owner = Hashtbl.create 32 in
+    List.iter
+      (fun u -> List.iter (fun sid -> Hashtbl.replace owner sid u.uid) u.members)
+      units;
+    let g = Graph.Directed.create () in
+    List.iter (fun u -> Graph.Directed.add_node g u.uid ()) units;
+    List.iter
+      (fun (p, q) ->
+        match (Hashtbl.find_opt owner p, Hashtbl.find_opt owner q) with
+        | Some up, Some uq when up <> uq ->
+            if not (Graph.Directed.mem_edge g up uq) then
+              Graph.Directed.add_edge g up uq
+        | _ -> ())
+      (Block.dep_pairs block);
+    { graph = g }
+
+  let depends t u v = Graph.Directed.mem_edge t.graph u v
+
+  let mergeable t u v =
+    u <> v
+    && (not (Graph.Directed.reachable t.graph u v))
+    && not (Graph.Directed.reachable t.graph v u)
+
+  let merged_acyclic t pairs =
+    (* Contract each pair into its smaller uid and test for cycles. *)
+    let repr = Hashtbl.create 8 in
+    let rec find x =
+      match Hashtbl.find_opt repr x with
+      | None -> x
+      | Some p ->
+          let r = find p in
+          if r <> p then Hashtbl.replace repr x r;
+          r
+    in
+    List.iter
+      (fun (a, b) ->
+        let ra = find a and rb = find b in
+        if ra <> rb then
+          if ra < rb then Hashtbl.replace repr rb ra else Hashtbl.replace repr ra rb)
+      pairs;
+    let g = Graph.Directed.create () in
+    List.iter
+      (fun id -> Graph.Directed.add_node g (find id) ())
+      (Graph.Directed.nodes t.graph);
+    List.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            let ru = find u and rv = find v in
+            if ru <> rv && not (Graph.Directed.mem_edge g ru rv) then
+              Graph.Directed.add_edge g ru rv)
+          (Graph.Directed.succs t.graph u))
+      (Graph.Directed.nodes t.graph);
+    not (Graph.Directed.has_cycle g)
+end

@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: Block Expr Fun Hashtbl List Operand Program Slp_ir Stmt Types

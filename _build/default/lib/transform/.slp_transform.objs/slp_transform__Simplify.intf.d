@@ -1,0 +1,1 @@
+lib/transform/simplify.mli: Block Expr Program Slp_ir

@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Affine Block Env Hashtbl List Operand Option Printf Program Slp_ir Stmt String

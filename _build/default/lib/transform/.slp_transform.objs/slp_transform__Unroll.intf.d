@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Block Program Slp_ir

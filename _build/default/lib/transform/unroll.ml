@@ -1,0 +1,151 @@
+open Slp_ir
+
+let renamed v ~copy = Printf.sprintf "%s__u%d" v copy
+
+let privatisable block =
+  let seen_use = Hashtbl.create 16 in
+  let result = ref [] in
+  let decided = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Stmt.t) ->
+      (* Reads happen before the write of the same statement. *)
+      List.iter
+        (function
+          | Operand.Scalar v -> Hashtbl.replace seen_use v ()
+          | Operand.Const _ | Operand.Elem _ -> ())
+        (Stmt.uses s);
+      (* Subscript variables of an array store are reads as well, but
+         they are loop indices, never block temporaries. *)
+      match s.Stmt.lhs with
+      | Operand.Scalar v ->
+          if not (Hashtbl.mem decided v) then begin
+            Hashtbl.replace decided v ();
+            if not (Hashtbl.mem seen_use v) then result := v :: !result
+          end
+      | Operand.Const _ | Operand.Elem _ -> ())
+    block.Block.stmts;
+  List.sort String.compare !result
+
+let rename_stmt_scalars stmt ~targets ~copy =
+  List.fold_left
+    (fun s v -> Stmt.rename_scalar s ~old_name:v ~new_name:(renamed v ~copy))
+    stmt targets
+
+let unroll_block block ~index ~factor ~copy_step =
+  if factor < 1 then invalid_arg "Unroll.unroll_block: factor must be >= 1";
+  let targets = privatisable block in
+  let next_id = ref 0 in
+  let copies =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (s : Stmt.t) ->
+            let shift = Affine.add (Affine.var index) (Affine.const (k * copy_step)) in
+            let s = Stmt.subst_index s index shift in
+            let s =
+              if k < factor - 1 then rename_stmt_scalars s ~targets ~copy:k else s
+            in
+            incr next_id;
+            { s with Stmt.id = !next_id })
+          block.Block.stmts)
+      (List.init factor (fun k -> k))
+  in
+  Block.make ~label:block.Block.label copies
+
+let fuse_blocks label blocks =
+  let next_id = ref 0 in
+  let stmts =
+    List.concat_map
+      (fun (b : Block.t) ->
+        List.map
+          (fun (s : Stmt.t) ->
+            incr next_id;
+            { s with Stmt.id = !next_id })
+          b.Block.stmts)
+      blocks
+  in
+  Block.make ~label stmts
+
+let is_innermost (l : Program.loop) =
+  List.for_all
+    (function Program.Stmts _ -> true | Program.Loop _ -> false)
+    l.Program.body
+
+let declare_copies env block ~factor =
+  List.iter
+    (fun v ->
+      match Env.scalar_ty env v with
+      | Some ty ->
+          for k = 0 to factor - 2 do
+            Env.declare_scalar env (renamed v ~copy:k) ty
+          done
+      | None -> ())
+    (privatisable block)
+
+let program ~factor prog =
+  if factor < 1 then invalid_arg "Unroll.program: factor must be >= 1";
+  if factor = 1 then prog
+  else begin
+    let env = Env.copy prog.Program.env in
+    let rec walk items =
+      List.concat_map
+        (function
+          | Program.Stmts b -> [ Program.Stmts b ]
+          | Program.Loop l when is_innermost l -> unroll_loop l
+          | Program.Loop l -> [ Program.Loop { l with Program.body = walk l.Program.body } ])
+        items
+    and unroll_loop (l : Program.loop) =
+      match Program.trip_count l with
+      | None -> [ Program.Loop l ]
+      | Some trip when trip < factor -> [ Program.Loop l ]
+      | Some trip ->
+          let blocks =
+            List.filter_map
+              (function Program.Stmts b -> Some b | Program.Loop _ -> None)
+              l.Program.body
+          in
+          let body =
+            match blocks with
+            | [ b ] -> b
+            | bs -> fuse_blocks (Printf.sprintf "%s_fused" l.Program.index) bs
+          in
+          declare_copies env body ~factor;
+          let unrolled =
+            unroll_block
+              { body with Block.label = body.Block.label ^ "_u" }
+              ~index:l.Program.index ~factor ~copy_step:l.Program.step
+          in
+          let main_iters = trip / factor in
+          let lo = Affine.to_const l.Program.lo |> Option.get in
+          let main_hi = lo + (main_iters * factor * l.Program.step) in
+          let main =
+            Program.Loop
+              {
+                l with
+                Program.hi = Affine.const main_hi;
+                step = l.Program.step * factor;
+                body = [ Program.Stmts unrolled ];
+              }
+          in
+          let remainder_trip = trip mod factor in
+          if remainder_trip = 0 then [ main ]
+          else begin
+            let relabel =
+              List.map (function
+                | Program.Stmts b ->
+                    Program.Stmts { b with Block.label = b.Block.label ^ "_rem" }
+                | Program.Loop _ as item -> item)
+            in
+            [
+              main;
+              Program.Loop
+                {
+                  l with
+                  Program.lo = Affine.const main_hi;
+                  body = relabel l.Program.body;
+                };
+            ]
+          end
+    in
+    { prog with Program.env; body = walk prog.Program.body }
+  end

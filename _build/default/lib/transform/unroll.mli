@@ -1,0 +1,31 @@
+(** Loop unrolling — the paper's SLP-exposing pre-processing step
+    ("for loop-intensive applications, loop unrolling can be used to
+    reveal more opportunities for short SIMD operations", §3).
+
+    Innermost loops with statically-known trip counts are unrolled by
+    [factor]; copies are fused into one basic block.  Block-private
+    scalar temporaries (first access is a definition) are renamed per
+    copy — all but the last copy, so last-value semantics of the
+    original names survive — removing the false dependences that would
+    otherwise serialise the copies.  A remainder loop is emitted when
+    the trip count is not a multiple of [factor]. *)
+
+open Slp_ir
+
+val privatisable : Block.t -> string list
+(** Scalars whose first access in the block is a definition — safe to
+    rename per unrolled copy. *)
+
+val unroll_block : Block.t -> index:string -> factor:int -> copy_step:int -> Block.t
+(** Fuse [factor] copies of [b], substituting [index := index + k·copy_step]
+    in copy [k] and renaming privatisable scalars in copies [0..factor-2].
+    Exposed for testing. *)
+
+val program : factor:int -> Program.t -> Program.t
+(** Unroll every innermost loop of the program.  Loops whose trip count
+    is unknown or smaller than [factor] are left untouched.  The
+    environment is extended with the renamed temporaries.  [factor >= 1];
+    factor 1 is the identity. *)
+
+val renamed : string -> copy:int -> string
+(** Naming scheme for privatised temporaries ("a" -> "a__u1"). *)

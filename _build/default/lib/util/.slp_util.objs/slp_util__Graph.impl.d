@@ -1,0 +1,1 @@
+lib/util/graph.ml: Hashtbl Int List Option Printf Set

@@ -1,0 +1,1 @@
+lib/util/mat.ml: Array Format Option Rat

@@ -1,0 +1,1 @@
+lib/util/mat.mli: Format Rat

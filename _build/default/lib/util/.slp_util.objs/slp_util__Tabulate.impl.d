@@ -1,0 +1,1 @@
+lib/util/tabulate.ml: Buffer Float List Printf String

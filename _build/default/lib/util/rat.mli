@@ -1,0 +1,29 @@
+(** Exact rational arithmetic over machine integers.
+
+    Used by the data layout optimizer to invert access matrices
+    (Equations 6-8 of the paper) without floating point error.  Values
+    are kept normalised: positive denominator, reduced by gcd. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den].  Raises [Division_by_zero] if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** Raises [Invalid_argument] if the value is not an integer. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let pad s width = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalise row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalise rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    String.sub s 0 !n
+  in
+  let line cells = rtrim (String.concat "  " (List.map2 pad cells widths)) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let bar_chart ~title ~unit_label ?(max_width = 46) entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let max_abs =
+    List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 1e-9 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.round (Float.abs v /. max_abs *. float_of_int max_width)) in
+      let bar = String.make (max 0 n) (if v >= 0.0 then '#' else '-') in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s | %s %.1f%s\n" (pad label label_width) bar v unit_label))
+    entries;
+  Buffer.contents buf
+
+let pct r = Printf.sprintf "%.1f%%" (100.0 *. r)

@@ -1,0 +1,18 @@
+(** Plain-text table and bar-chart rendering for experiment output.
+
+    The harness prints each reproduced paper table as an aligned ASCII
+    table and each figure as a horizontal bar chart, so experiment
+    output is readable in a terminal and diffable in EXPERIMENTS.md. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Aligned table with a separator under the header.  Rows shorter than
+    the header are padded with empty cells. *)
+
+val bar_chart :
+  title:string -> unit_label:string -> ?max_width:int -> (string * float) list -> string
+(** Horizontal bars, one per (label, value); negative values render as
+    a left-pointing bar marked with '-'.  Bars are scaled to
+    [max_width] characters (default 46). *)
+
+val pct : float -> string
+(** Format a ratio in percent with one decimal, e.g. [0.152] -> "15.2%". *)

@@ -1,0 +1,1 @@
+lib/vm/cache.mli: Slp_machine

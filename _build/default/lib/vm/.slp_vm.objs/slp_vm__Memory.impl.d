@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Array Env Float Hashtbl List Option Printf Slp_ir Slp_util String Types

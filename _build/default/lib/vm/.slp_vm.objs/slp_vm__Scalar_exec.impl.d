@@ -1,0 +1,1 @@
+lib/vm/scalar_exec.ml: Affine Block Cache Counters Either Expr Float List Memory Operand Program Slp_ir Slp_machine Stmt Types

@@ -1,0 +1,1 @@
+lib/vm/scalar_exec.mli: Cache Counters Memory Program Slp_ir Slp_machine Stmt

@@ -1,0 +1,1 @@
+lib/vm/vector_exec.ml: Affine Array Cache Counters Float Hashtbl List Memory Operand Printf Scalar_exec Slp_ir Slp_machine Types Visa

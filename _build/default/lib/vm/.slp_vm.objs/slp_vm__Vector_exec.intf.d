@@ -1,0 +1,1 @@
+lib/vm/vector_exec.mli: Counters Memory Slp_machine Visa

@@ -1,0 +1,1 @@
+lib/vm/visa.ml: Affine Array Env Format List Operand Printf Slp_ir Stmt String Types

@@ -1,0 +1,1 @@
+lib/vm/visa.mli: Affine Env Format Operand Slp_ir Stmt Types

@@ -1,0 +1,29 @@
+(** Three-level set-associative cache simulator.
+
+    Each access walks L1 → L2 → L3 → memory, charging the latency of
+    the level that hits and filling all levels above it (inclusive,
+    LRU replacement, write-allocate).  A contention factor inflates
+    the memory latency when several cores are active (paper Figure 21:
+    the scalar code suffers more from contention because it issues
+    more memory operations). *)
+
+type t
+
+val create : ?contention:float -> Slp_machine.Machine.t -> t
+(** [contention] (default 1.0 — single core) multiplies the DRAM
+    latency and adds a shared-bus queueing surcharge of
+    [(contention - 1) x 8] cycles to every line access, hits
+    included. *)
+
+val access : t -> addr:int -> bytes:int -> write:bool -> float
+(** Cycles for the access.  Accesses spanning multiple lines charge
+    each line. *)
+
+val reset : t -> unit
+val hits : t -> int * int * int
+(** L1, L2, L3 hit counts. *)
+
+val misses : t -> int
+(** Accesses served by memory. *)
+
+val accesses : t -> int

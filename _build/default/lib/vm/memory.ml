@@ -1,0 +1,145 @@
+open Slp_ir
+
+type array_box = {
+  data : float array;
+  base : int;
+  dims : int list;
+  elem_bytes : int;
+}
+
+type t = {
+  arrays : (string, array_box) Hashtbl.t;
+  scalar_addrs : (string, int) Hashtbl.t;
+  scalar_vals : (string, float) Hashtbl.t;
+  scalar_base : int;
+  spill_base : int;
+  spills : (int, float array) Hashtbl.t;
+}
+
+let align a n = (a + n - 1) / n * n
+
+let create ?(scalar_layout = []) ~env () =
+  let arrays = Hashtbl.create 16 in
+  let brk = ref 64 in
+  List.iter
+    (fun (name, info) ->
+      let total = List.fold_left ( * ) 1 info.Env.dims in
+      let elem_bytes = Types.bytes info.Env.elem_ty in
+      let base = align !brk 64 in
+      brk := base + (total * elem_bytes);
+      Hashtbl.replace arrays name
+        { data = Array.make total 0.0; base; dims = info.Env.dims; elem_bytes })
+    (Env.arrays env);
+  let scalar_base = align !brk 64 in
+  let scalar_addrs = Hashtbl.create 16 in
+  (* Validate and apply the explicit layout. *)
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (name, off) ->
+      if off < 0 || off mod 8 <> 0 then
+        invalid_arg "Memory.create: scalar offsets must be non-negative multiples of 8";
+      if Hashtbl.mem used off then invalid_arg "Memory.create: duplicate scalar offset";
+      Hashtbl.replace used off ();
+      Hashtbl.replace scalar_addrs name (scalar_base + off))
+    scalar_layout;
+  let next = ref (List.fold_left (fun acc (_, off) -> max acc (off + 8)) 0 scalar_layout) in
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem scalar_addrs name) then begin
+        Hashtbl.replace scalar_addrs name (scalar_base + !next);
+        next := !next + 8
+      end)
+    (Env.scalars env);
+  {
+    arrays;
+    scalar_addrs;
+    scalar_vals = Hashtbl.create 16;
+    scalar_base;
+    (* The spill segment sits after a generous scalar area. *)
+    spill_base = align (scalar_base + 4096) 64;
+    spills = Hashtbl.create 16;
+  }
+
+let box t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Memory: unknown array %s" name)
+
+let init_arrays t ~seed =
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.arrays [] |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      let b = box t name in
+      let rng = Slp_util.Prng.create (seed lxor Hashtbl.hash name) in
+      Array.iteri (fun i _ -> b.data.(i) <- Slp_util.Prng.float rng 1.0) b.data)
+    names
+
+let load t name idx =
+  let b = box t name in
+  if idx < 0 || idx >= Array.length b.data then
+    invalid_arg (Printf.sprintf "Memory.load: %s[%d] out of bounds" name idx);
+  b.data.(idx)
+
+let store t name idx v =
+  let b = box t name in
+  if idx < 0 || idx >= Array.length b.data then
+    invalid_arg (Printf.sprintf "Memory.store: %s[%d] out of bounds" name idx);
+  b.data.(idx) <- v
+
+let scalar t name = Option.value (Hashtbl.find_opt t.scalar_vals name) ~default:0.0
+let set_scalar t name v = Hashtbl.replace t.scalar_vals name v
+let array_base t name = (box t name).base
+
+let scalar_addr t name =
+  match Hashtbl.find_opt t.scalar_addrs name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Memory.scalar_addr: unknown scalar %s" name)
+
+let elem_bytes t name = (box t name).elem_bytes
+
+let flat_index t name idxs =
+  let b = box t name in
+  if List.length idxs <> List.length b.dims then
+    invalid_arg (Printf.sprintf "Memory.flat_index: rank mismatch on %s" name);
+  List.fold_left2
+    (fun acc i d ->
+      if i < 0 || i >= d then
+        invalid_arg (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d);
+      (acc * d) + i)
+    0 idxs b.dims
+
+let addr_of_elem t name idxs =
+  let b = box t name in
+  b.base + (flat_index t name idxs * b.elem_bytes)
+
+let array_values t name = (box t name).data
+let dims t name = (box t name).dims
+
+let spill_addr t ~slot = t.spill_base + (slot * 64)
+let spill_store t ~slot lanes = Hashtbl.replace t.spills slot (Array.copy lanes)
+
+let spill_load t ~slot =
+  match Hashtbl.find_opt t.spills slot with
+  | Some lanes -> Array.copy lanes
+  | None -> invalid_arg (Printf.sprintf "Memory.spill_load: slot %d never stored" slot)
+
+let same_contents a b =
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) a.arrays [] |> List.sort String.compare
+  in
+  List.for_all
+    (fun name ->
+      match Hashtbl.find_opt b.arrays name with
+      | None -> false
+      | Some bb ->
+          let ba = box a name in
+          Array.length ba.data = Array.length bb.data
+          && Array.for_all2
+               (fun x y ->
+                 (* Identical NaNs/infinities count as equal: both
+                    executions overflowing the same way is agreement. *)
+                 Float.equal x y || Float.abs (x -. y) <= 1e-9)
+               ba.data bb.data)
+    names

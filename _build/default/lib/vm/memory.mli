@@ -1,0 +1,55 @@
+(** The simulated address space: arrays and scalar spill slots.
+
+    Arrays are flattened row-major at 64-byte-aligned bases; scalars
+    occupy a dedicated segment whose slot assignment the data layout
+    optimizer may override (paper §5.1 — adjacent slots let a scalar
+    superword move with one vector memory operation).  Addresses are
+    bytes; values are doubles regardless of declared element type
+    (types govern widths and lane counts, not arithmetic). *)
+
+open Slp_ir
+
+type t
+
+val create : ?scalar_layout:(string * int) list -> env:Env.t -> unit -> t
+(** [scalar_layout] assigns byte offsets within the scalar segment;
+    unlisted scalars are appended after the listed ones.  Offsets must
+    be distinct multiples of 8. *)
+
+val init_arrays : t -> seed:int -> unit
+(** Fill every array with deterministic pseudo-random values in
+    [0, 1). *)
+
+val load : t -> string -> int -> float
+(** [load t array flat_index]; raises [Invalid_argument] out of
+    bounds. *)
+
+val store : t -> string -> int -> float -> unit
+val scalar : t -> string -> float
+(** Unset scalars read 0 (conservatively-initialised registers). *)
+
+val set_scalar : t -> string -> float -> unit
+val array_base : t -> string -> int
+val scalar_addr : t -> string -> int
+val elem_bytes : t -> string -> int
+val flat_index : t -> string -> int list -> int
+(** Row-major flattening with per-dimension bounds checks. *)
+
+val addr_of_elem : t -> string -> int list -> int
+val array_values : t -> string -> float array
+(** The live backing store (not a copy). *)
+
+val dims : t -> string -> int list
+
+val spill_addr : t -> slot:int -> int
+(** Byte address of a vector spill slot (64-byte aligned segment after
+    the scalar slots; slots are 64 bytes). *)
+
+val spill_store : t -> slot:int -> float array -> unit
+val spill_load : t -> slot:int -> float array
+(** Raises [Invalid_argument] when the slot was never stored. *)
+
+val same_contents : t -> t -> bool
+(** Array-by-array equality within 1e-9 (identical NaNs/infinities
+    count as equal) — used to check that vectorized execution computes
+    exactly what scalar execution does. *)

@@ -1,0 +1,155 @@
+open Slp_ir
+module M = Slp_machine.Machine
+
+type result = { counters : Counters.t; memory : Memory.t }
+
+let elem_indices ~index_env idxs = List.map (fun ix -> Affine.eval ix index_env) idxs
+
+let exec_stmt ~memory ~cache ~counters ~machine ~index_env (s : Stmt.t) =
+  let costs = machine.M.costs in
+  let charge c = counters.Counters.cycles <- counters.Counters.cycles +. c in
+  let read_operand op =
+    match op with
+    | Operand.Const c -> c
+    | Operand.Scalar v -> begin
+        (* A loop index used as a value reads the induction variable. *)
+        match index_env v with
+        | i -> float_of_int i
+        | exception Not_found -> Memory.scalar memory v
+      end
+    | Operand.Elem (b, idxs) ->
+        let flat = Memory.flat_index memory b (elem_indices ~index_env idxs) in
+        counters.Counters.scalar_loads <- counters.Counters.scalar_loads + 1;
+        charge
+          (float_of_int costs.M.load_issue
+          +. Cache.access cache
+               ~addr:(Memory.array_base memory b + (flat * Memory.elem_bytes memory b))
+               ~bytes:(Memory.elem_bytes memory b) ~write:false);
+        Memory.load memory b flat
+  in
+  let value = Expr.eval s.Stmt.rhs read_operand in
+  counters.Counters.scalar_ops <- counters.Counters.scalar_ops + Stmt.op_count s;
+  let op_cycles =
+    List.fold_left
+      (fun acc op ->
+        acc
+        +
+        match op with
+        | Either.Left Types.Div -> costs.M.divide
+        | Either.Right Types.Sqrt -> costs.M.square_root
+        | Either.Left _ -> costs.M.scalar_op
+        | Either.Right _ -> costs.M.scalar_op)
+      0
+      (Expr.operators s.Stmt.rhs)
+  in
+  charge (float_of_int op_cycles);
+  match s.Stmt.lhs with
+  | Operand.Scalar v -> Memory.set_scalar memory v value
+  | Operand.Elem (b, idxs) ->
+      let flat = Memory.flat_index memory b (elem_indices ~index_env idxs) in
+      counters.Counters.scalar_stores <- counters.Counters.scalar_stores + 1;
+      charge
+        (float_of_int costs.M.store_issue
+        +. Cache.access cache
+             ~addr:(Memory.array_base memory b + (flat * Memory.elem_bytes memory b))
+             ~bytes:(Memory.elem_bytes memory b) ~write:true);
+      Memory.store memory b flat value
+  | Operand.Const _ -> assert false
+
+(* Execute items; [override] optionally replaces the bounds of the
+   outermost loop (multicore partitioning). *)
+let rec exec_items ~memory ~cache ~counters ~machine ~bindings ~override items =
+  let index_env v =
+    match List.assoc_opt v bindings with Some i -> i | None -> raise Not_found
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Program.Stmts b ->
+          List.iter
+            (exec_stmt ~memory ~cache ~counters ~machine ~index_env)
+            b.Block.stmts
+      | Program.Loop l ->
+          let lo, hi =
+            match override with
+            | Some (lo, hi) -> (lo, hi)
+            | None -> (Affine.eval l.Program.lo index_env, Affine.eval l.Program.hi index_env)
+          in
+          let i = ref lo in
+          while !i < hi do
+            exec_items ~memory ~cache ~counters ~machine
+              ~bindings:((l.Program.index, !i) :: bindings)
+              ~override:None l.Program.body;
+            i := !i + l.Program.step
+          done)
+    items
+
+let chunk_ranges ~lo ~hi ~step ~cores =
+  (* Split [lo, hi) into [cores] contiguous step-aligned ranges. *)
+  let trip = if hi <= lo then 0 else ((hi - lo) + step - 1) / step in
+  let per = trip / cores and extra = trip mod cores in
+  let ranges = ref [] in
+  let start = ref lo in
+  for k = 0 to cores - 1 do
+    let iters = per + (if k < extra then 1 else 0) in
+    let stop = !start + (iters * step) in
+    ranges := (!start, min stop hi) :: !ranges;
+    start := stop
+  done;
+  List.rev !ranges
+
+let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
+  let memory =
+    match memory with
+    | Some m -> m
+    | None ->
+        let m = Memory.create ~env:prog.Program.env () in
+        Memory.init_arrays m ~seed;
+        m
+  in
+  if cores <= 1 then begin
+    let cache = Cache.create machine in
+    let counters = Counters.create () in
+    exec_items ~memory ~cache ~counters ~machine ~bindings:[] ~override:None
+      prog.Program.body;
+    { counters; memory }
+  end
+  else begin
+    let contention = 1.0 +. (float_of_int (cores - 1) *. machine.M.contention_per_core) in
+    (* Partition the first top-level loop; everything else runs on
+       core 0. *)
+    match
+      List.find_map
+        (function Program.Loop l -> Some l | Program.Stmts _ -> None)
+        prog.Program.body
+    with
+    | None -> run ~cores:1 ~seed ~memory ~machine prog
+    | Some main_loop ->
+        let lo = Affine.eval main_loop.Program.lo (fun _ -> raise Not_found) in
+        let hi = Affine.eval main_loop.Program.hi (fun _ -> raise Not_found) in
+        let ranges = chunk_ranges ~lo ~hi ~step:main_loop.Program.step ~cores in
+        let all = Counters.create () in
+        let max_cycles = ref 0.0 in
+        List.iteri
+          (fun core (clo, chi) ->
+            let cache = Cache.create ~contention machine in
+            let counters = Counters.create () in
+            List.iter
+              (fun item ->
+                match item with
+                | Program.Loop l when l == main_loop ->
+                    exec_items ~memory ~cache ~counters ~machine ~bindings:[]
+                      ~override:(Some (clo, chi))
+                      [ Program.Loop l ]
+                | Program.Loop _ | Program.Stmts _ ->
+                    if core = 0 then
+                      exec_items ~memory ~cache ~counters ~machine ~bindings:[]
+                        ~override:None [ item ])
+              prog.Program.body;
+            max_cycles := Float.max !max_cycles counters.Counters.cycles;
+            counters.Counters.cycles <- 0.0;
+            Counters.merge_into ~into:all counters)
+          ranges;
+        all.Counters.cycles <- !max_cycles;
+        { counters = all; memory }
+  end

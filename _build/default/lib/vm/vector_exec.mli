@@ -1,0 +1,19 @@
+(** Execution of vectorized programs on the simulated SIMD machine.
+
+    Interprets {!Visa.program}: computes real lane values (so results
+    can be compared against {!Scalar_exec}) and charges machine-model
+    costs — vector ALU cycles, cache-simulated memory latencies for
+    vector and element accesses, and the packing/unpacking register
+    instructions.  Setup items (layout replication) run once and are
+    charged to [setup_cycles].  Multicore semantics mirror
+    {!Scalar_exec.run}. *)
+
+type result = { counters : Counters.t; memory : Memory.t }
+
+val run :
+  ?cores:int ->
+  ?seed:int ->
+  ?memory:Memory.t ->
+  machine:Slp_machine.Machine.t ->
+  Visa.program ->
+  result

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Block Env Expr List Operand Option Program Slp_analysis Slp_ir Stmt Types

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Affine Alcotest Block Env Expr List Operand Slp_baseline Slp_core Slp_ir Stmt Types

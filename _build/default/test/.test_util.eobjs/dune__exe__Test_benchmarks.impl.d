@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest List Program Slp_benchmarks Slp_ir Slp_machine Slp_vm

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest List Slp_frontend Slp_machine Slp_pipeline Slp_vm

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Affine Alcotest Block Expr List Operand Program Slp_frontend Slp_ir Slp_machine Slp_vm Stmt Types

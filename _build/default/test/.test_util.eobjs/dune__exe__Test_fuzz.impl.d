@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Affine Alcotest Block Env Expr Float List Operand Program QCheck QCheck_alcotest Slp_frontend Slp_ir Slp_machine Slp_pipeline Slp_vm Stmt String Types

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Printf Slp_benchmarks Slp_harness Slp_machine Slp_pipeline String

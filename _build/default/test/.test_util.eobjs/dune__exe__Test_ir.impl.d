@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Alcotest Block Either Env Expr List Operand Program QCheck QCheck_alcotest Slp_ir Slp_util Stmt String Types

@@ -1,0 +1,1 @@
+test/test_layout.ml: Affine Alcotest Array Env List Operand Printf Program Slp_frontend Slp_ir Slp_layout Slp_machine Slp_pipeline Slp_util Slp_vm String Types

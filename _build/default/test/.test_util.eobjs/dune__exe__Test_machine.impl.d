@@ -1,0 +1,1 @@
+test/test_machine.ml: Affine Alcotest Block Env Expr List Operand QCheck QCheck_alcotest Slp_baseline Slp_core Slp_ir Slp_machine Stmt Types

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Block Env Expr List Operand Slp_core Slp_ir Types

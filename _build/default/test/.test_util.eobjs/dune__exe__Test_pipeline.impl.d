@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Printf Slp_frontend Slp_machine Slp_pipeline Slp_vm

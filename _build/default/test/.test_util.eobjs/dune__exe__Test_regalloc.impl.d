@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Affine Alcotest Env Hashtbl List Operand Slp_benchmarks Slp_codegen Slp_ir Slp_machine Slp_pipeline Slp_vm Types

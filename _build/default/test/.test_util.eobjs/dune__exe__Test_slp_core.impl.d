@@ -1,0 +1,1 @@
+test/test_slp_core.ml: Affine Alcotest Block Env Expr Hashtbl List Operand Slp_core Slp_ir Stmt String Types

@@ -1,0 +1,1 @@
+test/test_transform.ml: Affine Alcotest Block Expr List Operand Printf Program Slp_frontend Slp_ir Slp_machine Slp_transform Slp_vm Stmt String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Slp_util String

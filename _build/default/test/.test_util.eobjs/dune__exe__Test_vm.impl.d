@@ -1,0 +1,1 @@
+test/test_vm.ml: Affine Alcotest Array Block Env Expr List Operand Printf Program Slp_frontend Slp_ir Slp_machine Slp_vm Types

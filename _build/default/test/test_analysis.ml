@@ -1,0 +1,152 @@
+(* Tests for the analysis library: access vectors, alignment, def-use
+   chains and scalar liveness. *)
+
+open Slp_ir
+module Access = Slp_analysis.Access
+module Alignment = Slp_analysis.Alignment
+module Chains = Slp_analysis.Chains
+module Liveness = Slp_analysis.Liveness
+
+(* -- access vectors -------------------------------------------------------- *)
+
+let test_access_vector () =
+  (* A[2i+1][3j-2] in nest (i, j). *)
+  let op =
+    Operand.Elem
+      ("A", [ Affine.make [ ("i", 2) ] 1; Affine.make [ ("j", 3) ] (-2) ])
+  in
+  match Access.of_operand ~nest:[ "i"; "j" ] op with
+  | None -> Alcotest.fail "expected an access vector"
+  | Some a ->
+      Alcotest.(check int) "rank" 2 (Access.rank a);
+      Alcotest.(check int) "depth" 2 (Access.depth a);
+      Alcotest.(check bool) "Q" true (a.Access.q = [| [| 2; 0 |]; [| 0; 3 |] |]);
+      Alcotest.(check bool) "O" true (a.Access.offset = [| 1; -2 |]);
+      (* Row-major linearisation with dims [8; 16]:
+         addr = (2i+1)*16 + 3j-2 = 32 i + 3 j + 14. *)
+      let coeffs, const = Access.linearise ~dims:[ 8; 16 ] a in
+      Alcotest.(check bool) "linear coeffs" true (coeffs = [| 32; 3 |]);
+      Alcotest.(check int) "linear const" 14 const;
+      Alcotest.(check int) "innermost stride" 3 (Access.innermost_coeff ~dims:[ 8; 16 ] a)
+
+let test_access_rejects_foreign_vars () =
+  let op = Operand.Elem ("A", [ Affine.var "k" ]) in
+  Alcotest.(check bool) "foreign variable" true
+    (Access.of_operand ~nest:[ "i" ] op = None);
+  Alcotest.(check bool) "scalar has no access vector" true
+    (Access.of_operand ~nest:[ "i" ] (Operand.Scalar "x") = None)
+
+(* -- alignment -------------------------------------------------------------- *)
+
+let verdict =
+  Alcotest.testable Alignment.pp_verdict (fun a b -> a = b)
+
+let test_alignment_verdicts () =
+  let acc coeff const =
+    Option.get
+      (Access.of_operand ~nest:[ "i" ]
+         (Operand.Elem ("A", [ Affine.make [ ("i", coeff) ] const ])))
+  in
+  (* Two lanes: aligned iff coeff and const are even. *)
+  Alcotest.check verdict "A[2i] aligned" Alignment.Aligned
+    (Alignment.of_access ~lanes:2 ~dims:[ 64 ] (acc 2 0));
+  Alcotest.check verdict "A[2i+1] misaligned by one" (Alignment.Misaligned 1)
+    (Alignment.of_access ~lanes:2 ~dims:[ 64 ] (acc 2 1));
+  Alcotest.check verdict "A[i] varies" Alignment.Unknown
+    (Alignment.of_access ~lanes:2 ~dims:[ 64 ] (acc 1 0))
+
+let env_a () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 64 ];
+  env
+
+let test_contiguous_pack () =
+  let env = env_a () in
+  let e k = Operand.Elem ("A", [ Affine.make [ ("i", 1) ] k ]) in
+  Alcotest.(check bool) "ascending run" true
+    (Alignment.contiguous_pack ~env [ e 0; e 1; e 2 ]);
+  Alcotest.(check bool) "gap breaks it" false
+    (Alignment.contiguous_pack ~env [ e 0; e 2 ]);
+  Alcotest.(check bool) "descending is not contiguous" false
+    (Alignment.contiguous_pack ~env [ e 1; e 0 ]);
+  Alcotest.(check bool) "single operand is not a pack" false
+    (Alignment.contiguous_pack ~env [ e 0 ]);
+  Alcotest.(check bool) "scalars are not contiguous memory" false
+    (Alignment.contiguous_pack ~env [ Operand.Scalar "x"; Operand.Scalar "y" ])
+
+(* -- chains ------------------------------------------------------------------- *)
+
+let chain_block () =
+  Block.of_rhs
+    [
+      (Operand.Scalar "x", Expr.Infix.(cst 1.0 + cst 1.0));
+      (Operand.Scalar "y", Expr.Infix.(sc "x" * cst 2.0));
+      (Operand.Scalar "x", Expr.Infix.(sc "x" + cst 1.0));
+      (Operand.Scalar "z", Expr.Infix.(sc "x" * sc "y"));
+    ]
+
+let test_chains () =
+  let c = Chains.compute (chain_block ()) in
+  (* S1 defines x; read by S2 and S3 (before S3 redefines it). *)
+  Alcotest.(check (list int)) "def-use of S1" [ 2; 3 ] (Chains.def_use c 1);
+  (* S4 reads the x from S3 and the y from S2. *)
+  Alcotest.(check (list (pair string int)))
+    "use-def of S4"
+    [ ("x", 3); ("y", 2) ]
+    (List.sort compare (Chains.use_def c 4));
+  Alcotest.(check (option int)) "reaching def" (Some 3)
+    (Chains.reaching_def c ~var:"x" ~before:4);
+  Alcotest.(check (option int)) "before the redefinition" (Some 1)
+    (Chains.reaching_def c ~var:"x" ~before:3)
+
+(* -- liveness ------------------------------------------------------------------ *)
+
+let test_liveness () =
+  let env = Env.create () in
+  List.iter (fun v -> Env.declare_scalar env v Types.F64) [ "t"; "acc"; "out" ];
+  Env.declare_array env "A" Types.F64 [ 16 ];
+  let b1 =
+    Block.make ~label:"b1"
+      [
+        Stmt.make ~id:1 ~lhs:(Operand.Scalar "t")
+          ~rhs:Expr.Infix.(arr "A" [ Affine.var "i" ] + cst 0.0);
+        Stmt.make ~id:2 ~lhs:(Operand.Scalar "acc") ~rhs:Expr.Infix.(sc "acc" + sc "t");
+      ]
+  in
+  let b2 =
+    Block.make ~label:"b2"
+      [ Stmt.make ~id:1 ~lhs:(Operand.Scalar "out") ~rhs:Expr.Infix.(sc "acc" * cst 2.0) ]
+  in
+  let prog =
+    Program.make ~name:"p" ~env
+      [
+        Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 16) [ Program.Stmts b1 ];
+        Program.Stmts b2;
+      ]
+  in
+  let live = Liveness.compute prog in
+  (* t: defined then used within b1 only -> dead outside the block's
+     vector dataflow. *)
+  Alcotest.(check bool) "t not demanded" false (Liveness.demanded live b1 "t");
+  (* acc: upward exposed in b1 (loop-carried) and read by b2. *)
+  Alcotest.(check bool) "acc upward exposed" true (Liveness.upward_exposed live b1 "acc");
+  Alcotest.(check bool) "acc demanded" true (Liveness.demanded live b1 "acc");
+  (* out: written in b2, read nowhere else. *)
+  Alcotest.(check bool) "out not demanded" false (Liveness.demanded live b2 "out")
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "access",
+        [
+          Alcotest.test_case "access vectors" `Quick test_access_vector;
+          Alcotest.test_case "foreign variables" `Quick test_access_rejects_foreign_vars;
+        ] );
+      ( "alignment",
+        [
+          Alcotest.test_case "verdicts" `Quick test_alignment_verdicts;
+          Alcotest.test_case "contiguous packs" `Quick test_contiguous_pack;
+        ] );
+      ("chains", [ Alcotest.test_case "def-use / use-def" `Quick test_chains ]);
+      ("liveness", [ Alcotest.test_case "demand analysis" `Quick test_liveness ]);
+    ]

