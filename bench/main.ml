@@ -61,8 +61,8 @@ let grouping_with options () =
   let env, block = fig15 () in
   ignore (Grouping.run ~options ~env ~config block)
 
-let tests =
-  let t name f = Test.make ~name (Staged.stage f) in
+let all_tests =
+  let t name f = (name, f) in
   [
     (* Tables: model construction and suite parsing. *)
     t "table1_intel_model" (fun () -> ignore (Machine.describe intel));
@@ -165,21 +165,170 @@ let tests =
              ~env ~config block g));
   ]
 
+(* Natural ("numeric by name groups") ordering: digit runs compare as
+   numbers, so fig18_width_256 sorts before fig18_width_1024 and fig9
+   before fig16. *)
+let nat_key name =
+  let n = String.length name in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let j = ref i in
+      if is_digit name.[i] then begin
+        while !j < n && is_digit name.[!j] do
+          incr j
+        done;
+        go !j (Either.Right (int_of_string (String.sub name i (!j - i))) :: acc)
+      end
+      else begin
+        while !j < n && not (is_digit name.[!j]) do
+          incr j
+        done;
+        go !j (Either.Left (String.sub name i (!j - i)) :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let nat_compare a b =
+  let rec cmp xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c =
+          match (x, y) with
+          | Either.Right a, Either.Right b -> Stdlib.compare (a : int) b
+          | Either.Left a, Either.Left b -> String.compare a b
+          | Either.Right _, Either.Left _ -> -1
+          | Either.Left _, Either.Right _ -> 1
+        in
+        if c <> 0 then c else cmp xs ys
+  in
+  cmp (nat_key a) (nat_key b)
+
+(* Results JSON is a flat name -> ns/run map, one pair per line; the
+   same representation is accepted back via --baseline. *)
+let write_json path ?baseline rows =
+  let oc = open_out path in
+  let pair (name, e) = Printf.sprintf "    %S: %.1f" name e in
+  let obj key rows =
+    if rows = [] then []
+    else
+      (Printf.sprintf "  %S: {" key :: [ String.concat ",\n" (List.map pair rows) ])
+      @ [ "  }" ]
+  in
+  let sections =
+    match baseline with
+    | None -> [ String.concat "\n" (obj "results" rows) ]
+    | Some base ->
+        let before =
+          List.filter_map
+            (fun (name, _) ->
+              Option.map (fun b -> (name, b)) (List.assoc_opt name base))
+            rows
+        in
+        let speedup =
+          List.filter_map
+            (fun (name, e) ->
+              match List.assoc_opt name base with
+              | Some b when e > 0.0 -> Some (name, b /. e)
+              | Some _ | None -> None)
+            rows
+        in
+        List.map
+          (fun s -> String.concat "\n" s)
+          [ obj "before" before; obj "after" rows; obj "speedup" speedup ]
+        |> List.filter (fun s -> s <> "")
+  in
+  Printf.fprintf oc "{\n  \"unit\": \"ns/run\",\n%s\n}\n"
+    (String.concat ",\n" sections);
+  close_out oc
+
+let read_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match Scanf.sscanf line " %S : %f" (fun n e -> (n, e)) with
+       | pair -> rows := pair :: !rows
+       | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
 let () =
+  let json_path = ref "" in
+  let baseline_path = ref "" in
+  let quota = ref 0.25 in
+  let limit = ref 200 in
+  let names = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set_string json_path, "PATH write the results as JSON");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "PATH previous --json output to compare against (adds before/speedup)" );
+      ( "--quota",
+        Arg.Set_float quota,
+        "SECONDS per-benchmark time quota (default 0.25)" );
+      ("--limit", Arg.Set_int limit, "N max runs per benchmark (default 200)");
+    ]
+  in
+  Arg.parse spec
+    (fun n -> names := n :: !names)
+    "bench [options] [benchmark names...]\n\
+     With no names, every benchmark runs; otherwise only the named ones.";
+  let selected =
+    match !names with
+    | [] -> all_tests
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n all_tests) then begin
+              Printf.eprintf "bench: unknown benchmark %s\n" n;
+              exit 2
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) all_tests
+  in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) selected
+  in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let cfg = Benchmark.cfg ~limit:!limit ~quota:(Time.second !quota) () in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"slp" tests) in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
   let rows =
     Hashtbl.fold
       (fun name est acc ->
         match Analyze.OLS.estimates est with
-        | Some (e :: _) -> (name, e) :: acc
-        | Some [] | None -> (name, nan) :: acc)
+        | Some (e :: _) -> (strip name, e) :: acc
+        | Some [] | None -> (strip name, nan) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> nat_compare a b)
   in
-  List.iter (fun (name, e) -> Printf.printf "%-40s %14.0f ns/run\n" name e) rows
+  let baseline =
+    if !baseline_path = "" then None else Some (read_baseline !baseline_path)
+  in
+  List.iter
+    (fun (name, e) ->
+      match Option.map (List.assoc_opt name) baseline with
+      | Some (Some b) when e > 0.0 ->
+          Printf.printf "%-40s %14.0f ns/run  %14.0f before  %6.2fx\n" name e b
+            (b /. e)
+      | _ -> Printf.printf "%-40s %14.0f ns/run\n" name e)
+    rows;
+  if !json_path <> "" then write_json !json_path ?baseline rows

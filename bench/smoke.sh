@@ -1,0 +1,12 @@
+#!/bin/sh
+# Perf smoke: run a 3-benchmark subset with a tiny quota and write the
+# machine-readable perf trajectory (before/after/speedup vs the seed
+# interpreter baseline) to BENCH_vm.json at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+exec dune exec bench/main.exe -- \
+  --quota "${SMOKE_QUOTA:-0.05}" --limit 50 \
+  --baseline bench/baseline_seed.json \
+  --json BENCH_vm.json \
+  fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex

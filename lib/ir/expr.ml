@@ -82,11 +82,19 @@ let rec compare a b =
         if c <> 0 then c else compare r1 r2
   | Bin _, (Leaf _ | Un _) -> 1
 
+(* [env] may have effects (the interpreter charges cache latencies per
+   leaf), so the operand order is pinned explicitly: right before left,
+   the historical constructor-argument order, which the compiled
+   execution engine replicates to keep cache state and cycle
+   accumulation bit-identical. *)
 let rec eval e env =
   match e with
   | Leaf op -> env op
   | Un (u, e) -> Types.eval_unop u (eval e env)
-  | Bin (b, l, r) -> Types.eval_binop b (eval l env) (eval r env)
+  | Bin (b, l, r) ->
+      let vr = eval r env in
+      let vl = eval l env in
+      Types.eval_binop b vl vr
 
 let rec pp ppf = function
   | Leaf op -> Operand.pp ppf op

@@ -69,6 +69,20 @@ let merge_into ~into t =
   into.cycles <- into.cycles +. t.cycles;
   into.setup_cycles <- into.setup_cycles +. t.setup_cycles
 
+let approx_equal a b =
+  let close x y = Float.equal x y || Float.abs (x -. y) <= 1e-9 in
+  a.scalar_ops = b.scalar_ops && a.vector_ops = b.vector_ops
+  && a.scalar_loads = b.scalar_loads
+  && a.scalar_stores = b.scalar_stores
+  && a.vector_loads = b.vector_loads
+  && a.vector_stores = b.vector_stores
+  && a.pack_loads = b.pack_loads
+  && a.pack_stores = b.pack_stores
+  && a.inserts = b.inserts && a.extracts = b.extracts && a.permutes = b.permutes
+  && a.broadcasts = b.broadcasts
+  && close a.cycles b.cycles
+  && close a.setup_cycles b.setup_cycles
+
 let dynamic_instructions t =
   t.scalar_ops + t.vector_ops + t.scalar_loads + t.scalar_stores + t.vector_loads
   + t.vector_stores

@@ -33,6 +33,11 @@ val add : t -> t -> t
 val merge_into : into:t -> t -> unit
 (** Accumulate instruction counts and cycles into [into]. *)
 
+val approx_equal : t -> t -> bool
+(** All instruction counts equal; [cycles] and [setup_cycles] within
+    1e-9 — the differential check between the compiled engine and the
+    reference interpreters. *)
+
 val dynamic_instructions : t -> int
 (** All executed instructions except packing/unpacking. *)
 

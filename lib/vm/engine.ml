@@ -1,0 +1,897 @@
+(* Closure-compiled execution engine.
+
+   The legacy interpreters ([Scalar_exec], [Vector_exec]) re-resolve
+   everything on every loop iteration: loop indices through an assoc
+   list, scalars through a string-keyed hash table, vector registers
+   through an int-keyed hash table, and affine subscripts through a
+   string-map fold.  This module performs that resolution once, as a
+   *compilation* step: a program becomes a tree of OCaml closures over
+   a flat execution state — scalar names resolved to integer slots in
+   [Memory]'s flat backing store, vector registers in a preallocated
+   array indexed by the regalloc-assigned number, loop indices in an
+   int frame indexed by nesting depth, affine subscripts specialised
+   to [base + sum coeff*frame.(d)] multiply-adds, and per-instruction
+   cost constants hoisted out of the loop.
+
+   The engine is observationally identical to the interpreters: every
+   cache access happens at the same address in the same order, every
+   counter increments at the same point, and cycles accumulate in the
+   same floating-point order, so results are bit-identical (the
+   differential fuzz suite asserts this).  The interpreters remain as
+   the reference oracle. *)
+
+open Slp_ir
+module M = Slp_machine.Machine
+
+type result = { counters : Counters.t; memory : Memory.t }
+
+(* Per-core mutable execution state.  Memory-dependent data (array
+   backing stores, base addresses, scalar slots) is captured inside
+   the compiled closures at link time; memory itself is shared across
+   cores, like the interpreters'. *)
+type state = {
+  cache : Cache.t;
+  counters : Counters.t;
+  cycles : float array;
+      (** Single-cell cycle accumulator.  [Counters.t] mixes int and
+          float fields, so its float fields are boxed and every
+          [cycles <- cycles +. c] would allocate; accumulating in a
+          float array cell is allocation-free and the drivers copy the
+          total into [counters] at run boundaries.  The additions
+          happen in the same order as the interpreters', so the result
+          is bit-identical. *)
+  frame : int array;  (** Loop index value per nesting depth. *)
+  vregs : float array array;  (** Vector register file by register number. *)
+}
+
+let charge st c = st.cycles.(0) <- st.cycles.(0) +. c
+
+(* Unique sentinel marking a register never written.  A zero-length
+   array cannot serve: OCaml shares one atom for all empty arrays, so
+   it would also match a legitimately empty register value. *)
+let unset_vreg = [| Float.nan |]
+
+let vreg st r =
+  let lanes = st.vregs.(r) in
+  if lanes == unset_vreg then
+    invalid_arg (Printf.sprintf "Vector_exec: v%d read before write" r);
+  lanes
+
+(* Compiled top-level items keep their loop structure exposed so the
+   multicore driver can override the bounds of the partitioned loop;
+   nested structure is folded into plain closures. *)
+type citem = Cblock of (state -> unit) | Cloop of cloop
+
+and cloop = {
+  c_depth : int;
+  c_step : int;
+  c_lo : state -> int;
+  c_hi : state -> int;
+  c_const_bounds : (int * int) option;
+  c_body : state -> unit;
+}
+
+let run_loop st l ~lo ~hi =
+  let i = ref lo in
+  while !i < hi do
+    st.frame.(l.c_depth) <- !i;
+    l.c_body st;
+    i := !i + l.c_step
+  done
+
+let run_item st = function
+  | Cblock f -> f st
+  | Cloop l -> run_loop st l ~lo:(l.c_lo st) ~hi:(l.c_hi st)
+
+let run_items st items = List.iter (run_item st) items
+
+let first_cloop items =
+  let rec go k = function
+    | [] -> None
+    | Cloop l :: _ -> Some (k, l)
+    | Cblock _ :: rest -> go (k + 1) rest
+  in
+  go 0 items
+
+let chunk_ranges ~lo ~hi ~step ~cores =
+  (* Split [lo, hi) into [cores] contiguous step-aligned ranges. *)
+  let trip = if hi <= lo then 0 else ((hi - lo) + step - 1) / step in
+  let per = trip / cores and extra = trip mod cores in
+  let ranges = ref [] in
+  let start = ref lo in
+  for k = 0 to cores - 1 do
+    let iters = per + (if k < extra then 1 else 0) in
+    let stop = !start + (iters * step) in
+    ranges := (!start, min stop hi) :: !ranges;
+    start := stop
+  done;
+  List.rev !ranges
+
+(* -- linking helpers ----------------------------------------------- *)
+
+type linkctx = {
+  mem : Memory.t;
+  machine : M.t;
+  sdata : float array;
+      (* The scalar backing store, captured after every name in the
+         program has been registered (so it cannot be replaced by a
+         growth mid-run). *)
+}
+
+(* Affine subscripts specialise to integer multiply-adds over the loop
+   frame.  [depths] maps enclosing loop indices to frame depths,
+   innermost first; an unbound variable raises [Not_found] like
+   [Affine.eval] under the interpreters' index environment. *)
+let resolve_terms ~depths a =
+  List.map
+    (fun (v, k) ->
+      match List.assoc_opt v depths with
+      | Some d -> (d, k)
+      | None -> raise Not_found)
+    (Affine.terms a)
+
+let compile_affine ~depths a =
+  let const = Affine.const_part a in
+  match resolve_terms ~depths a with
+  | [] -> fun _ -> const
+  | [ (d, k) ] -> fun (frame : int array) -> const + (k * frame.(d))
+  | terms ->
+      let terms = Array.of_list terms in
+      fun frame ->
+        let acc = ref const in
+        Array.iter (fun (d, k) -> acc := !acc + (k * frame.(d))) terms;
+        !acc
+
+let compile_bound ~depths a =
+  let f = compile_affine ~depths a in
+  fun st -> f st.frame
+
+(* A linked array element: backing store, geometry, and a specialised
+   bounds-checked flat-index function (same checks and error messages
+   as [Memory.flat_index]). *)
+type elem_ref = {
+  e_data : float array;
+  e_base : int;
+  e_bytes : int;
+  e_flat : int array -> int;
+}
+
+let compile_flat ~depths ctx name idxs =
+  let dims = Memory.dims ctx.mem name in
+  match (dims, idxs) with
+  | [ d0 ], [ ix ] ->
+      (* The common 1-D case folds the bounds check into the affine
+         closure itself (no inner closure call on the hot path). *)
+      let oob i =
+        invalid_arg
+          (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d0)
+      in
+      let const = Affine.const_part ix in
+      (match resolve_terms ~depths ix with
+      | [] -> if const < 0 || const >= d0 then fun _ -> oob const else fun _ -> const
+      | [ (d, k) ] ->
+          fun (frame : int array) ->
+            let i = const + (k * frame.(d)) in
+            if i < 0 || i >= d0 then oob i;
+            i
+      | terms ->
+          let terms = Array.of_list terms in
+          fun frame ->
+            let acc = ref const in
+            Array.iter (fun (d, k) -> acc := !acc + (k * frame.(d))) terms;
+            let i = !acc in
+            if i < 0 || i >= d0 then oob i;
+            i)
+  | dims, idxs when List.length dims = List.length idxs ->
+      let fs = Array.of_list (List.map (compile_affine ~depths) idxs) in
+      let ds = Array.of_list dims in
+      fun frame ->
+        let acc = ref 0 in
+        Array.iteri
+          (fun k f ->
+            let i = f frame in
+            let d = ds.(k) in
+            if i < 0 || i >= d then
+              invalid_arg
+                (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d);
+            acc := (!acc * d) + i)
+          fs;
+        !acc
+  | _ -> (fun _ -> invalid_arg (Printf.sprintf "Memory.flat_index: rank mismatch on %s" name))
+
+let link_elem ctx ~depths op =
+  match op with
+  | Operand.Elem (b, idxs) ->
+      {
+        e_data = Memory.array_values ctx.mem b;
+        e_base = Memory.array_base ctx.mem b;
+        e_bytes = Memory.elem_bytes ctx.mem b;
+        e_flat = compile_flat ~depths ctx b idxs;
+      }
+  | Operand.Const _ | Operand.Scalar _ ->
+      invalid_arg "Engine: expected an array element operand"
+
+(* A scalar name used as a value: a loop index reads the induction
+   variable (innermost binding first, as the interpreters' assoc-list
+   lookup), otherwise the flat scalar slot. *)
+let link_scalar_read ctx ~depths v =
+  match List.assoc_opt v depths with
+  | Some d -> fun st -> float_of_int st.frame.(d)
+  | None ->
+      let data = ctx.sdata in
+      let slot = Memory.scalar_slot ctx.mem v in
+      fun _ -> data.(slot)
+
+let binop_fn = function
+  | Types.Add -> ( +. )
+  | Types.Sub -> ( -. )
+  | Types.Mul -> ( *. )
+  | Types.Div -> ( /. )
+  | Types.Min -> Float.min
+  | Types.Max -> Float.max
+
+let unop_fn = function
+  | Types.Neg -> ( ~-. )
+  | Types.Abs -> Float.abs
+  | Types.Sqrt -> Float.sqrt
+
+(* -- scalar statements --------------------------------------------- *)
+
+(* Mirrors [Scalar_exec.exec_stmt]: loads charge as the expression
+   evaluates (right operand before left, as pinned by [Expr.eval]),
+   then ALU cycles, then the store. *)
+let compile_operand_read ctx ~depths op =
+  match op with
+  | Operand.Const c -> fun _ -> c
+  | Operand.Scalar v -> link_scalar_read ctx ~depths v
+  | Operand.Elem _ ->
+      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ctx ~depths op in
+      let issue = float_of_int ctx.machine.M.costs.M.load_issue in
+      fun st ->
+        let fl = e_flat st.frame in
+        st.counters.Counters.scalar_loads <- st.counters.Counters.scalar_loads + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache ~addr:(e_base + (fl * bytes)) ~bytes ~write:false);
+        e_data.(fl)
+
+let rec compile_expr ctx ~depths e =
+  match e with
+  | Expr.Leaf op -> compile_operand_read ctx ~depths op
+  | Expr.Un (u, inner) ->
+      let f = compile_expr ctx ~depths inner in
+      let g = unop_fn u in
+      fun st -> g (f st)
+  | Expr.Bin (b, l, r) ->
+      let fl = compile_expr ctx ~depths l in
+      let fr = compile_expr ctx ~depths r in
+      let g = binop_fn b in
+      fun st ->
+        let vr = fr st in
+        let vl = fl st in
+        g vl vr
+
+let compile_stmt ctx ~depths (s : Stmt.t) =
+  let costs = ctx.machine.M.costs in
+  let rhs = compile_expr ctx ~depths s.Stmt.rhs in
+  let nops = Stmt.op_count s in
+  let op_cycles =
+    float_of_int
+      (List.fold_left
+         (fun acc op ->
+           acc
+           +
+           match op with
+           | Either.Left Types.Div -> costs.M.divide
+           | Either.Right Types.Sqrt -> costs.M.square_root
+           | Either.Left _ -> costs.M.scalar_op
+           | Either.Right _ -> costs.M.scalar_op)
+         0
+         (Expr.operators s.Stmt.rhs))
+  in
+  match s.Stmt.lhs with
+  | Operand.Scalar v ->
+      let data = ctx.sdata in
+      let slot = Memory.scalar_slot ctx.mem v in
+      fun st ->
+        let value = rhs st in
+        st.counters.Counters.scalar_ops <- st.counters.Counters.scalar_ops + nops;
+        charge st op_cycles;
+        data.(slot) <- value
+  | Operand.Elem _ as op ->
+      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ctx ~depths op in
+      let issue = float_of_int costs.M.store_issue in
+      fun st ->
+        let value = rhs st in
+        st.counters.Counters.scalar_ops <- st.counters.Counters.scalar_ops + nops;
+        charge st op_cycles;
+        let fl = e_flat st.frame in
+        st.counters.Counters.scalar_stores <- st.counters.Counters.scalar_stores + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache ~addr:(e_base + (fl * bytes)) ~bytes ~write:true);
+        e_data.(fl) <- value
+  | Operand.Const _ -> assert false
+
+let run_block fs st =
+  for k = 0 to Array.length fs - 1 do
+    fs.(k) st
+  done
+
+let rec compile_scalar_items ctx ~depths ~depth items =
+  List.map
+    (function
+      | Program.Stmts b ->
+          let fs =
+            Array.of_list (List.map (compile_stmt ctx ~depths) b.Block.stmts)
+          in
+          Cblock (run_block fs)
+      | Program.Loop l ->
+          let c_lo = compile_bound ~depths l.Program.lo in
+          let c_hi = compile_bound ~depths l.Program.hi in
+          let body =
+            compile_scalar_items ctx
+              ~depths:((l.Program.index, depth) :: depths)
+              ~depth:(depth + 1) l.Program.body
+          in
+          Cloop
+            {
+              c_depth = depth;
+              c_step = l.Program.step;
+              c_lo;
+              c_hi;
+              c_const_bounds =
+                (match (Affine.to_const l.Program.lo, Affine.to_const l.Program.hi) with
+                | Some lo, Some hi -> Some (lo, hi)
+                | _, _ -> None);
+              c_body = (fun st -> run_items st body);
+            })
+    items
+
+(* -- vector instructions ------------------------------------------- *)
+
+let link_lane_src ctx ~depths ~count (src : Visa.lane_src) =
+  match src with
+  | Visa.Imm f -> fun _ -> f
+  | Visa.Reg v -> link_scalar_read ctx ~depths v
+  | Visa.Mem op ->
+      let { e_data; e_base; e_bytes; e_flat } = link_elem ctx ~depths op in
+      let issue = float_of_int ctx.machine.M.costs.M.load_issue in
+      fun st ->
+        let fl = e_flat st.frame in
+        count st.counters;
+        charge st
+          (issue
+          +. Cache.access st.cache
+               ~addr:(e_base + (fl * e_bytes))
+               ~bytes:e_bytes ~write:false);
+        e_data.(fl)
+
+let pack_load c = c.Counters.pack_loads <- c.Counters.pack_loads + 1
+
+let compile_instr ctx ~depths instr =
+  let costs = ctx.machine.M.costs in
+  match instr with
+  | Visa.Vload { dst; elems } ->
+      let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
+      let n = Array.length es in
+      let e0 = es.(0) in
+      let issue = float_of_int costs.M.load_issue in
+      let bytes_total = e0.e_bytes * n in
+      let flats = Array.make n 0 in
+      (* The lane buffer is owned by this instruction: it only ever
+         reaches the register file through [dst], so reusing it across
+         executions cannot alias another live register. *)
+      let values = Array.make n 0.0 in
+      fun st ->
+        let frame = st.frame in
+        for k = 0 to n - 1 do
+          flats.(k) <- es.(k).e_flat frame
+        done;
+        for k = 0 to n - 1 do
+          values.(k) <- es.(k).e_data.(flats.(k))
+        done;
+        st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache
+               ~addr:(e0.e_base + (flats.(0) * e0.e_bytes))
+               ~bytes:bytes_total ~write:false);
+        st.vregs.(dst) <- values
+  | Visa.Vstore { src; elems } ->
+      let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
+      let n = Array.length es in
+      let e0 = es.(0) in
+      let issue = float_of_int costs.M.store_issue in
+      let bytes_total = e0.e_bytes * n in
+      let flats = Array.make n 0 in
+      fun st ->
+        let lanes = vreg st src in
+        let frame = st.frame in
+        for k = 0 to n - 1 do
+          flats.(k) <- es.(k).e_flat frame
+        done;
+        for k = 0 to n - 1 do
+          es.(k).e_data.(flats.(k)) <- lanes.(k)
+        done;
+        st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache
+               ~addr:(e0.e_base + (flats.(0) * e0.e_bytes))
+               ~bytes:bytes_total ~write:true)
+  | Visa.Vgather { dst; srcs } ->
+      let fns =
+        Array.of_list (List.map (link_lane_src ctx ~depths ~count:pack_load) srcs)
+      in
+      let n = Array.length fns in
+      let insert_c = float_of_int (n * costs.M.insert) in
+      let values = Array.make n 0.0 in
+      fun st ->
+        for k = 0 to n - 1 do
+          values.(k) <- fns.(k) st
+        done;
+        st.counters.Counters.inserts <- st.counters.Counters.inserts + n;
+        charge st insert_c;
+        st.vregs.(dst) <- values
+  | Visa.Vunpack { src; dsts } ->
+      let extract_c = float_of_int costs.M.extract in
+      let fns =
+        List.mapi
+          (fun i d ->
+            match d with
+            | None -> None
+            | Some (Visa.To_reg v) ->
+                let data = ctx.sdata in
+                let slot = Memory.scalar_slot ctx.mem v in
+                Some
+                  (fun st (lanes : float array) ->
+                    st.counters.Counters.extracts <- st.counters.Counters.extracts + 1;
+                    charge st extract_c;
+                    data.(slot) <- lanes.(i))
+            | Some (Visa.To_mem op) ->
+                let { e_data; e_base; e_bytes; e_flat } = link_elem ctx ~depths op in
+                let issue = float_of_int costs.M.store_issue in
+                Some
+                  (fun st lanes ->
+                    st.counters.Counters.extracts <- st.counters.Counters.extracts + 1;
+                    charge st extract_c;
+                    let fl = e_flat st.frame in
+                    st.counters.Counters.pack_stores <-
+                      st.counters.Counters.pack_stores + 1;
+                    charge st
+                      (issue
+                      +. Cache.access st.cache
+                           ~addr:(e_base + (fl * e_bytes))
+                           ~bytes:e_bytes ~write:true);
+                    e_data.(fl) <- lanes.(i)))
+          dsts
+        |> List.filter_map Fun.id |> Array.of_list
+      in
+      fun st ->
+        let lanes = vreg st src in
+        for k = 0 to Array.length fns - 1 do
+          fns.(k) st lanes
+        done
+  | Visa.Vbroadcast { dst; src; lanes } ->
+      let value = link_lane_src ctx ~depths ~count:pack_load src in
+      let broadcast_c = float_of_int costs.M.broadcast in
+      let buf = Array.make lanes 0.0 in
+      fun st ->
+        let v = value st in
+        st.counters.Counters.broadcasts <- st.counters.Counters.broadcasts + 1;
+        charge st broadcast_c;
+        Array.fill buf 0 lanes v;
+        st.vregs.(dst) <- buf
+  | Visa.Vpermute { dst; src; sel } ->
+      let sel = Array.copy sel in
+      let permute_c = float_of_int costs.M.permute in
+      fun st ->
+        let lanes = vreg st src in
+        st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
+        charge st permute_c;
+        st.vregs.(dst) <- Array.map (fun i -> lanes.(i)) sel
+  | Visa.Vshuffle2 { dst; a; b; sel } ->
+      let sel = Array.copy sel in
+      let permute_c = float_of_int costs.M.permute in
+      fun st ->
+        let la = vreg st a and lb = vreg st b in
+        st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
+        charge st permute_c;
+        st.vregs.(dst) <-
+          Array.map (fun (s, lane) -> if s = 0 then la.(lane) else lb.(lane)) sel
+  | Visa.Vbin { dst; op; a; b } ->
+      let f = binop_fn op in
+      let c =
+        float_of_int
+          (match op with Types.Div -> costs.M.divide | _ -> costs.M.vector_op)
+      in
+      let buf = ref [||] in
+      fun st ->
+        let la = vreg st a and lb = vreg st b in
+        st.counters.Counters.vector_ops <- st.counters.Counters.vector_ops + 1;
+        charge st c;
+        let n = Array.length la in
+        let r =
+          if Array.length !buf = n then !buf
+          else begin
+            let b = Array.make n 0.0 in
+            buf := b;
+            b
+          end
+        in
+        (* [r] may alias [la]/[lb] when [dst] is also an operand; the
+           update is elementwise (index [i] is read before written), so
+           aliasing is harmless. *)
+        for i = 0 to n - 1 do
+          r.(i) <- f la.(i) lb.(i)
+        done;
+        st.vregs.(dst) <- r
+  | Visa.Vun { dst; op; a } ->
+      let f = unop_fn op in
+      let c =
+        float_of_int
+          (match op with
+          | Types.Sqrt -> costs.M.square_root
+          | Types.Neg | Types.Abs -> costs.M.vector_op)
+      in
+      let buf = ref [||] in
+      fun st ->
+        let la = vreg st a in
+        st.counters.Counters.vector_ops <- st.counters.Counters.vector_ops + 1;
+        charge st c;
+        let n = Array.length la in
+        let r =
+          if Array.length !buf = n then !buf
+          else begin
+            let b = Array.make n 0.0 in
+            buf := b;
+            b
+          end
+        in
+        for i = 0 to n - 1 do
+          r.(i) <- f la.(i)
+        done;
+        st.vregs.(dst) <- r
+  | Visa.Vspill { src; slot } ->
+      let mem = ctx.mem in
+      let addr = Memory.spill_addr mem ~slot in
+      let issue = float_of_int costs.M.store_issue in
+      fun st ->
+        let lanes = vreg st src in
+        Memory.spill_store mem ~slot lanes;
+        st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache ~addr ~bytes:(8 * Array.length lanes) ~write:true)
+  | Visa.Vreload { dst; slot } ->
+      let mem = ctx.mem in
+      let addr = Memory.spill_addr mem ~slot in
+      let issue = float_of_int costs.M.load_issue in
+      fun st ->
+        let lanes = Memory.spill_load mem ~slot in
+        st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
+        charge st
+          (issue
+          +. Cache.access st.cache ~addr ~bytes:(8 * Array.length lanes) ~write:false);
+        st.vregs.(dst) <- lanes
+  | Visa.Vload_scalars { dst; sources } ->
+      let data = ctx.sdata in
+      let slots = Array.of_list (List.map (Memory.scalar_slot ctx.mem) sources) in
+      let n = Array.length slots in
+      let issue = float_of_int costs.M.load_issue in
+      let addr0 =
+        try Ok (Memory.scalar_addr ctx.mem (List.hd sources))
+        with Invalid_argument msg -> Error msg
+      in
+      fun st ->
+        let values = Array.make n 0.0 in
+        for k = 0 to n - 1 do
+          values.(k) <- data.(slots.(k))
+        done;
+        st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
+        let addr = match addr0 with Ok a -> a | Error msg -> invalid_arg msg in
+        charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:false);
+        st.vregs.(dst) <- values
+  | Visa.Vstore_scalars { src; targets } ->
+      let data = ctx.sdata in
+      let slots = Array.of_list (List.map (Memory.scalar_slot ctx.mem) targets) in
+      let n = Array.length slots in
+      let issue = float_of_int costs.M.store_issue in
+      let addr0 =
+        try Ok (Memory.scalar_addr ctx.mem (List.hd targets))
+        with Invalid_argument msg -> Error msg
+      in
+      fun st ->
+        let lanes = vreg st src in
+        for k = 0 to n - 1 do
+          data.(slots.(k)) <- lanes.(k)
+        done;
+        st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
+        let addr = match addr0 with Ok a -> a | Error msg -> invalid_arg msg in
+        charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:true)
+  | Visa.Sstmt s -> compile_stmt ctx ~depths s
+
+let rec compile_vector_items ctx ~depths ~depth items =
+  List.map
+    (function
+      | Visa.Block instrs ->
+          let fs = Array.of_list (List.map (compile_instr ctx ~depths) instrs) in
+          Cblock (run_block fs)
+      | Visa.Loop l ->
+          let c_lo = compile_bound ~depths l.Visa.lo in
+          let c_hi = compile_bound ~depths l.Visa.hi in
+          let body =
+            compile_vector_items ctx
+              ~depths:((l.Visa.index, depth) :: depths)
+              ~depth:(depth + 1) l.Visa.body
+          in
+          Cloop
+            {
+              c_depth = depth;
+              c_step = l.Visa.step;
+              c_lo;
+              c_hi;
+              c_const_bounds =
+                (match (Affine.to_const l.Visa.lo, Affine.to_const l.Visa.hi) with
+                | Some lo, Some hi -> Some (lo, hi)
+                | _, _ -> None);
+              c_body = (fun st -> run_items st body);
+            })
+    items
+
+(* -- program geometry ---------------------------------------------- *)
+
+let rec scalar_prog_depth items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Program.Stmts _ -> acc
+      | Program.Loop l -> max acc (1 + scalar_prog_depth l.Program.body))
+    0 items
+
+let rec vector_prog_depth items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Visa.Block _ -> acc
+      | Visa.Loop l -> max acc (1 + vector_prog_depth l.Visa.body))
+    0 items
+
+let max_vreg_instr acc = function
+  | Visa.Vload { dst; _ }
+  | Visa.Vgather { dst; _ }
+  | Visa.Vbroadcast { dst; _ }
+  | Visa.Vreload { dst; _ }
+  | Visa.Vload_scalars { dst; _ } ->
+      max acc dst
+  | Visa.Vstore { src; _ }
+  | Visa.Vspill { src; _ }
+  | Visa.Vstore_scalars { src; _ }
+  | Visa.Vunpack { src; _ } ->
+      max acc src
+  | Visa.Vpermute { dst; src; _ } -> max acc (max dst src)
+  | Visa.Vshuffle2 { dst; a; b; _ } -> max acc (max dst (max a b))
+  | Visa.Vbin { dst; a; b; _ } -> max acc (max dst (max a b))
+  | Visa.Vun { dst; a; _ } -> max acc (max dst a)
+  | Visa.Sstmt _ -> acc
+
+let rec max_vreg_items acc items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Visa.Block instrs -> List.fold_left max_vreg_instr acc instrs
+      | Visa.Loop l -> max_vreg_items acc l.Visa.body)
+    acc items
+
+(* Every scalar name a program can touch, registered with [Memory]
+   before the backing store is captured (a later registration could
+   replace the array under the closures). *)
+let stmt_scalar_names acc (s : Stmt.t) =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Operand.Scalar v -> v :: acc
+      | Operand.Const _ | Operand.Elem _ -> acc)
+    acc (Stmt.positions s)
+
+let rec scalar_prog_names acc items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Program.Stmts b -> List.fold_left stmt_scalar_names acc b.Block.stmts
+      | Program.Loop l -> scalar_prog_names acc l.Program.body)
+    acc items
+
+let lane_src_names acc = function
+  | Visa.Imm _ -> acc
+  | Visa.Reg v -> v :: acc
+  | Visa.Mem _ -> acc
+
+let instr_scalar_names acc = function
+  | Visa.Vgather { srcs; _ } -> List.fold_left lane_src_names acc srcs
+  | Visa.Vbroadcast { src; _ } -> lane_src_names acc src
+  | Visa.Vunpack { dsts; _ } ->
+      List.fold_left
+        (fun acc d ->
+          match d with
+          | Some (Visa.To_reg v) -> v :: acc
+          | Some (Visa.To_mem _) | None -> acc)
+        acc dsts
+  | Visa.Vload_scalars { sources; _ } -> List.rev_append sources acc
+  | Visa.Vstore_scalars { targets; _ } -> List.rev_append targets acc
+  | Visa.Sstmt s -> stmt_scalar_names acc s
+  | Visa.Vload _ | Visa.Vstore _ | Visa.Vpermute _ | Visa.Vshuffle2 _ | Visa.Vbin _
+  | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _ ->
+      acc
+
+let rec vector_prog_names acc items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Visa.Block instrs -> List.fold_left instr_scalar_names acc instrs
+      | Visa.Loop l -> vector_prog_names acc l.Visa.body)
+    acc items
+
+let make_ctx ~machine mem names =
+  List.iter (fun v -> ignore (Memory.scalar_slot mem v)) names;
+  { mem; machine; sdata = Memory.scalar_values mem }
+
+let fresh_state ?contention ~machine ~nframe ~nvregs () =
+  {
+    cache = Cache.create ?contention machine;
+    counters = Counters.create ();
+    cycles = [| 0.0 |];
+    frame = Array.make (max 1 nframe) 0;
+    vregs = Array.make nvregs unset_vreg;
+  }
+
+(* -- drivers (multicore semantics mirror the interpreters) --------- *)
+
+let run_scalar ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
+  let memory =
+    match memory with
+    | Some m -> m
+    | None ->
+        let m = Memory.create ~env:prog.Program.env () in
+        Memory.init_arrays m ~seed;
+        m
+  in
+  let ctx = make_ctx ~machine memory (scalar_prog_names [] prog.Program.body) in
+  let items = compile_scalar_items ctx ~depths:[] ~depth:0 prog.Program.body in
+  assert (Memory.scalar_values memory == ctx.sdata);
+  let nframe = scalar_prog_depth prog.Program.body in
+  let fresh ?contention () = fresh_state ?contention ~machine ~nframe ~nvregs:0 () in
+  let run_single () =
+    let st = fresh () in
+    run_items st items;
+    st.counters.Counters.cycles <- st.cycles.(0);
+    { counters = st.counters; memory }
+  in
+  if cores <= 1 then run_single ()
+  else begin
+    let contention = 1.0 +. (float_of_int (cores - 1) *. machine.M.contention_per_core) in
+    match first_cloop items with
+    | None -> run_single ()
+    | Some (main_idx, main_loop) ->
+        let lo, hi =
+          match main_loop.c_const_bounds with
+          | Some (lo, hi) -> (lo, hi)
+          | None -> raise Not_found
+        in
+        let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let all = Counters.create () in
+        let max_cycles = ref 0.0 in
+        List.iteri
+          (fun core (clo, chi) ->
+            let st = fresh ~contention () in
+            List.iteri
+              (fun j item ->
+                if j = main_idx then run_loop st main_loop ~lo:clo ~hi:chi
+                else if core = 0 then run_item st item)
+              items;
+            max_cycles := Float.max !max_cycles st.cycles.(0);
+            Counters.merge_into ~into:all st.counters)
+          ranges;
+        all.Counters.cycles <- !max_cycles;
+        { counters = all; memory }
+  end
+
+let run_vector ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
+  let memory =
+    match memory with
+    | Some m -> m
+    | None ->
+        let m = Memory.create ~env:prog.Visa.env () in
+        Memory.init_arrays m ~seed;
+        m
+  in
+  let names =
+    vector_prog_names (vector_prog_names [] prog.Visa.setup) prog.Visa.body
+  in
+  let ctx = make_ctx ~machine memory names in
+  let setup = compile_vector_items ctx ~depths:[] ~depth:0 prog.Visa.setup in
+  let body = compile_vector_items ctx ~depths:[] ~depth:0 prog.Visa.body in
+  assert (Memory.scalar_values memory == ctx.sdata);
+  let nframe =
+    max (vector_prog_depth prog.Visa.setup) (vector_prog_depth prog.Visa.body)
+  in
+  let nvregs = 1 + max_vreg_items (max_vreg_items (-1) prog.Visa.setup) prog.Visa.body in
+  let fresh ?contention () =
+    fresh_state ?contention ~machine ~nframe ~nvregs ()
+  in
+  let setup_state = fresh () in
+  (* Setup (layout replication) runs once.  Replication loops are data
+     parallel, so under multicore execution each one is partitioned
+     like the main loop and its time is the slowest core's share. *)
+  let setup_cycles =
+    if cores <= 1 then begin
+      run_items setup_state setup;
+      let c = setup_state.cycles.(0) in
+      setup_state.cycles.(0) <- 0.0;
+      c
+    end
+    else begin
+      let total = ref 0.0 in
+      List.iter
+        (fun item ->
+          match item with
+          | Cloop l -> begin
+              match l.c_const_bounds with
+              | Some (lo, hi) ->
+                  let ranges = chunk_ranges ~lo ~hi ~step:l.c_step ~cores in
+                  let slowest = ref 0.0 in
+                  List.iter
+                    (fun (clo, chi) ->
+                      let before = setup_state.cycles.(0) in
+                      run_loop setup_state l ~lo:clo ~hi:chi;
+                      let spent = setup_state.cycles.(0) -. before in
+                      slowest := Float.max !slowest spent)
+                    ranges;
+                  total := !total +. !slowest
+              | None -> run_item setup_state item
+            end
+          | Cblock _ -> run_item setup_state item)
+        setup;
+      setup_state.cycles.(0) <- 0.0;
+      !total
+    end
+  in
+  setup_state.counters.Counters.setup_cycles <- setup_cycles;
+  if cores <= 1 then begin
+    run_items setup_state body;
+    setup_state.counters.Counters.cycles <- setup_state.cycles.(0);
+    { counters = setup_state.counters; memory }
+  end
+  else begin
+    let contention = 1.0 +. (float_of_int (cores - 1) *. machine.M.contention_per_core) in
+    match first_cloop body with
+    | None ->
+        let st = fresh () in
+        run_items st body;
+        st.counters.Counters.cycles <- st.cycles.(0);
+        st.counters.Counters.setup_cycles <- setup_cycles;
+        { counters = st.counters; memory }
+    | Some (main_idx, main_loop) ->
+        let lo, hi =
+          match main_loop.c_const_bounds with
+          | Some (lo, hi) -> (lo, hi)
+          | None -> raise Not_found
+        in
+        let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let all = setup_state.counters in
+        let max_cycles = ref 0.0 in
+        List.iteri
+          (fun core (clo, chi) ->
+            let st = fresh ~contention () in
+            List.iteri
+              (fun j item ->
+                if j = main_idx then run_loop st main_loop ~lo:clo ~hi:chi
+                else if core = 0 then run_item st item)
+              body;
+            max_cycles := Float.max !max_cycles st.cycles.(0);
+            Counters.merge_into ~into:all st.counters)
+          ranges;
+        all.Counters.cycles <- !max_cycles;
+        { counters = all; memory }
+  end

@@ -1,0 +1,30 @@
+(** Closure-compiled execution engine.
+
+    Compiles a program once into a tree of OCaml closures over a flat
+    execution state — scalar names resolved to integer slots, vector
+    registers to a preallocated array, loop indices to a depth-indexed
+    frame, affine subscripts to specialised multiply-adds — and then
+    runs it.  Observationally identical to the reference interpreters
+    in {!Scalar_exec} and {!Vector_exec}: same memory contents, same
+    counters, bit-identical cycles (the differential fuzz suite in
+    [test/test_fuzz.ml] checks this), just several times faster. *)
+
+open Slp_ir
+
+type result = { counters : Counters.t; memory : Memory.t }
+
+val run_scalar :
+  ?cores:int -> ?seed:int -> ?memory:Memory.t -> machine:Slp_machine.Machine.t ->
+  Program.t -> result
+(** Compile and run a scalar program; multicore semantics (first
+    top-level loop partitioned, contention on the memory system,
+    cycles = slowest core) mirror {!Scalar_exec.run}. *)
+
+val run_vector :
+  ?cores:int -> ?seed:int -> ?memory:Memory.t -> machine:Slp_machine.Machine.t ->
+  Visa.program -> result
+(** Compile and run a vector program; setup replication and multicore
+    semantics mirror {!Vector_exec.run}. *)
+
+val chunk_ranges : lo:int -> hi:int -> step:int -> cores:int -> (int * int) list
+(** Split [lo, hi) into [cores] contiguous step-aligned ranges. *)

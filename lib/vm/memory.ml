@@ -10,7 +10,9 @@ type array_box = {
 type t = {
   arrays : (string, array_box) Hashtbl.t;
   scalar_addrs : (string, int) Hashtbl.t;
-  scalar_vals : (string, float) Hashtbl.t;
+  scalar_slots : (string, int) Hashtbl.t;
+  mutable scalar_data : float array;
+  mutable scalar_count : int;
   scalar_base : int;
   spill_base : int;
   spills : (int, float array) Hashtbl.t;
@@ -50,13 +52,31 @@ let create ?(scalar_layout = []) ~env () =
         next := !next + 8
       end)
     (Env.scalars env);
+  (* The scalar area is sized exactly from the declared scalars plus
+     the explicit layout, so the spill segment can never alias a
+     scalar address. *)
+  let scalar_area = !next in
+  let spill_base = align (scalar_base + scalar_area) 64 in
+  Hashtbl.iter
+    (fun name addr ->
+      if addr + 8 > scalar_base + scalar_area then
+        invalid_arg
+          (Printf.sprintf "Memory.create: scalar %s overflows the scalar area" name))
+    scalar_addrs;
+  let scalar_slots = Hashtbl.create 16 in
+  let n = List.fold_left (fun i (name, _) ->
+      Hashtbl.replace scalar_slots name i;
+      i + 1)
+      0 (Env.scalars env)
+  in
   {
     arrays;
     scalar_addrs;
-    scalar_vals = Hashtbl.create 16;
+    scalar_slots;
+    scalar_data = Array.make (max 8 n) 0.0;
+    scalar_count = n;
     scalar_base;
-    (* The spill segment sits after a generous scalar area. *)
-    spill_base = align (scalar_base + 4096) 64;
+    spill_base;
     spills = Hashtbl.create 16;
   }
 
@@ -88,8 +108,27 @@ let store t name idx v =
     invalid_arg (Printf.sprintf "Memory.store: %s[%d] out of bounds" name idx);
   b.data.(idx) <- v
 
-let scalar t name = Option.value (Hashtbl.find_opt t.scalar_vals name) ~default:0.0
-let set_scalar t name v = Hashtbl.replace t.scalar_vals name v
+let scalar_slot t name =
+  match Hashtbl.find_opt t.scalar_slots name with
+  | Some s -> s
+  | None ->
+      let s = t.scalar_count in
+      if s >= Array.length t.scalar_data then begin
+        let grown = Array.make (2 * Array.length t.scalar_data) 0.0 in
+        Array.blit t.scalar_data 0 grown 0 (Array.length t.scalar_data);
+        t.scalar_data <- grown
+      end;
+      Hashtbl.replace t.scalar_slots name s;
+      t.scalar_count <- s + 1;
+      s
+
+let scalar t name =
+  match Hashtbl.find_opt t.scalar_slots name with
+  | Some s -> t.scalar_data.(s)
+  | None -> 0.0
+
+let set_scalar t name v = t.scalar_data.(scalar_slot t name) <- v
+let scalar_values t = t.scalar_data
 let array_base t name = (box t name).base
 
 let scalar_addr t name =

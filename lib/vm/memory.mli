@@ -14,11 +14,27 @@ type t
 val create : ?scalar_layout:(string * int) list -> env:Env.t -> unit -> t
 (** [scalar_layout] assigns byte offsets within the scalar segment;
     unlisted scalars are appended after the listed ones.  Offsets must
-    be distinct multiples of 8. *)
+    be distinct multiples of 8.  The scalar segment is sized exactly
+    from the declared scalars plus the explicit layout (no fixed
+    "generous" area), and creation raises [Invalid_argument] if any
+    scalar address would overflow into the spill segment. *)
 
 val init_arrays : t -> seed:int -> unit
 (** Fill every array with deterministic pseudo-random values in
     [0, 1). *)
+
+val scalar_slot : t -> string -> int
+(** Integer slot of a scalar value in {!scalar_values}.  Scalars
+    declared in the environment are assigned slots at creation (in
+    sorted name order); unknown names are registered on first use.
+    The compiled execution engine resolves every name to a slot once,
+    then reads and writes the flat backing store directly. *)
+
+val scalar_values : t -> float array
+(** The live scalar backing store, indexed by {!scalar_slot}.  The
+    array may be replaced (grown) by a later [scalar_slot]
+    registration of a new name, so register every name before
+    capturing it. *)
 
 val load : t -> string -> int -> float
 (** [load t array flat_index]; raises [Invalid_argument] out of

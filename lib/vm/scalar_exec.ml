@@ -84,21 +84,9 @@ let rec exec_items ~memory ~cache ~counters ~machine ~bindings ~override items =
           done)
     items
 
-let chunk_ranges ~lo ~hi ~step ~cores =
-  (* Split [lo, hi) into [cores] contiguous step-aligned ranges. *)
-  let trip = if hi <= lo then 0 else ((hi - lo) + step - 1) / step in
-  let per = trip / cores and extra = trip mod cores in
-  let ranges = ref [] in
-  let start = ref lo in
-  for k = 0 to cores - 1 do
-    let iters = per + (if k < extra then 1 else 0) in
-    let stop = !start + (iters * step) in
-    ranges := (!start, min stop hi) :: !ranges;
-    start := stop
-  done;
-  List.rev !ranges
+let chunk_ranges = Engine.chunk_ranges
 
-let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
+let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
   let memory =
     match memory with
     | Some m -> m
@@ -123,7 +111,7 @@ let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
         (function Program.Loop l -> Some l | Program.Stmts _ -> None)
         prog.Program.body
     with
-    | None -> run ~cores:1 ~seed ~memory ~machine prog
+    | None -> run_interpreter ~cores:1 ~seed ~memory ~machine prog
     | Some main_loop ->
         let lo = Affine.eval main_loop.Program.lo (fun _ -> raise Not_found) in
         let hi = Affine.eval main_loop.Program.hi (fun _ -> raise Not_found) in
@@ -153,3 +141,10 @@ let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
         all.Counters.cycles <- !max_cycles;
         { counters = all; memory }
   end
+
+(* The compiled engine is the production path; the interpreter above
+   stays as the reference oracle (the fuzz suite runs both and asserts
+   identical results). *)
+let run ?cores ?seed ?memory ~machine prog =
+  let r = Engine.run_scalar ?cores ?seed ?memory ~machine prog in
+  { counters = r.Engine.counters; memory = r.Engine.memory }

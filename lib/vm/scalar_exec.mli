@@ -24,7 +24,19 @@ val run :
   Program.t ->
   result
 (** Default [cores] 1, [seed] 42.  When [memory] is given it is used
-    (and mutated) without re-initialisation. *)
+    (and mutated) without re-initialisation.  Executes through the
+    compiled engine ({!Engine.run_scalar}). *)
+
+val run_interpreter :
+  ?cores:int ->
+  ?seed:int ->
+  ?memory:Memory.t ->
+  machine:Slp_machine.Machine.t ->
+  Program.t ->
+  result
+(** The direct tree-walking interpreter — the reference oracle the
+    compiled engine is differentially tested against.  Same observable
+    behaviour as {!run}, several times slower. *)
 
 val chunk_ranges : lo:int -> hi:int -> step:int -> cores:int -> (int * int) list
 (** Contiguous step-aligned per-core ranges partitioning [lo, hi). *)

@@ -211,7 +211,7 @@ let rec exec_items st ~bindings ~override items =
           done)
     items
 
-let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
+let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
   let memory =
     match memory with
     | Some m -> m
@@ -287,7 +287,7 @@ let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
         prog.Visa.body
     with
     | None ->
-        let r = run ~cores:1 ~seed ~memory ~machine { prog with Visa.setup = [] } in
+        let r = run_interpreter ~cores:1 ~seed ~memory ~machine { prog with Visa.setup = [] } in
         r.counters.Counters.setup_cycles <- setup_cycles;
         r
     | Some main_loop ->
@@ -323,3 +323,10 @@ let rec run ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
         all.Counters.cycles <- !max_cycles;
         { counters = all; memory }
   end
+
+(* The compiled engine is the production path; the interpreter above
+   stays as the reference oracle (the fuzz suite runs both and asserts
+   identical results). *)
+let run ?cores ?seed ?memory ~machine prog =
+  let r = Engine.run_vector ?cores ?seed ?memory ~machine prog in
+  { counters = r.Engine.counters; memory = r.Engine.memory }

@@ -17,3 +17,15 @@ val run :
   machine:Slp_machine.Machine.t ->
   Visa.program ->
   result
+(** Executes through the compiled engine ({!Engine.run_vector}). *)
+
+val run_interpreter :
+  ?cores:int ->
+  ?seed:int ->
+  ?memory:Memory.t ->
+  machine:Slp_machine.Machine.t ->
+  Visa.program ->
+  result
+(** The direct tree-walking interpreter — the reference oracle the
+    compiled engine is differentially tested against.  Same observable
+    behaviour as {!run}, several times slower. *)

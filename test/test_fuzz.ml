@@ -103,6 +103,124 @@ let fuzz ?register_reuse ?machine scheme name =
   QCheck.Test.make ~name ~count:40 arb_program
     (check_scheme ?register_reuse ?machine scheme)
 
+(* -- compiled engine vs reference interpreters --------------------------------
+
+   The closure-compiled engine (Slp_vm.Engine) must be observationally
+   identical to the tree-walking interpreters: same memory contents,
+   same instruction counters, cycles within 1e-9 (in practice they are
+   bit-identical, since the engine replays the exact charge and cache
+   access order). *)
+
+module Vm = Slp_vm
+
+let report_divergence what p ci ce =
+  QCheck.Test.fail_reportf
+    "engine diverges from %s:\n%s\ninterpreter: %s\nengine:      %s" what
+    (Program.to_string p)
+    (Format.asprintf "%a" Vm.Counters.pp ci)
+    (Format.asprintf "%a" Vm.Counters.pp ce)
+
+let engine_scalar_agrees ?(cores = 1) p =
+  match Program.validate p with
+  | Error _ -> true
+  | Ok () ->
+      let machine = Machine.intel_dunnington in
+      let ri = Vm.Scalar_exec.run_interpreter ~cores ~machine p in
+      let re = Vm.Engine.run_scalar ~cores ~machine p in
+      let ci = ri.Vm.Scalar_exec.counters and ce = re.Vm.Engine.counters in
+      Vm.Memory.same_contents ri.Vm.Scalar_exec.memory re.Vm.Engine.memory
+      && Vm.Counters.approx_equal ci ce
+      || report_divergence "scalar interpreter" p ci ce
+
+let engine_vector_agrees ?(cores = 1) ?(machine = Machine.intel_dunnington) scheme p
+    =
+  match Program.validate p with
+  | Error _ -> true
+  | Ok () -> begin
+      match Pipeline.compile ~unroll:2 ~scheme ~machine p with
+      | exception Invalid_argument _ -> true (* compile bugs belong to fuzz above *)
+      | c -> begin
+          match c.Pipeline.vector with
+          | None -> true
+          | Some vprog ->
+              let mk () =
+                let m =
+                  Vm.Memory.create ~scalar_layout:c.Pipeline.scalar_offsets
+                    ~env:vprog.Vm.Visa.env ()
+                in
+                Vm.Memory.init_arrays m ~seed:42;
+                m
+              in
+              let ri =
+                Vm.Vector_exec.run_interpreter ~cores ~memory:(mk ()) ~machine vprog
+              in
+              let re = Vm.Engine.run_vector ~cores ~memory:(mk ()) ~machine vprog in
+              let ci = ri.Vm.Vector_exec.counters and ce = re.Vm.Engine.counters in
+              Vm.Memory.same_contents ri.Vm.Vector_exec.memory re.Vm.Engine.memory
+              && Vm.Counters.approx_equal ci ce
+              || report_divergence "vector interpreter" p ci ce
+        end
+    end
+
+let engine_fuzz name check = QCheck.Test.make ~name ~count:40 arb_program check
+
+(* Every Suite.all kernel, scalar and vectorized, single- and multicore:
+   engine and interpreter must agree exactly. *)
+let counters_testable =
+  Alcotest.testable Vm.Counters.pp Vm.Counters.approx_equal
+
+let test_engine_on_suite () =
+  let machine = Machine.intel_dunnington in
+  let module Suite = Slp_benchmarks.Suite in
+  List.iter
+    (fun b ->
+      let name = b.Suite.name in
+      let prog = Suite.program b in
+      List.iter
+        (fun cores ->
+          let tag = Printf.sprintf "%s scalar %dc" name cores in
+          let ri = Vm.Scalar_exec.run_interpreter ~cores ~machine prog in
+          let re = Vm.Engine.run_scalar ~cores ~machine prog in
+          Alcotest.(check bool)
+            (tag ^ " memory") true
+            (Vm.Memory.same_contents ri.Vm.Scalar_exec.memory re.Vm.Engine.memory);
+          Alcotest.check counters_testable (tag ^ " counters")
+            ri.Vm.Scalar_exec.counters re.Vm.Engine.counters)
+        [ 1; 4 ];
+      List.iter
+        (fun (sname, scheme) ->
+          let c = Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog in
+          match c.Pipeline.vector with
+          | None -> ()
+          | Some vprog ->
+              let mk () =
+                let m =
+                  Vm.Memory.create ~scalar_layout:c.Pipeline.scalar_offsets
+                    ~env:vprog.Vm.Visa.env ()
+                in
+                Vm.Memory.init_arrays m ~seed:42;
+                m
+              in
+              List.iter
+                (fun cores ->
+                  let tag = Printf.sprintf "%s %s %dc" name sname cores in
+                  let ri =
+                    Vm.Vector_exec.run_interpreter ~cores ~memory:(mk ()) ~machine
+                      vprog
+                  in
+                  let re =
+                    Vm.Engine.run_vector ~cores ~memory:(mk ()) ~machine vprog
+                  in
+                  Alcotest.(check bool)
+                    (tag ^ " memory") true
+                    (Vm.Memory.same_contents ri.Vm.Vector_exec.memory
+                       re.Vm.Engine.memory);
+                  Alcotest.check counters_testable (tag ^ " counters")
+                    ri.Vm.Vector_exec.counters re.Vm.Engine.counters)
+                [ 1; 4 ])
+        [ ("global", Pipeline.Global); ("layout", Pipeline.Global_layout) ])
+    Suite.all
+
 (* Printing a program and re-parsing it must yield the same scalar
    semantics (the printer emits the input language). *)
 let roundtrip =
@@ -146,5 +264,28 @@ let () =
               Pipeline.Global
               "global on a 2-register machine (spill-heavy) preserves semantics";
             roundtrip;
+          ] );
+      ( "engine vs interpreter",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            engine_fuzz "scalar engine matches interpreter" (fun p ->
+                engine_scalar_agrees p);
+            engine_fuzz "scalar engine matches interpreter on 4 cores" (fun p ->
+                engine_scalar_agrees ~cores:4 p);
+            engine_fuzz "global engine matches interpreter" (fun p ->
+                engine_vector_agrees Pipeline.Global p);
+            engine_fuzz "global engine matches interpreter on 4 cores" (fun p ->
+                engine_vector_agrees ~cores:4 Pipeline.Global p);
+            engine_fuzz "layout engine matches interpreter (setup, scalar packs)"
+              (fun p -> engine_vector_agrees Pipeline.Global_layout p);
+            engine_fuzz "spill-heavy engine matches interpreter" (fun p ->
+                engine_vector_agrees
+                  ~machine:
+                    { Machine.intel_dunnington with Machine.vector_registers = 2 }
+                  Pipeline.Global p);
+          ]
+        @ [
+            Alcotest.test_case "engine matches interpreter on every suite kernel"
+              `Slow test_engine_on_suite;
           ] );
     ]
