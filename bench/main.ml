@@ -19,17 +19,33 @@ let amd = Machine.amd_phenom_ii
 
 let kernel name = Suite.program (Suite.find name)
 
+(* Benchmark loops measure the optimizer and simulator, not the
+   verifier — ~verify:false everywhere except the two
+   verify_overhead_* entries that measure the verifier itself. *)
 let run_scheme ?(machine = intel) ?cores ~scheme name =
   let b = Suite.find name in
   let prog = Suite.program b in
   fun () ->
-    let c = Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog in
+    let c =
+      Pipeline.compile ~unroll:b.Suite.unroll ~verify:false ~scheme ~machine prog
+    in
     ignore (Pipeline.execute ?cores ~check:false c)
 
 let compile_only ?(machine = intel) ~scheme name =
   let b = Suite.find name in
   let prog = Suite.program b in
-  fun () -> ignore (Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog)
+  fun () ->
+    ignore (Pipeline.compile ~unroll:b.Suite.unroll ~verify:false ~scheme ~machine prog)
+
+(* The bench guard for the verifier: full-suite Global compiles with
+   verification on vs off; the JSON ratio documents the overhead. *)
+let compile_suite ~verify () =
+  List.iter
+    (fun (b : Suite.t) ->
+      ignore
+        (Pipeline.compile ~unroll:b.Suite.unroll ~verify ~scheme:Pipeline.Global
+           ~machine:intel (Suite.program b)))
+    Suite.all
 
 (* The Figure 15 block, used by the phase and ablation benchmarks. *)
 let fig15 () =
@@ -78,8 +94,8 @@ let all_tests =
         let b = Suite.find "povray" in
         let prog = Suite.program b in
         let c =
-          Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global ~machine:intel
-            prog
+          Pipeline.compile ~unroll:b.Suite.unroll ~verify:false ~scheme:Pipeline.Global
+            ~machine:intel prog
         in
         let r = Pipeline.execute ~check:false c in
         ignore (Slp_vm.Counters.packing_instructions r.Pipeline.counters));
@@ -88,16 +104,16 @@ let all_tests =
         let machine = Machine.with_simd_bits intel 256 in
         let b = Suite.find "sp" in
         let c =
-          Pipeline.compile ~unroll:(2 * b.Suite.unroll) ~scheme:Pipeline.Global ~machine
-            (Suite.program b)
+          Pipeline.compile ~unroll:(2 * b.Suite.unroll) ~verify:false
+            ~scheme:Pipeline.Global ~machine (Suite.program b)
         in
         ignore (Pipeline.execute ~check:false c));
     t "fig18_width_1024" (fun () ->
         let machine = Machine.with_simd_bits intel 1024 in
         let b = Suite.find "sp" in
         let c =
-          Pipeline.compile ~unroll:(8 * b.Suite.unroll) ~scheme:Pipeline.Global ~machine
-            (Suite.program b)
+          Pipeline.compile ~unroll:(8 * b.Suite.unroll) ~verify:false
+            ~scheme:Pipeline.Global ~machine (Suite.program b)
         in
         ignore (Pipeline.execute ~check:false c));
     (* Figure 19: the data layout stage (replication + arbitration). *)
@@ -111,6 +127,10 @@ let all_tests =
     (* Compilation overhead (the paper's +27% claim). *)
     t "compile_overhead_slp" (compile_only ~scheme:Pipeline.Slp "cactusADM");
     t "compile_overhead_global" (compile_only ~scheme:Pipeline.Global "cactusADM");
+    (* Verifier overhead guard: the on/off gap across the whole suite
+       must stay a small fraction of compile time (see EXPERIMENTS.md). *)
+    t "verify_overhead_suite_off" (compile_suite ~verify:false);
+    t "verify_overhead_suite_on" (compile_suite ~verify:true);
     (* Phase benchmarks. *)
     t "phase_grouping_fig15" (fun () ->
         let env, block = fig15 () in

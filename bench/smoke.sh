@@ -9,4 +9,5 @@ exec dune exec bench/main.exe -- \
   --quota "${SMOKE_QUOTA:-0.05}" --limit 50 \
   --baseline bench/baseline_seed.json \
   --json BENCH_vm.json \
-  fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex
+  fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex \
+  verify_overhead_suite_off verify_overhead_suite_on

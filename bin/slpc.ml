@@ -61,10 +61,25 @@ let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the prepared IR
 let dump_plan = Arg.(value & flag & info [ "dump-plan" ] ~doc:"Print groups and schedules.")
 let dump_vector = Arg.(value & flag & info [ "dump-vector" ] ~doc:"Print the vector program.")
 let run = Arg.(value & flag & info [ "run" ] ~doc:"Simulate and report counters.")
+
+let verify =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "verify" ]
+              ~doc:"Run the pass-by-pass verifier after each stage (default)." );
+          ( false,
+            info [ "no-verify" ]
+              ~doc:"Skip verification (e.g. when timing compilation)." );
+        ])
+
 let cores = Arg.(value & opt int 1 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Input data seed.")
 
-let main file scheme machine simd unroll dump_ir dump_plan dump_vector run cores seed =
+let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector run cores
+    seed =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
   in
@@ -76,10 +91,24 @@ let main file scheme machine simd unroll dump_ir dump_plan dump_vector run cores
       Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
       exit 1
   | prog ->
-      let compiled = Pipeline.compile ?unroll ~scheme ~machine prog in
+      let compiled =
+        match Pipeline.compile ?unroll ~verify ~scheme ~machine prog with
+        | c -> c
+        | exception Slp_verify.Verify.Verification_failed (what, report) ->
+            Format.eprintf "%s: verification failed@.%a@." what
+              Slp_verify.Verify.pp_report report;
+            exit 1
+      in
       Printf.printf "scheme: %s on %s (%d-bit SIMD), unroll x%d\n"
         (Pipeline.scheme_name scheme) machine.Machine.name machine.Machine.simd_bits
         compiled.Pipeline.unroll_factor;
+      (match compiled.Pipeline.verify_report with
+      | Some r ->
+          let warnings = Slp_verify.Verify.warnings r in
+          Printf.printf "verification: clean (%d warning%s)\n" (List.length warnings)
+            (if List.length warnings = 1 then "" else "s");
+          List.iter (Format.printf "  %a@." Slp_verify.Diagnostic.pp) warnings
+      | None -> ());
       (let st = compiled.Pipeline.spill_stats in
        if st.Slp_codegen.Regalloc.spills > 0 then
          Printf.printf "register allocation: %d spills, %d reloads (pressure %d)\n"
@@ -125,7 +154,7 @@ let cmd =
   Cmd.v
     (Cmd.info "slpc" ~version:"1.0" ~doc)
     Term.(
-      const main $ file $ scheme $ machine $ simd $ unroll $ dump_ir $ dump_plan
-      $ dump_vector $ run $ cores $ seed)
+      const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
+      $ dump_plan $ dump_vector $ run $ cores $ seed)
 
 let () = exit (Cmd.eval cmd)

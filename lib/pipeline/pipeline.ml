@@ -3,6 +3,8 @@ module M = Slp_machine.Machine
 module Config = Slp_core.Config
 module Driver = Slp_core.Driver
 module Cost = Slp_core.Cost
+module Verify = Slp_verify.Verify
+module D = Slp_verify.Diagnostic
 
 type scheme = Scalar | Native | Slp | Global | Global_layout
 
@@ -26,6 +28,8 @@ type compiled = {
   replica_count : int;
   unroll_factor : int;
   spill_stats : Slp_codegen.Regalloc.stats;
+  verify_report : Slp_verify.Verify.report option;
+  verify_seconds : float;
 }
 
 (* The gate should predict the simulator: derive its per-instruction
@@ -91,7 +95,7 @@ let plan_with f ~config ~params (prog : Program.t) =
   { Driver.program = prog; plans }
 
 let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
-    ~scheme ~machine (prog : Program.t) =
+    ?(verify = true) ~scheme ~machine (prog : Program.t) =
   let unroll_factor =
     match unroll with Some u -> u | None -> max 1 (machine.M.simd_bits / 64)
   in
@@ -179,6 +183,7 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
   in
   (* Post-processing: map virtual vector registers onto the machine's
      register file (paper Figure 3's register allocation box). *)
+  let unallocated = vector in
   let vector, spill_stats =
     match vector with
     | None -> (None, Slp_codegen.Regalloc.zero_stats)
@@ -189,6 +194,37 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
         (Some v', st)
   in
   let compile_seconds = Sys.time () -. t0 in
+  (* Pass-by-pass verification (the -verify-each hook points): the
+     prepared scalar IR, the chosen plan (pack + schedule legality,
+     plus the rewritten program when layout transformed it), the Visa
+     bytecode as lowered, and the bytecode again after register
+     allocation.  Error findings abort via Verification_failed. *)
+  let t1 = Sys.time () in
+  let verify_report =
+    if not verify then None
+    else begin
+      let diags = ref (Verify.check_ir ~stage:D.Prepared_ir prepared) in
+      let add ds = diags := !diags @ ds in
+      (match plan with
+      | Some p ->
+          if p.Driver.program != prepared then
+            add (Verify.check_ir ~stage:D.Layout p.Driver.program);
+          add (Verify.check_plan ~config p)
+      | None -> ());
+      (match unallocated with
+      | Some v -> add (Verify.check_visa ~stage:D.Lowering ~scalar_offsets ~machine v)
+      | None -> ());
+      (match vector with
+      | Some v ->
+          add
+            (Verify.check_visa ~stage:D.Regalloc ~stats:spill_stats ~scalar_offsets
+               ~machine v)
+      | None -> ());
+      Some (Verify.of_diagnostics !diags)
+    end
+  in
+  let verify_seconds = if verify then Sys.time () -. t1 else 0.0 in
+  Option.iter (Verify.raise_if_errors ~what:prog.Program.name) verify_report;
   {
     scheme;
     machine;
@@ -200,6 +236,8 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
     replica_count;
     unroll_factor;
     spill_stats;
+    verify_report;
+    verify_seconds;
   }
 
 type exec_result = { counters : Slp_vm.Counters.t; correct : bool }

@@ -33,6 +33,13 @@ type compiled = {
   unroll_factor : int;
   spill_stats : Slp_codegen.Regalloc.stats;
       (** Register-allocation outcome of the post-processing pass. *)
+  verify_report : Slp_verify.Verify.report option;
+      (** Pass-by-pass verifier findings; [None] when compiled with
+          [~verify:false].  A returned report never contains errors —
+          those raise {!Slp_verify.Verify.Verification_failed} — so
+          what remains are warnings. *)
+  verify_seconds : float;
+      (** Time spent inside the verifier (0 when disabled). *)
 }
 
 val compile :
@@ -40,13 +47,20 @@ val compile :
   ?grouping_options:Slp_core.Grouping.options ->
   ?schedule_options:Slp_core.Schedule.options ->
   ?register_reuse:bool ->
+  ?verify:bool ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
   compiled
 (** Default [unroll]: the machine's f64 lane count ([simd_bits/64]),
     the factor that exactly fills the datapath for double kernels and
-    half-fills it for floats. *)
+    half-fills it for floats.
+
+    [verify] (default true) runs the {!Slp_verify} checkers after
+    every stage — prepared IR, plan (pack/schedule legality), lowered
+    Visa, allocated Visa — and raises
+    {!Slp_verify.Verify.Verification_failed} on any error-severity
+    finding.  Disable inside benchmark loops. *)
 
 type exec_result = {
   counters : Slp_vm.Counters.t;

@@ -1,0 +1,255 @@
+open Slp_ir
+module D = Diagnostic
+module Driver = Slp_core.Driver
+module Grouping = Slp_core.Grouping
+module Schedule = Slp_core.Schedule
+module Config = Slp_core.Config
+module Visa = Slp_vm.Visa
+module M = Slp_machine.Machine
+
+type case = {
+  name : string;
+  expected_rule : string;
+  diags : unit -> Diagnostic.t list;
+}
+
+let config = Config.make ~datapath_bits:128 ()
+
+let base_env () =
+  let env = Env.create () in
+  Env.declare_array env "A" Types.F64 [ 64 ];
+  Env.declare_array env "B" Types.F64 [ 64 ];
+  Env.declare_array env "C" Types.F64 [ 64 ];
+  Env.declare_scalar env "t" Types.F64;
+  env
+
+let elem b k = Operand.Elem (b, [ Affine.const k ])
+let leaf op = Expr.Leaf op
+let stmt ~id ~lhs ~rhs = Stmt.make ~id ~lhs ~rhs
+
+(* -- scalar IR corruptions ------------------------------------------ *)
+
+let ir_program stmts =
+  let env = base_env () in
+  Program.make ~name:"corrupt" ~env [ Program.Stmts (Block.make ~label:"bb" stmts) ]
+
+let ir_undeclared () =
+  Ir_verify.check
+    (ir_program
+       [ stmt ~id:1 ~lhs:(elem "A" 0) ~rhs:Expr.(Bin (Types.Add, leaf (Operand.Scalar "zz"), leaf (Operand.Const 1.0))) ])
+
+let ir_rank () =
+  Ir_verify.check
+    (ir_program
+       [ stmt ~id:1 ~lhs:(Operand.Elem ("A", [ Affine.const 0; Affine.const 1 ])) ~rhs:(leaf (elem "B" 0)) ])
+
+let ir_type_mix () =
+  let env = base_env () in
+  Env.declare_scalar env "s32" Types.F32;
+  Ir_verify.check
+    (Program.make ~name:"corrupt" ~env
+       [
+         Program.Stmts
+           (Block.make ~label:"bb"
+              [ stmt ~id:1 ~lhs:(elem "A" 0) ~rhs:(leaf (Operand.Scalar "s32")) ]);
+       ])
+
+let ir_dup_id () =
+  (* Forged via the record representation: Block.make would reject it,
+     which is exactly why the verifier re-checks. *)
+  let env = base_env () in
+  let s k = stmt ~id:1 ~lhs:(elem "A" k) ~rhs:(leaf (elem "B" k)) in
+  let block = { Block.label = "bb"; stmts = [ s 0; s 1 ] } in
+  Ir_verify.check (Program.make ~name:"corrupt" ~env [ Program.Stmts block ])
+
+let ir_oob () =
+  let env = base_env () in
+  let body =
+    Block.make ~label:"bb"
+      [
+        stmt ~id:1
+          ~lhs:(Operand.Elem ("A", [ Affine.make [ ("i", 1) ] 1 ]))
+          ~rhs:(leaf (Operand.Elem ("B", [ Affine.var "i" ])));
+      ]
+  in
+  Ir_verify.check
+    (Program.make ~name:"corrupt" ~env
+       [ Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 64) [ Program.Stmts body ] ])
+
+let ir_index_assign () =
+  let env = base_env () in
+  let body =
+    Block.make ~label:"bb"
+      [ stmt ~id:1 ~lhs:(Operand.Scalar "i") ~rhs:(leaf (Operand.Const 0.0)) ]
+  in
+  Ir_verify.check
+    (Program.make ~name:"corrupt" ~env
+       [ Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 8) [ Program.Stmts body ] ])
+
+(* -- pack / schedule corruptions ------------------------------------ *)
+
+let plan_of ~env block items groups singles =
+  let grouping =
+    { Grouping.groups; singles; rounds = 1; decisions = List.length groups }
+  in
+  let stats =
+    { Schedule.direct_reuses = 0; permuted_reuses = 0; packed_sources = 0; permutations = 0 }
+  in
+  let plan =
+    {
+      Driver.block;
+      nest = [];
+      grouping;
+      schedule = Some { Schedule.items; stats };
+      estimate = None;
+    }
+  in
+  Plan_verify.check_block_plan ~env ~config plan
+
+let pack_not_isomorphic () =
+  let env = base_env () in
+  let block =
+    Block.make ~label:"bb"
+      [
+        stmt ~id:1 ~lhs:(elem "A" 0)
+          ~rhs:Expr.(Bin (Types.Add, leaf (elem "B" 0), leaf (elem "C" 0)));
+        stmt ~id:2 ~lhs:(elem "A" 1) ~rhs:Expr.(Un (Types.Neg, leaf (elem "B" 1)));
+      ]
+  in
+  plan_of ~env block [ Schedule.Superword [ 1; 2 ] ] [ [ 1; 2 ] ] []
+
+let pack_intra_dep () =
+  let env = base_env () in
+  let block =
+    Block.make ~label:"bb"
+      [
+        stmt ~id:1 ~lhs:(Operand.Scalar "t")
+          ~rhs:Expr.(Bin (Types.Add, leaf (elem "B" 0), leaf (elem "C" 0)));
+        stmt ~id:2 ~lhs:(elem "A" 0)
+          ~rhs:Expr.(Bin (Types.Add, leaf (Operand.Scalar "t"), leaf (elem "C" 1)));
+      ]
+  in
+  plan_of ~env block [ Schedule.Superword [ 1; 2 ] ] [ [ 1; 2 ] ] []
+
+let pack_too_wide () =
+  let env = base_env () in
+  let s k =
+    stmt ~id:(k + 1) ~lhs:(elem "A" k)
+      ~rhs:Expr.(Bin (Types.Add, leaf (elem "B" k), leaf (elem "C" k)))
+  in
+  let block = Block.make ~label:"bb" [ s 0; s 1; s 2; s 3 ] in
+  plan_of ~env block [ Schedule.Superword [ 1; 2; 3; 4 ] ] [ [ 1; 2; 3; 4 ] ] []
+
+let sched_reordered_dependent_stores () =
+  let env = base_env () in
+  let block =
+    Block.make ~label:"bb"
+      [
+        stmt ~id:1 ~lhs:(elem "A" 0) ~rhs:(leaf (elem "B" 0));
+        stmt ~id:2 ~lhs:(elem "A" 0)
+          ~rhs:Expr.(Bin (Types.Add, leaf (elem "A" 0), leaf (elem "C" 0)));
+      ]
+  in
+  plan_of ~env block [ Schedule.Single 2; Schedule.Single 1 ] [] [ 1; 2 ]
+
+let sched_def_use_broken () =
+  let env = base_env () in
+  let block =
+    Block.make ~label:"bb"
+      [
+        stmt ~id:1 ~lhs:(Operand.Scalar "t") ~rhs:(leaf (elem "B" 0));
+        stmt ~id:2 ~lhs:(Operand.Scalar "t") ~rhs:(leaf (elem "B" 1));
+        stmt ~id:3 ~lhs:(elem "A" 0) ~rhs:(leaf (Operand.Scalar "t"));
+      ]
+  in
+  plan_of ~env block [ Schedule.Single 2; Schedule.Single 1; Schedule.Single 3 ] []
+    [ 1; 2; 3 ]
+
+(* -- Visa corruptions ----------------------------------------------- *)
+
+let machine = M.intel_dunnington
+
+let visa_check ?stats instrs =
+  let env = base_env () in
+  Visa_verify.check ?stats ~machine
+    { Visa.name = "corrupt"; env; setup = []; body = [ Visa.Block instrs ] }
+
+let vload dst k n = Visa.Vload { dst; elems = List.init n (fun j -> elem "A" (k + j)) }
+let vstore src k n = Visa.Vstore { src; elems = List.init n (fun j -> elem "C" (k + j)) }
+
+let visa_undef_vreg () =
+  visa_check [ Visa.Vbin { dst = 1; op = Types.Add; a = 0; b = 0 }; vstore 1 0 2 ]
+
+let visa_selector_oob () =
+  visa_check
+    [
+      vload 0 0 2;
+      Visa.Vpermute { dst = 1; src = 0; sel = [| 0; 5 |] };
+      vstore 1 0 2;
+    ]
+
+let visa_swapped_operand_lanes () =
+  visa_check
+    [
+      vload 0 0 2;
+      Visa.Vgather { dst = 1; srcs = [ Visa.Imm 1.0; Visa.Imm 2.0; Visa.Imm 3.0; Visa.Imm 4.0 ] };
+      Visa.Vbin { dst = 2; op = Types.Mul; a = 0; b = 1 };
+      vstore 2 0 2;
+    ]
+
+let visa_noncontig_load () =
+  visa_check
+    [ Visa.Vload { dst = 0; elems = [ elem "A" 0; elem "A" 2 ] }; vstore 0 0 2 ]
+
+let visa_dropped_spill () =
+  visa_check [ Visa.Vreload { dst = 0; slot = 0 }; vstore 0 0 2 ]
+
+let visa_spill_stats () =
+  visa_check ~stats:Slp_codegen.Regalloc.zero_stats
+    [
+      vload 0 0 2;
+      Visa.Vspill { src = 0; slot = 0 };
+      Visa.Vreload { dst = 1; slot = 0 };
+      vstore 1 0 2;
+    ]
+
+let visa_too_wide () =
+  visa_check [ vload 0 0 4; vstore 0 0 4 ]
+
+let visa_undeclared_scalar () =
+  visa_check
+    [
+      Visa.Vgather { dst = 0; srcs = [ Visa.Reg "nope"; Visa.Reg "t" ] };
+      vstore 0 0 2;
+    ]
+
+let cases =
+  [
+    { name = "ir_undeclared_scalar"; expected_rule = "IR01-undeclared"; diags = ir_undeclared };
+    { name = "ir_rank_mismatch"; expected_rule = "IR02-rank"; diags = ir_rank };
+    { name = "ir_type_mix"; expected_rule = "IR04-type-mix"; diags = ir_type_mix };
+    { name = "ir_duplicate_id"; expected_rule = "IR05-dup-id"; diags = ir_dup_id };
+    { name = "ir_out_of_bounds"; expected_rule = "IR07-bounds"; diags = ir_oob };
+    { name = "ir_index_assign"; expected_rule = "IR08-index-assign"; diags = ir_index_assign };
+    { name = "pack_not_isomorphic"; expected_rule = "PACK01-isomorphic"; diags = pack_not_isomorphic };
+    { name = "pack_intra_dependence"; expected_rule = "PACK02-intra-dep"; diags = pack_intra_dep };
+    { name = "pack_too_wide"; expected_rule = "PACK03-width"; diags = pack_too_wide };
+    {
+      name = "sched_reordered_dependent_stores";
+      expected_rule = "SCHED02-dep-order";
+      diags = sched_reordered_dependent_stores;
+    };
+    { name = "sched_def_use_broken"; expected_rule = "SCHED03-def-use"; diags = sched_def_use_broken };
+    { name = "visa_undef_vreg"; expected_rule = "VISA01-vreg-undef"; diags = visa_undef_vreg };
+    {
+      name = "visa_swapped_operand_lanes";
+      expected_rule = "VISA02-lanes";
+      diags = visa_swapped_operand_lanes;
+    };
+    { name = "visa_selector_oob"; expected_rule = "VISA03-selector"; diags = visa_selector_oob };
+    { name = "visa_noncontiguous_load"; expected_rule = "VISA04-contiguity"; diags = visa_noncontig_load };
+    { name = "visa_dropped_spill"; expected_rule = "VISA05-spill-pair"; diags = visa_dropped_spill };
+    { name = "visa_spill_stats_mismatch"; expected_rule = "VISA06-spill-stats"; diags = visa_spill_stats };
+    { name = "visa_undeclared_scalar"; expected_rule = "VISA07-names"; diags = visa_undeclared_scalar };
+    { name = "visa_too_wide"; expected_rule = "VISA08-width"; diags = visa_too_wide };
+  ]

@@ -1,0 +1,17 @@
+(** The corruptor: a corpus of deliberately-broken IR, plans, and Visa
+    bytecode, each annotated with the rule id that must reject it.
+
+    The mutation tests iterate {!cases} and assert that running the
+    relevant checker on the corrupted artifact produces a diagnostic
+    with [expected_rule] — proving every checker actually fires, not
+    just that clean code passes. *)
+
+type case = {
+  name : string;
+  expected_rule : string;
+  diags : unit -> Diagnostic.t list;  (** Runs the checker on the corrupted artifact. *)
+}
+
+val cases : case list
+(** 19 corruptions spanning scalar IR, pack, schedule, and Visa
+    layers. *)

@@ -1,0 +1,41 @@
+type severity = Error | Warning
+
+type stage =
+  | Prepared_ir
+  | Grouping
+  | Scheduling
+  | Layout
+  | Lowering
+  | Regalloc
+
+let stage_name = function
+  | Prepared_ir -> "prepared-ir"
+  | Grouping -> "grouping"
+  | Scheduling -> "scheduling"
+  | Layout -> "layout"
+  | Lowering -> "lowering"
+  | Regalloc -> "regalloc"
+
+type t = {
+  rule : string;
+  severity : severity;
+  stage : stage;
+  where : string;
+  message : string;
+}
+
+let make ?(severity = Error) ~rule ~stage ~where fmt =
+  Format.kasprintf (fun message -> { rule; severity; stage; where; message }) fmt
+
+let error ~rule ~stage ~where fmt = make ~severity:Error ~rule ~stage ~where fmt
+let warning ~rule ~stage ~where fmt = make ~severity:Warning ~rule ~stage ~where fmt
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Format.fprintf ppf "[%s] %s %s: %s%s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (stage_name d.stage) d.rule d.message
+    (if d.where = "" then "" else Printf.sprintf " (at %s)" d.where)
+
+let to_string d = Format.asprintf "%a" pp d

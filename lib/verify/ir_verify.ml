@@ -1,0 +1,179 @@
+open Slp_ir
+module D = Diagnostic
+
+(* Rule ids (catalogued in DESIGN.md). *)
+let r_undeclared = "IR01-undeclared"
+let r_rank = "IR02-rank"
+let r_subscript_var = "IR03-subscript-var"
+let r_type_mix = "IR04-type-mix"
+let r_dup_id = "IR05-dup-id"
+let r_loop_form = "IR06-loop-form"
+let r_bounds = "IR07-bounds"
+let r_index_assign = "IR08-index-assign"
+let r_live_in = "IR09-live-in-scalar"
+
+(* Enclosing loop indices, innermost last.  The const range is the
+   inclusive [lo, last] value interval when both bounds are constant
+   (and the loop runs at least once); [None] disables interval
+   reasoning for subscripts mentioning that index. *)
+type index_info = { var : string; range : (int * int) option }
+
+let const_range ~lo ~hi ~step =
+  match (Affine.to_const lo, Affine.to_const hi) with
+  | Some l, Some h when h > l && step > 0 -> Some (l, l + ((h - 1 - l) / step * step))
+  | _ -> None
+
+(* Inclusive [min, max] interval of an affine expression over the
+   iteration box; [None] when some variable has no constant range. *)
+let interval indices a =
+  List.fold_left
+    (fun acc (v, c) ->
+      match acc with
+      | None -> None
+      | Some (mn, mx) -> (
+          match List.find_opt (fun ix -> String.equal ix.var v) indices with
+          | Some { range = Some (lo, last); _ } ->
+              let a1 = c * lo and a2 = c * last in
+              Some (mn + min a1 a2, mx + max a1 a2)
+          | Some { range = None; _ } | None -> None))
+    (Some (Affine.const_part a, Affine.const_part a))
+    (Affine.terms a)
+
+let check ?(stage = D.Prepared_ir) (prog : Program.t) =
+  let env = prog.Program.env in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  (* [where] is lazy: rendering the offending stmt costs more than the
+     checks themselves, so pay it only when a diagnostic actually
+     fires. *)
+  let err ~rule ~where fmt =
+    Format.kasprintf
+      (fun m -> report (D.error ~rule ~stage ~where:(Lazy.force where) "%s" m))
+      fmt
+  in
+  let is_index indices v = List.exists (fun ix -> String.equal ix.var v) indices in
+  let check_operand ~indices ~where op =
+    match op with
+    | Operand.Const _ -> ()
+    | Operand.Scalar v ->
+        if (not (is_index indices v)) && Env.scalar_ty env v = None then
+          err ~rule:r_undeclared ~where "undeclared scalar %s" v
+    | Operand.Elem (b, idxs) -> (
+        match Env.array_info env b with
+        | None -> err ~rule:r_undeclared ~where "undeclared array %s" b
+        | Some info ->
+            if List.length idxs <> List.length info.Env.dims then
+              err ~rule:r_rank ~where "array %s used with rank %d, declared rank %d" b
+                (List.length idxs)
+                (List.length info.Env.dims)
+            else
+              List.iter2
+                (fun ix dim ->
+                  List.iter
+                    (fun v ->
+                      if not (is_index indices v) then
+                        err ~rule:r_subscript_var ~where
+                          "subscript variable %s of %s is not an enclosing loop index" v b)
+                    (Affine.vars ix);
+                  match interval indices ix with
+                  | Some (mn, mx) when mn < 0 || mx >= dim ->
+                      err ~rule:r_bounds ~where
+                        "subscript %s of %s ranges over [%d, %d], outside [0, %d)"
+                        (Affine.to_string ix) b mn mx dim
+                  | Some _ | None -> ())
+                idxs info.Env.dims)
+  in
+  let operand_ty ~indices op =
+    match op with
+    | Operand.Const _ -> None
+    | Operand.Scalar v when is_index indices v -> Some Types.I64
+    | Operand.Scalar v -> Env.scalar_ty env v
+    | Operand.Elem (b, _) -> Option.map (fun i -> i.Env.elem_ty) (Env.array_info env b)
+  in
+  let check_stmt ~indices (s : Stmt.t) =
+    let where = lazy (Stmt.to_string s) in
+    (match s.Stmt.lhs with
+    | Operand.Scalar v when is_index indices v ->
+        err ~rule:r_index_assign ~where "loop index %s assigned" v
+    | _ -> ());
+    List.iter (check_operand ~indices ~where) (Stmt.positions s);
+    match List.filter_map (operand_ty ~indices) (Stmt.positions s) with
+    | [] -> ()
+    | ty :: rest ->
+        if not (List.for_all (fun ty' -> ty' = ty) rest) then
+          err ~rule:r_type_mix ~where "statement mixes scalar types"
+  in
+  let check_block ~indices (b : Block.t) =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Stmt.t) ->
+        if Hashtbl.mem seen s.Stmt.id then
+          err ~rule:r_dup_id
+            ~where:(lazy (Stmt.to_string s))
+            "duplicate statement id %d in block %s" s.Stmt.id b.Block.label
+        else Hashtbl.replace seen s.Stmt.id ();
+        check_stmt ~indices s)
+      b.Block.stmts
+  in
+  let check_bound ~indices ~loop which a =
+    List.iter
+      (fun v ->
+        if not (is_index indices v) then
+          err ~rule:r_loop_form ~where:(lazy loop) "%s bound uses unbound variable %s"
+            which v)
+      (Affine.vars a)
+  in
+  let rec check_items ~indices items =
+    List.iter
+      (function
+        | Program.Stmts b -> check_block ~indices b
+        | Program.Loop l ->
+            let loop = Printf.sprintf "loop %s" l.Program.index in
+            if l.Program.step <= 0 then
+              err ~rule:r_loop_form ~where:(lazy loop) "non-positive step %d"
+                l.Program.step;
+            if is_index indices l.Program.index then
+              err ~rule:r_loop_form ~where:(lazy loop) "index shadows an enclosing index";
+            if Env.is_declared env l.Program.index then
+              err ~rule:r_loop_form ~where:(lazy loop)
+                "index collides with a declaration";
+            check_bound ~indices ~loop "lower" l.Program.lo;
+            check_bound ~indices ~loop "upper" l.Program.hi;
+            let info =
+              {
+                var = l.Program.index;
+                range = const_range ~lo:l.Program.lo ~hi:l.Program.hi ~step:l.Program.step;
+              }
+            in
+            check_items ~indices:(indices @ [ info ]) l.Program.body)
+      items
+  in
+  check_items ~indices:[] prog.Program.body;
+  (* Declared scalars that are read somewhere but never written: legal
+     (scalar slots are memory-initialised live-ins) yet worth surfacing
+     — a typo'd accumulator name shows up here. *)
+  let defined = Hashtbl.create 16 and read = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (s : Stmt.t) ->
+          (match s.Stmt.lhs with
+          | Operand.Scalar v -> Hashtbl.replace defined v ()
+          | Operand.Const _ | Operand.Elem _ -> ());
+          List.iter
+            (function
+              | Operand.Scalar v ->
+                  if Env.scalar_ty env v <> None && not (Hashtbl.mem read v) then
+                    Hashtbl.replace read v ()
+              | Operand.Const _ | Operand.Elem _ -> ())
+            (Stmt.uses s))
+        b.Block.stmts)
+    (Program.blocks prog);
+  Hashtbl.iter
+    (fun v () ->
+      if not (Hashtbl.mem defined v) then
+        report
+          (D.warning ~rule:r_live_in ~stage ~where:v
+             "scalar %s is read but never defined (treated as live-in)" v))
+    read;
+  List.rev !diags

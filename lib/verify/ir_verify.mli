@@ -1,0 +1,22 @@
+(** Scalar IR well-formedness checker.
+
+    Runs on the unrolled [reference] program (and, for
+    [Global_layout], on the rewritten program after the layout
+    transformation).  Rules:
+
+    - [IR01-undeclared]: operand references an undeclared variable;
+    - [IR02-rank]: array used with the wrong rank;
+    - [IR03-subscript-var]: subscript variable is not an enclosing
+      loop index;
+    - [IR04-type-mix]: statement mixes incompatible scalar types;
+    - [IR05-dup-id]: duplicate statement id within a block;
+    - [IR06-loop-form]: non-positive step, shadowed/colliding index,
+      or loop bound over unbound variables;
+    - [IR07-bounds]: subscript interval provably escapes the declared
+      dimension over a constant iteration box;
+    - [IR08-index-assign]: assignment to a loop index;
+    - [IR09-live-in-scalar] (warning): scalar read but never written
+      anywhere in the program. *)
+
+val check : ?stage:Diagnostic.stage -> Slp_ir.Program.t -> Diagnostic.t list
+(** Default [stage] is [Prepared_ir]. *)

@@ -1,0 +1,218 @@
+open Slp_ir
+module D = Diagnostic
+module Driver = Slp_core.Driver
+module Grouping = Slp_core.Grouping
+module Schedule = Slp_core.Schedule
+module Config = Slp_core.Config
+module Chains = Slp_analysis.Chains
+module Alignment = Slp_analysis.Alignment
+
+let r_isomorphic = "PACK01-isomorphic"
+let r_intra_dep = "PACK02-intra-dep"
+let r_width = "PACK03-width"
+let r_partition = "PACK04-partition"
+let r_alignment = "PACK05-alignment"
+let r_coverage = "SCHED01-coverage"
+let r_dep_order = "SCHED02-dep-order"
+let r_def_use = "SCHED03-def-use"
+
+let where_of_super ms =
+  Printf.sprintf "<%s>" (String.concat ", " (List.map (fun m -> "S" ^ string_of_int m) ms))
+
+(* Lane budget for the elements of a statement: how many of its values
+   fit the SIMD datapath.  Statements always have a typed lhs; an
+   untyped lookup (undeclared operand) is an IR-level error reported by
+   {!Ir_verify}, so fall back to the f64 budget here. *)
+let lane_budget ~env ~config (s : Stmt.t) =
+  let bits =
+    match Env.operand_ty env s.Stmt.lhs with
+    | Some ty -> Types.bits ty
+    | None | (exception Invalid_argument _) -> 64
+  in
+  max 1 (config.Config.datapath_bits / bits)
+
+let check_partition ~report (block : Block.t) (g : Grouping.result) =
+  let counts = Hashtbl.create 16 in
+  let bump id = Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)) in
+  List.iter (fun ms -> List.iter bump ms) g.Grouping.groups;
+  List.iter bump g.Grouping.singles;
+  List.iter
+    (fun ms ->
+      if List.length ms < 2 then
+        report
+          (D.error ~rule:r_partition ~stage:D.Grouping ~where:(where_of_super ms)
+             "group of size %d (groups need at least two members)" (List.length ms)))
+    g.Grouping.groups;
+  let ids = Block.stmt_ids block in
+  let in_block = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_block id ()) ids;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt counts id with
+      | Some 1 -> ()
+      | Some n ->
+          report
+            (D.error ~rule:r_partition ~stage:D.Grouping
+               ~where:(Printf.sprintf "S%d" id)
+               "statement claimed by %d groups/singles" n)
+      | None ->
+          report
+            (D.error ~rule:r_partition ~stage:D.Grouping
+               ~where:(Printf.sprintf "S%d" id)
+               "statement missing from grouping (neither grouped nor single)"))
+    ids;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem in_block id) then
+        report
+          (D.error ~rule:r_partition ~stage:D.Grouping
+             ~where:(Printf.sprintf "S%d" id)
+             "grouping references a statement not in block %s" block.Block.label))
+    counts
+
+let check_superword ~report ~env ~config ~nest (block : Block.t) ms =
+  let where = where_of_super ms in
+  match List.map (fun m -> (m, Block.find block m)) ms with
+  | exception Not_found ->
+      report
+        (D.error ~rule:r_coverage ~stage:D.Scheduling ~where
+           "superword references a statement not in block %s" block.Block.label)
+  | members ->
+      let stmts = List.map snd members in
+      let first = List.hd stmts in
+      (* Width: 2 <= |ms| <= datapath lanes for the member type. *)
+      let budget = lane_budget ~env ~config first in
+      if List.length ms < 2 || List.length ms > budget then
+        report
+          (D.error ~rule:r_width ~stage:D.Grouping ~where
+             "superword width %d outside [2, %d] for a %d-bit datapath"
+             (List.length ms) budget config.Config.datapath_bits);
+      (* Pairwise independence (paper §4.1 constraints 1-2). *)
+      let rec indep = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if not (Block.independent block a b) then
+                  report
+                    (D.error ~rule:r_intra_dep ~stage:D.Grouping ~where
+                       "members S%d and S%d are dependent" a b))
+              rest;
+            indep rest
+      in
+      indep ms;
+      (* Isomorphism (constraint 3). *)
+      let isomorphic =
+        List.for_all
+          (fun (m, s) ->
+            let ok = Stmt.isomorphic ~env first s in
+            if not ok then
+              report
+                (D.error ~rule:r_isomorphic ~stage:D.Grouping ~where
+                   "member S%d is not isomorphic to S%d" m
+                   first.Stmt.id);
+            ok)
+          (List.tl members)
+      in
+      (* Alignment internal consistency of contiguous packs (positions
+         exist only for isomorphic groups).  Transposed walk: the
+         per-member position lists are computed once, and the verdict
+         machinery runs only on packs whose head is a memory element. *)
+      if isomorphic then begin
+        let lanes = List.length stmts in
+        let check_pack pos pack =
+          match pack with
+          | Operand.Elem _ :: _ when Alignment.contiguous_pack ~env pack -> (
+              match Alignment.of_operand ~env ~nest ~lanes (List.hd pack) with
+              | Some (Alignment.Misaligned k) when k <= 0 || k >= lanes ->
+                  report
+                    (D.error ~rule:r_alignment ~stage:D.Grouping ~where
+                       "contiguous pack at position %d claims misalignment %d outside (0, %d)"
+                       pos k lanes)
+              | Some _ -> ()
+              | None ->
+                  report
+                    (D.error ~rule:r_alignment ~stage:D.Grouping ~where
+                       "contiguous pack at position %d has no alignment verdict" pos))
+          | _ -> ()
+        in
+        let rec walk pos rows =
+          if not (List.exists (fun r -> r = []) rows) then begin
+            check_pack pos (List.map List.hd rows);
+            walk (pos + 1) (List.map List.tl rows)
+          end
+        in
+        walk 0 (List.map Stmt.positions stmts)
+      end
+
+let check_schedule ~report (block : Block.t) (sched : Schedule.t) =
+  let order_of = Hashtbl.create 32 in
+  List.iteri
+    (fun idx item ->
+      List.iter
+        (fun m -> Hashtbl.replace order_of m idx)
+        (match item with Schedule.Single s -> [ s ] | Schedule.Superword ms -> ms))
+    sched.Schedule.items;
+  let scheduled = Schedule.scheduled_stmt_ids sched in
+  let ids = Block.stmt_ids block in
+  if List.sort compare scheduled <> List.sort compare ids then
+    report
+      (D.error ~rule:r_coverage ~stage:D.Scheduling ~where:block.Block.label
+         "schedule covers {%s}, block has {%s}"
+         (String.concat "," (List.map string_of_int (List.sort compare scheduled)))
+         (String.concat "," (List.map string_of_int (List.sort compare ids))))
+  else begin
+    (* Every dependence goes forward across items (an intra-item
+       dependence is PACK02's finding, not repeated here). *)
+    List.iter
+      (fun (p, q) ->
+        match (Hashtbl.find_opt order_of p, Hashtbl.find_opt order_of q) with
+        | Some ip, Some iq ->
+            if ip > iq then
+              report
+                (D.error ~rule:r_dep_order ~stage:D.Scheduling
+                   ~where:(Printf.sprintf "S%d -> S%d" p q)
+                   "dependence runs backward in the schedule (item %d after %d)" ip iq)
+        | _ -> ())
+      (Block.dep_pairs block);
+    (* Reaching scalar definitions must be untouched by the reorder: a
+       second, independent witness computed through Analysis.Chains.
+       An identity order cannot change anything — skip the recompute. *)
+    if scheduled = ids then ()
+    else
+      match
+        Block.make ~label:block.Block.label (List.map (Block.find block) scheduled)
+      with
+    | exception Invalid_argument _ -> ()
+    | reordered ->
+        let before = Chains.compute block and after = Chains.compute reordered in
+        List.iter
+          (fun id ->
+            let norm l = List.sort compare l in
+            if norm (Chains.use_def before id) <> norm (Chains.use_def after id) then
+              report
+                (D.error ~rule:r_def_use ~stage:D.Scheduling
+                   ~where:(Stmt.to_string (Block.find block id))
+                   "scheduled order changes a reaching definition of S%d" id))
+          ids
+  end
+
+let check_block_plan ~env ~config (p : Driver.block_plan) =
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  check_partition ~report p.Driver.block p.Driver.grouping;
+  (match p.Driver.schedule with
+  | None -> ()
+  | Some sched ->
+      List.iter
+        (function
+          | Schedule.Single _ -> ()
+          | Schedule.Superword ms ->
+              check_superword ~report ~env ~config ~nest:p.Driver.nest p.Driver.block ms)
+        sched.Schedule.items;
+      check_schedule ~report p.Driver.block sched);
+  List.rev !diags
+
+let check ~config (plan : Driver.program_plan) =
+  let env = plan.Driver.program.Program.env in
+  List.concat_map (check_block_plan ~env ~config) plan.Driver.plans

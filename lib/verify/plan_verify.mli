@@ -1,0 +1,22 @@
+(** Pack and schedule legality checker over a program plan.
+
+    Pack rules (stage [Grouping]):
+    - [PACK01-isomorphic]: superword members must be isomorphic;
+    - [PACK02-intra-dep]: members must be pairwise independent;
+    - [PACK03-width]: 2 <= width <= datapath lanes for the member type;
+    - [PACK04-partition]: groups and singles partition the block;
+    - [PACK05-alignment]: contiguous packs carry a sane alignment
+      verdict from {!Slp_analysis.Alignment}.
+
+    Schedule rules (stage [Scheduling]):
+    - [SCHED01-coverage]: scheduled statements are exactly the block's;
+    - [SCHED02-dep-order]: every RAW/WAR/WAW dependence of the original
+      block runs forward across scheduled items;
+    - [SCHED03-def-use]: reaching scalar definitions (via
+      {!Slp_analysis.Chains}) are identical before and after
+      scheduling. *)
+
+val check_block_plan :
+  env:Slp_ir.Env.t -> config:Slp_core.Config.t -> Slp_core.Driver.block_plan -> Diagnostic.t list
+
+val check : config:Slp_core.Config.t -> Slp_core.Driver.program_plan -> Diagnostic.t list

@@ -1,0 +1,40 @@
+type report = { diagnostics : Diagnostic.t list }
+
+let empty = { diagnostics = [] }
+let of_diagnostics diagnostics = { diagnostics }
+let merge a b = { diagnostics = a.diagnostics @ b.diagnostics }
+let errors r = List.filter Diagnostic.is_error r.diagnostics
+let warnings r = List.filter (fun d -> not (Diagnostic.is_error d)) r.diagnostics
+let is_clean r = errors r = []
+
+let pp_report ppf r =
+  match r.diagnostics with
+  | [] -> Format.fprintf ppf "verification clean"
+  | ds ->
+      Format.fprintf ppf "@[<v>";
+      List.iteri
+        (fun i d ->
+          if i > 0 then Format.fprintf ppf "@,";
+          Diagnostic.pp ppf d)
+        ds;
+      Format.fprintf ppf "@]"
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+exception Verification_failed of string * report
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed (what, r) ->
+        Some
+          (Printf.sprintf "Verification_failed(%s):\n%s" what (report_to_string r))
+    | _ -> None)
+
+let raise_if_errors ~what r =
+  if not (is_clean r) then raise (Verification_failed (what, r))
+
+(* Stage-tagged checker entry points, re-exported so callers need only
+   this module. *)
+let check_ir = Ir_verify.check
+let check_plan = Plan_verify.check
+let check_visa = Visa_verify.check

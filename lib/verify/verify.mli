@@ -1,0 +1,42 @@
+(** Pass-by-pass verification driver (LLVM's [-verify-each] analogue).
+
+    The pipeline runs a checker after every stage — scalar IR after
+    pre-processing ({!Ir_verify}), pack and schedule legality after
+    planning ({!Plan_verify}), Visa bytecode after lowering and again
+    after register allocation ({!Visa_verify}) — and aggregates the
+    findings into a [report].  Error-severity findings abort
+    compilation via {!Verification_failed}; warnings ride along. *)
+
+type report = { diagnostics : Diagnostic.t list }
+
+val empty : report
+val of_diagnostics : Diagnostic.t list -> report
+val merge : report -> report -> report
+val errors : report -> Diagnostic.t list
+val warnings : report -> Diagnostic.t list
+val is_clean : report -> bool
+(** No error-severity diagnostics (warnings allowed). *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+exception Verification_failed of string * report
+(** [(what, report)] — [what] names the program being compiled. *)
+
+val raise_if_errors : what:string -> report -> unit
+
+val check_ir : ?stage:Diagnostic.stage -> Slp_ir.Program.t -> Diagnostic.t list
+(** {!Ir_verify.check}. *)
+
+val check_plan :
+  config:Slp_core.Config.t -> Slp_core.Driver.program_plan -> Diagnostic.t list
+(** {!Plan_verify.check}. *)
+
+val check_visa :
+  ?stage:Diagnostic.stage ->
+  ?stats:Slp_codegen.Regalloc.stats ->
+  ?scalar_offsets:(string * int) list ->
+  machine:Slp_machine.Machine.t ->
+  Slp_vm.Visa.program ->
+  Diagnostic.t list
+(** {!Visa_verify.check}. *)

@@ -1,0 +1,284 @@
+open Slp_ir
+module D = Diagnostic
+module M = Slp_machine.Machine
+module Visa = Slp_vm.Visa
+module Alignment = Slp_analysis.Alignment
+
+let r_vreg = "VISA01-vreg-undef"
+let r_lanes = "VISA02-lanes"
+let r_selector = "VISA03-selector"
+let r_contiguity = "VISA04-contiguity"
+let r_spill_pair = "VISA05-spill-pair"
+let r_spill_stats = "VISA06-spill-stats"
+let r_names = "VISA07-names"
+let r_width = "VISA08-width"
+
+type vreg_info = { lanes : int; ty : Types.scalar_ty option }
+
+let check ?(stage = D.Lowering) ?stats ?(scalar_offsets = []) ~machine
+    (p : Visa.program) =
+  let env = p.Visa.env in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  (* [where] is lazy: rendering an instruction dominates the cost of
+     checking it, so only pay on the error path. *)
+  let err ~rule ~where fmt =
+    Format.kasprintf
+      (fun m -> report (D.error ~rule ~stage ~where:(Lazy.force where) "%s" m))
+      fmt
+  in
+  let spills = ref 0 and reloads = ref 0 in
+  let offsets = Hashtbl.create 16 in
+  List.iter (fun (v, o) -> Hashtbl.replace offsets v o) scalar_offsets;
+  let where_of i = Format.asprintf "%a" Visa.pp_instr i in
+  (* -- name resolution ---------------------------------------------- *)
+  let check_scalar_name ~nest ~where v =
+    if (not (List.mem v nest)) && Env.scalar_ty env v = None then
+      err ~rule:r_names ~where "undeclared scalar %s" v
+  in
+  let check_mem ~where op =
+    match op with
+    | Operand.Elem (b, _) ->
+        if Env.array_info env b = None then err ~rule:r_names ~where "undeclared array %s" b
+    | Operand.Scalar _ | Operand.Const _ ->
+        err ~rule:r_names ~where "memory lane is not an array element: %s"
+          (Operand.to_string op)
+  in
+  let ty_of_mem = function
+    | Operand.Elem (b, _) -> Option.map (fun i -> i.Env.elem_ty) (Env.array_info env b)
+    | Operand.Scalar _ | Operand.Const _ -> None
+  in
+  let check_lane_src ~nest ~where = function
+    | Visa.Mem op ->
+        check_mem ~where op;
+        ty_of_mem op
+    | Visa.Reg v ->
+        check_scalar_name ~nest ~where v;
+        if List.mem v nest then Some Types.I64 else Env.scalar_ty env v
+    | Visa.Imm _ -> None
+  in
+  (* -- per-block verification --------------------------------------- *)
+  let check_block ~nest instrs =
+    let vregs : (Visa.vreg, vreg_info) Hashtbl.t = Hashtbl.create 32 in
+    let slots : (int, vreg_info) Hashtbl.t = Hashtbl.create 8 in
+    let use ~where v =
+      match Hashtbl.find_opt vregs v with
+      | Some info -> Some info
+      | None ->
+          err ~rule:r_vreg ~where "v%d used before any definition in this block" v;
+          None
+    in
+    let unify ~where a b =
+      match (a, b) with
+      | Some ta, Some tb when ta <> tb ->
+          err ~rule:r_lanes ~where "operand element types disagree (%s vs %s)"
+            (Types.scalar_ty_to_string ta) (Types.scalar_ty_to_string tb);
+          Some ta
+      | Some t, _ | _, Some t -> Some t
+      | None, None -> None
+    in
+    let check_width ~where { lanes; ty } =
+      let over =
+        match ty with
+        | Some ty -> lanes * Types.bits ty > machine.M.simd_bits
+        | None -> lanes * 8 > machine.M.simd_bits
+      in
+      if over then
+        err ~rule:r_width ~where "%d lanes%s exceed the %d-bit datapath" lanes
+          (match ty with
+          | Some ty -> Printf.sprintf " of %s" (Types.scalar_ty_to_string ty)
+          | None -> "")
+          machine.M.simd_bits
+    in
+    let def ~where v info =
+      check_width ~where info;
+      Hashtbl.replace vregs v info
+    in
+    let check_scalar_slots ~where names =
+      let lanes = List.length names in
+      List.iter (check_scalar_name ~nest ~where) names;
+      match List.map (fun v -> Hashtbl.find_opt offsets v) names with
+      | offs when List.for_all Option.is_some offs -> (
+          match List.map Option.get offs with
+          | first :: _ as offs ->
+              if first mod (8 * lanes) <> 0 then
+                err ~rule:r_names ~where "scalar slot base offset %d not %d-byte aligned"
+                  first (8 * lanes);
+              List.iteri
+                (fun k o ->
+                  if o <> first + (8 * k) then
+                    err ~rule:r_names ~where
+                      "scalar slots are not contiguous (lane %d at offset %d, expected %d)"
+                      k o
+                      (first + (8 * k)))
+                offs
+          | [] -> err ~rule:r_names ~where "empty scalar lane list")
+      | _ ->
+          err ~rule:r_names ~where
+            "scalar-slot access without a placed scalar layout"
+    in
+    let check_contiguous ~where elems =
+      let contiguous =
+        match elems with
+        | Operand.Elem _ :: _ -> (
+            try Alignment.contiguous_pack ~env elems with Invalid_argument _ -> false)
+        | _ -> false
+      in
+      if not contiguous then
+        err ~rule:r_contiguity ~where "lanes are not contiguous in memory: [%s]"
+          (String.concat ", " (List.map Operand.to_string elems))
+    in
+    List.iter
+      (fun instr ->
+        let where = lazy (where_of instr) in
+        match instr with
+        | Visa.Vload { dst; elems } ->
+            List.iter (check_mem ~where) elems;
+            check_contiguous ~where elems;
+            def ~where dst { lanes = List.length elems; ty = ty_of_mem (List.hd elems) }
+        | Visa.Vstore { src; elems } ->
+            List.iter (check_mem ~where) elems;
+            check_contiguous ~where elems;
+            (match use ~where src with
+            | Some { lanes; _ } ->
+                if lanes <> List.length elems then
+                  err ~rule:r_lanes ~where "storing %d lanes from a %d-lane register"
+                    (List.length elems) lanes
+            | None -> ())
+        | Visa.Vgather { dst; srcs } ->
+            let tys = List.map (check_lane_src ~nest ~where) srcs in
+            let ty = List.fold_left (unify ~where) None tys in
+            def ~where dst { lanes = List.length srcs; ty }
+        | Visa.Vunpack { src; dsts } -> (
+            List.iter
+              (function
+                | Some (Visa.To_mem op) -> check_mem ~where op
+                | Some (Visa.To_reg v) -> check_scalar_name ~nest ~where v
+                | None -> ())
+              dsts;
+            match use ~where src with
+            | Some { lanes; _ } ->
+                if lanes <> List.length dsts then
+                  err ~rule:r_lanes ~where "unpacking %d lanes from a %d-lane register"
+                    (List.length dsts) lanes
+            | None -> ())
+        | Visa.Vbroadcast { dst; src; lanes } ->
+            let ty = check_lane_src ~nest ~where src in
+            if lanes < 1 then err ~rule:r_lanes ~where "broadcast to %d lanes" lanes;
+            def ~where dst { lanes; ty }
+        | Visa.Vpermute { dst; src; sel } -> (
+            if Array.length sel = 0 then err ~rule:r_selector ~where "empty selector";
+            match use ~where src with
+            | Some { lanes; ty } ->
+                Array.iter
+                  (fun s ->
+                    if s < 0 || s >= lanes then
+                      err ~rule:r_selector ~where
+                        "selector index %d out of bounds for %d lanes" s lanes)
+                  sel;
+                def ~where dst { lanes = Array.length sel; ty }
+            | None -> def ~where dst { lanes = Array.length sel; ty = None })
+        | Visa.Vshuffle2 { dst; a; b; sel } ->
+            if Array.length sel = 0 then err ~rule:r_selector ~where "empty selector";
+            let ia = use ~where a and ib = use ~where b in
+            Array.iter
+              (fun (side, lane) ->
+                if side <> 0 && side <> 1 then
+                  err ~rule:r_selector ~where "selector source %d is not 0 or 1" side
+                else
+                  match if side = 0 then ia else ib with
+                  | Some { lanes; _ } ->
+                      if lane < 0 || lane >= lanes then
+                        err ~rule:r_selector ~where
+                          "selector lane %d.%d out of bounds for %d lanes" side lane lanes
+                  | None -> ())
+              sel;
+            let ty =
+              unify ~where
+                (Option.bind ia (fun i -> i.ty))
+                (Option.bind ib (fun i -> i.ty))
+            in
+            def ~where dst { lanes = Array.length sel; ty }
+        | Visa.Vbin { dst; op = _; a; b } ->
+            let ia = use ~where a and ib = use ~where b in
+            (match (ia, ib) with
+            | Some { lanes = la; _ }, Some { lanes = lb; _ } when la <> lb ->
+                err ~rule:r_lanes ~where "operands have %d and %d lanes" la lb
+            | _ -> ());
+            let lanes =
+              match (ia, ib) with
+              | Some { lanes; _ }, _ | _, Some { lanes; _ } -> lanes
+              | None, None -> 0
+            in
+            let ty =
+              unify ~where
+                (Option.bind ia (fun i -> i.ty))
+                (Option.bind ib (fun i -> i.ty))
+            in
+            if lanes > 0 then def ~where dst { lanes; ty }
+        | Visa.Vun { dst; op = _; a } -> (
+            match use ~where a with
+            | Some info -> def ~where dst info
+            | None -> ())
+        | Visa.Vspill { src; slot } -> (
+            incr spills;
+            match use ~where src with
+            | Some info -> Hashtbl.replace slots slot info
+            | None -> ())
+        | Visa.Vreload { dst; slot } -> (
+            incr reloads;
+            match Hashtbl.find_opt slots slot with
+            | Some info -> def ~where dst info
+            | None ->
+                err ~rule:r_spill_pair ~where
+                  "reload from slot %d, which was never spilled in this block" slot)
+        | Visa.Vload_scalars { dst; sources } ->
+            check_scalar_slots ~where sources;
+            let ty =
+              match sources with v :: _ -> Env.scalar_ty env v | [] -> None
+            in
+            def ~where dst { lanes = List.length sources; ty }
+        | Visa.Vstore_scalars { src; targets } ->
+            check_scalar_slots ~where targets;
+            (match use ~where src with
+            | Some { lanes; _ } ->
+                if lanes <> List.length targets then
+                  err ~rule:r_lanes ~where "storing %d lanes from a %d-lane register"
+                    (List.length targets) lanes
+            | None -> ())
+        | Visa.Sstmt s ->
+            (* Scalar statements embedded in vector code: name checks
+               only — full statement legality is the IR verifier's job. *)
+            List.iter
+              (function
+                | Operand.Scalar v ->
+                    if (not (List.mem v nest)) && Env.scalar_ty env v = None then
+                      err ~rule:r_names ~where "undeclared scalar %s" v
+                | Operand.Elem (b, _) ->
+                    if Env.array_info env b = None then
+                      err ~rule:r_names ~where "undeclared array %s" b
+                | Operand.Const _ -> ())
+              (Stmt.positions s))
+      instrs
+  in
+  let rec walk ~nest items =
+    List.iter
+      (function
+        | Visa.Block instrs -> check_block ~nest instrs
+        | Visa.Loop l -> walk ~nest:(l.Visa.index :: nest) l.Visa.body)
+      items
+  in
+  walk ~nest:[] p.Visa.setup;
+  walk ~nest:[] p.Visa.body;
+  (match stats with
+  | None -> ()
+  | Some (st : Slp_codegen.Regalloc.stats) ->
+      if !spills <> st.Slp_codegen.Regalloc.spills then
+        err ~rule:r_spill_stats ~where:(lazy p.Visa.name)
+          "program contains %d spill instructions, allocator reported %d" !spills
+          st.Slp_codegen.Regalloc.spills;
+      if !reloads <> st.Slp_codegen.Regalloc.reloads then
+        err ~rule:r_spill_stats ~where:(lazy p.Visa.name)
+          "program contains %d reload instructions, allocator reported %d" !reloads
+          st.Slp_codegen.Regalloc.reloads);
+  List.rev !diags

@@ -1,0 +1,32 @@
+(** Visa bytecode verifier — runs on the lowered vector program both
+    before ([Lowering]) and after ([Regalloc]) register allocation.
+    Registers are validated per straight-line block (code generation
+    never carries a vector register across block boundaries).
+
+    Rules:
+    - [VISA01-vreg-undef]: vector register used before definition;
+    - [VISA02-lanes]: lane-count (or element-type) disagreement
+      between an instruction's operands;
+    - [VISA03-selector]: [Vpermute]/[Vshuffle2] selector indices out
+      of bounds;
+    - [VISA04-contiguity]: [Vload]/[Vstore] lanes not contiguous in
+      row-major memory;
+    - [VISA05-spill-pair]: [Vreload] from a slot never spilled in the
+      block;
+    - [VISA06-spill-stats]: spill/reload instruction counts disagree
+      with {!Slp_codegen.Regalloc.stats} (post-regalloc only);
+    - [VISA07-names]: undeclared scalars/arrays, or scalar-slot
+      accesses inconsistent with the placed scalar layout;
+    - [VISA08-width]: register lane count exceeds the machine's SIMD
+      datapath. *)
+
+val check :
+  ?stage:Diagnostic.stage ->
+  ?stats:Slp_codegen.Regalloc.stats ->
+  ?scalar_offsets:(string * int) list ->
+  machine:Slp_machine.Machine.t ->
+  Slp_vm.Visa.program ->
+  Diagnostic.t list
+(** Default [stage] is [Lowering]; pass [stats] (and the same
+    [scalar_offsets] given to the lowerer) when checking
+    post-allocation code. *)

@@ -103,6 +103,32 @@ let test_parse_errors () =
   expect_error "f64 A[4];\nfor i = 0 to 4 { A[i*i] = 1.0; }" (* non-linear *);
   expect_error "f32 x;\nf64 y;\nx = y;" (* mixed types *)
 
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* Rejecting is not enough: the message must name the offending
+   construct and carry a plausible position, or users can't act on it. *)
+let expect_error_matching src fragment =
+  match parse src with
+  | exception Parser.Error (msg, line, col) ->
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment;
+      Alcotest.(check bool) "position is 1-based" true (line >= 1 && col >= 1)
+  | _ -> Alcotest.failf "accepted invalid program: %s" src
+
+let test_error_messages () =
+  (* Unterminated loop: scanning the body runs off the end. *)
+  expect_error_matching "f64 x;\nfor i = 0 to 4 {\n  x = 1.0;\n" "end of input";
+  (* Unterminated subscript: the missing ']' is called out. *)
+  expect_error_matching "f64 A[8];\nfor i = 0 to 8 { A[i = 1.0; }" "']'";
+  (* Bad subscripts name what made them non-affine. *)
+  expect_error_matching "f64 A[8];\nfor i = 0 to 8 { A[i*i] = 1.0; }" "non-linear";
+  expect_error_matching "f64 A[8];\nf64 B[8];\nfor i = 0 to 8 { A[B[i]] = 1.0; }"
+    "affine context";
+  expect_error_matching "f64 A[8];\nfor i = 0 to 8 { A[i/2] = 1.0; }" "non-affine"
+
 let test_parse_negative_offsets () =
   let p = parse "f64 A[64];\nfor i = 1 to 8 {\n  A[2*i-2] = 1.0;\n}" in
   match Program.blocks p with
@@ -154,6 +180,7 @@ let () =
           Alcotest.test_case "affine subscripts" `Quick test_parse_affine_subscripts;
           Alcotest.test_case "unary and calls" `Quick test_parse_unary_and_calls;
           Alcotest.test_case "rejects invalid programs" `Quick test_parse_errors;
+          Alcotest.test_case "useful error messages" `Quick test_error_messages;
           Alcotest.test_case "negative offsets" `Quick test_parse_negative_offsets;
           Alcotest.test_case "nested loops" `Quick test_parse_nested_loops;
           Alcotest.test_case "deterministic execution" `Quick test_parse_roundtrip_semantics;

@@ -1,0 +1,124 @@
+(* Verifier tests.
+
+   Two halves prove the verifier from both sides: the mutation tests
+   feed every deliberately-corrupted artifact from {!Slp_verify.Corrupt}
+   through the checkers and assert the corruption is rejected with its
+   expected rule id (checkers actually fire); the clean-suite tests
+   compile every benchmark kernel under every scheme with verification
+   enabled and assert zero errors (checkers are not over-strict). *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Verify = Slp_verify.Verify
+module D = Slp_verify.Diagnostic
+module Corrupt = Slp_verify.Corrupt
+module Suite = Slp_benchmarks.Suite
+
+(* -- mutation tests: every corruption flagged with its rule ------------- *)
+
+let mutation_case (c : Corrupt.case) () =
+  let diags = c.Corrupt.diags () in
+  let hit =
+    List.exists (fun (d : D.t) -> d.D.rule = c.Corrupt.expected_rule && D.is_error d) diags
+  in
+  (* Other rules may legitimately fire alongside (a reordered schedule
+     can break both SCHED02 and SCHED03); the expected one must be
+     among them. *)
+  if not hit then
+    Alcotest.failf "corruption %S not flagged with %s; diagnostics: [%s]"
+      c.Corrupt.name c.Corrupt.expected_rule
+      (String.concat "; " (List.map D.to_string diags))
+
+let layer_of_rule rule = String.sub rule 0 2
+
+let test_mutation_coverage () =
+  (* The corruption corpus must span all four verifier layers. *)
+  let layers =
+    List.sort_uniq compare
+      (List.map (fun c -> layer_of_rule c.Corrupt.expected_rule) Corrupt.cases)
+  in
+  Alcotest.(check (list string)) "layers covered" [ "IR"; "PA"; "SC"; "VI" ] layers;
+  Alcotest.(check bool) "at least 8 distinct mutations" true
+    (List.length Corrupt.cases >= 8)
+
+(* -- clean suite: real kernels never trip the checkers ------------------ *)
+
+let machines = [ Machine.intel_dunnington; Machine.amd_phenom_ii ]
+
+let clean_suite_case scheme () =
+  List.iter
+    (fun (k : Suite.t) ->
+      let prog = Suite.program k in
+      List.iter
+        (fun (machine : Machine.t) ->
+          let c = Pipeline.compile ~unroll:k.Suite.unroll ~scheme ~machine prog in
+          match c.Pipeline.verify_report with
+          | None -> Alcotest.failf "%s: verification did not run" k.Suite.name
+          | Some r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s on %s" k.Suite.name machine.Machine.name)
+                true (Verify.is_clean r))
+        machines)
+    Suite.all
+
+let test_verify_off () =
+  let prog = Suite.program (List.hd Suite.all) in
+  let c =
+    Pipeline.compile ~verify:false ~scheme:Pipeline.Global
+      ~machine:Machine.intel_dunnington prog
+  in
+  Alcotest.(check bool) "no report" true (c.Pipeline.verify_report = None);
+  Alcotest.(check (float 1e-9)) "no verify time" 0.0 c.Pipeline.verify_seconds
+
+(* -- report plumbing ---------------------------------------------------- *)
+
+let test_raise_on_errors () =
+  let err =
+    D.error ~rule:"IR05-dup-id" ~stage:D.Prepared_ir ~where:"S1" "duplicate id"
+  in
+  let warn =
+    D.warning ~rule:"IR09-live-in-scalar" ~stage:D.Prepared_ir ~where:"" "read only"
+  in
+  (match Verify.raise_if_errors ~what:"t" (Verify.of_diagnostics [ warn ]) with
+  | () -> ()
+  | exception Verify.Verification_failed _ -> Alcotest.fail "warnings must not raise");
+  match Verify.raise_if_errors ~what:"t" (Verify.of_diagnostics [ warn; err ]) with
+  | () -> Alcotest.fail "errors must raise"
+  | exception Verify.Verification_failed (what, r) ->
+      Alcotest.(check string) "program name" "t" what;
+      Alcotest.(check int) "one error" 1 (List.length (Verify.errors r));
+      Alcotest.(check int) "one warning" 1 (List.length (Verify.warnings r))
+
+let test_report_rendering () =
+  let err =
+    D.error ~rule:"VISA03-selector" ~stage:D.Regalloc ~where:"vpermute v1, v0"
+      "selector index %d out of range for %d lanes" 5 2
+  in
+  let s = Verify.report_to_string (Verify.of_diagnostics [ err ]) in
+  List.iter
+    (fun needle ->
+      let lh = String.length s and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub s i ln = needle || go (i + 1)) in
+      if not (go 0) then Alcotest.failf "rendered report %S lacks %S" s needle)
+    [ "VISA03-selector"; "regalloc"; "vpermute v1, v0"; "error" ]
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "mutations",
+        Alcotest.test_case "layer coverage" `Quick test_mutation_coverage
+        :: List.map
+             (fun c -> Alcotest.test_case c.Corrupt.name `Quick (mutation_case c))
+             Corrupt.cases );
+      ( "clean suite",
+        List.map
+          (fun s ->
+            Alcotest.test_case (Pipeline.scheme_name s) `Quick (clean_suite_case s))
+          Pipeline.all_schemes
+        @ [ Alcotest.test_case "verify off" `Quick test_verify_off ] );
+      ( "report",
+        [
+          Alcotest.test_case "raise on errors" `Quick test_raise_on_errors;
+          Alcotest.test_case "rendering" `Quick test_report_rendering;
+        ] );
+    ]
