@@ -1,0 +1,209 @@
+(* slpfuzz — the generative differential fuzzer.
+
+   Draws random well-formed kernels, compiles each through every
+   requested scheme x machine with the pass-by-pass verifier enabled,
+   cross-checks vectorized execution against the scalar oracle
+   (memory, scalars, finite cycles), and on any failure shrinks to a
+   minimal reproducer printed as re-parseable kernel source plus the
+   (seed, case) replay coordinates. *)
+
+open Cmdliner
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Fuzz = Slp_fuzz
+
+let scheme_conv =
+  let parse = function
+    | "scalar" -> Ok Pipeline.Scalar
+    | "native" -> Ok Pipeline.Native
+    | "slp" -> Ok Pipeline.Slp
+    | "global" -> Ok Pipeline.Global
+    | "global-layout" | "layout" -> Ok Pipeline.Global_layout
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Pipeline.scheme_name s) in
+  Arg.conv (parse, print)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+
+let count =
+  Arg.(value & opt int 300 & info [ "count" ] ~docv:"N" ~doc:"Number of kernels to draw.")
+
+let index =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "index" ] ~docv:"I"
+        ~doc:"Replay a single case index of the campaign instead of running all of it.")
+
+let max_stmts =
+  Arg.(
+    value
+    & opt int Fuzz.Gen.default_options.Fuzz.Gen.max_stmts
+    & info [ "max-stmts" ] ~docv:"N"
+        ~doc:"Statement budget of the innermost generated block.")
+
+let scheme =
+  Arg.(
+    value
+    & opt (some scheme_conv) None
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Restrict the oracle to one scheme (scalar, native, slp, global, \
+           global-layout); default: all five.")
+
+let replay =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Run the oracle (and shrinker) on a kernel source file instead of \
+              generated programs.")
+
+let repro =
+  Arg.(
+    value
+    & opt string "fuzz-repro.kernel"
+    & info [ "repro" ] ~docv:"FILE"
+        ~doc:"Where to write the first shrunken reproducer on failure.")
+
+let progress =
+  Arg.(value & flag & info [ "progress" ] ~doc:"Print a line every 50 cases.")
+
+let config_of ~seed ~count ~max_stmts ~scheme =
+  let schemes =
+    match scheme with None -> Pipeline.all_schemes | Some s -> [ Pipeline.Scalar; s ]
+  in
+  {
+    Fuzz.Harness.default_config with
+    Fuzz.Harness.seed;
+    count;
+    schemes;
+    gen_options = { Fuzz.Gen.default_options with Fuzz.Gen.max_stmts };
+  }
+
+let write_repro path (r : Fuzz.Harness.failure_report) =
+  let oc = open_out path in
+  Printf.fprintf oc "# slpfuzz reproducer: --seed %d --index %d\n" r.Fuzz.Harness.seed
+    r.Fuzz.Harness.case_index;
+  List.iter
+    (fun f -> Printf.fprintf oc "# %s\n" (Format.asprintf "%a" Fuzz.Oracle.pp_failure f))
+    r.Fuzz.Harness.failures;
+  output_string oc (Slp_ir.Program.to_source r.Fuzz.Harness.shrunk);
+  close_out oc
+
+let run_replay file scheme repro =
+  match Slp_frontend.Parser.parse_file file with
+  | exception Slp_frontend.Parser.Error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
+      1
+  | exception Slp_frontend.Lexer.Error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
+      1
+  | prog ->
+      let schemes =
+        match scheme with
+        | None -> Pipeline.all_schemes
+        | Some s -> [ Pipeline.Scalar; s ]
+      in
+      let outcome = Fuzz.Oracle.run ~schemes prog in
+      if not (Fuzz.Oracle.failed outcome) then begin
+        Printf.printf "replay %s: all oracles clean\n" file;
+        0
+      end
+      else begin
+        Printf.printf "replay %s: %d failure(s)\n" file
+          (List.length outcome.Fuzz.Oracle.failures);
+        List.iter
+          (fun f -> Format.printf "  %a@." Fuzz.Oracle.pp_failure f)
+          outcome.Fuzz.Oracle.failures;
+        let still_fails p = Fuzz.Oracle.failed (Fuzz.Oracle.run ~schemes p) in
+        let shrunk = Fuzz.Shrink.run ~still_fails prog in
+        Printf.printf "minimal reproducer (%d statements):\n%s"
+          (Slp_ir.Program.stmt_count shrunk)
+          (Slp_ir.Program.to_source shrunk);
+        let oc = open_out repro in
+        output_string oc (Slp_ir.Program.to_source shrunk);
+        close_out oc;
+        Printf.printf "reproducer written to %s\n" repro;
+        1
+      end
+
+let main seed count index max_stmts scheme replay repro progress =
+  match replay with
+  | Some file -> run_replay file scheme repro
+  | None ->
+      let config = config_of ~seed ~count ~max_stmts ~scheme in
+      let config =
+        match index with
+        | None -> config
+        | Some _ -> { config with Fuzz.Harness.count = 1 }
+      in
+      let stats =
+        match index with
+        | Some i ->
+            (* Replay one case of the campaign by its coordinates. *)
+            let program = Fuzz.Harness.case_program { config with Fuzz.Harness.count = i + 1 } i in
+            Format.printf "case %d:@.%s@." i (Slp_ir.Program.to_source program);
+            let outcome =
+              Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes program
+            in
+            let reports =
+              if Fuzz.Oracle.failed outcome then begin
+                let still_fails p =
+                  Fuzz.Oracle.failed
+                    (Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes p)
+                in
+                let shrunk = Fuzz.Shrink.run ~still_fails program in
+                [
+                  {
+                    Fuzz.Harness.case_index = i;
+                    seed;
+                    program;
+                    shrunk;
+                    failures = outcome.Fuzz.Oracle.failures;
+                  };
+                ]
+              end
+              else []
+            in
+            {
+              Fuzz.Harness.cases = 1;
+              reports;
+              drift_total = 0;
+              drift_agreements = 0;
+            }
+        | None ->
+            Fuzz.Harness.run
+              ~on_case:(fun i _ ->
+                if progress && i mod 50 = 0 then
+                  Printf.printf "... case %d/%d\n%!" i count)
+              config
+      in
+      Printf.printf "slpfuzz: %d case(s), seed %d: %d failure(s)" stats.Fuzz.Harness.cases
+        seed
+        (List.length stats.Fuzz.Harness.reports);
+      if stats.Fuzz.Harness.drift_total > 0 then
+        Printf.printf "; cost-model ordering agreed on %d/%d machine-records"
+          stats.Fuzz.Harness.drift_agreements stats.Fuzz.Harness.drift_total;
+      print_newline ();
+      (match stats.Fuzz.Harness.reports with
+      | [] -> ()
+      | first :: _ as reports ->
+          List.iter
+            (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
+            reports;
+          write_repro repro first;
+          Printf.printf "first reproducer written to %s\n" repro);
+      if stats.Fuzz.Harness.reports = [] then 0 else 1
+
+let cmd =
+  let doc = "generative differential fuzzer for the SLP pipeline" in
+  Cmd.v
+    (Cmd.info "slpfuzz" ~version:"1.0" ~doc)
+    Term.(
+      const main $ seed $ count $ index $ max_stmts $ scheme $ replay $ repro
+      $ progress)
+
+let () = exit (Cmd.eval' cmd)

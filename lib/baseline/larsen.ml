@@ -143,6 +143,28 @@ let group ~env ~config (block : Block.t) =
     List.length pa = List.length pb
     && List.exists2 (fun a b -> Operand.adjacent_in_memory ~row_size a b) pa pb
   in
+  (* Every member of the merged pack must stay isomorphic to its first
+     lane (constraint 3): adjacency of the seam lanes says nothing
+     about the shapes across packs — two internally-isomorphic pairs
+     over address-consecutive stores can still differ (e.g. a constant
+     store next to a negation). *)
+  let isomorphic_packs p q =
+    let first = find (List.hd p) in
+    List.for_all (fun m -> Stmt.isomorphic ~env first (find m)) q
+  in
+  (* Members of the merged pack must stay pairwise independent
+     (constraint 1): the contraction test below collapses intra-pack
+     dependences into self-loops and cannot see them — e.g. two
+     unrolled copies storing to the same element (WAW) would otherwise
+     merge and fail scheduling. *)
+  let independent_packs p q =
+    List.for_all
+      (fun u ->
+        List.for_all
+          (fun v -> (not (Units.Deps.depends deps u v)) && not (Units.Deps.depends deps v u))
+          q)
+      p
+  in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -155,6 +177,8 @@ let group ~env ~config (block : Block.t) =
                 List.length q = List.length p
                 && List.length p + List.length q <= max_lanes_of p
                 && continues p q
+                && isomorphic_packs p q
+                && independent_packs p q
                 && Units.Deps.merged_acyclic deps
                      ((List.hd p, List.hd q) :: !decided))
               rest

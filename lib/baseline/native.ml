@@ -67,8 +67,15 @@ let group ~env ~config (block : Block.t) =
             && Stmt.isomorphic ~env s t
             && List.for_all (fun prev -> Units.Deps.mergeable deps prev t.Stmt.id) lanes
             && lanes_vectorizable ~env block (List.rev (t.Stmt.id :: lanes))
-            && Units.Deps.merged_acyclic deps
-                 ((List.hd (List.rev lanes), t.Stmt.id) :: !decided)
+            && (* Contract the whole partial pack, not just its seam:
+                  the pairs of the run under construction are not in
+                  [decided] yet, and a cycle may run through a middle
+                  lane. *)
+            Units.Deps.merged_acyclic deps
+              (List.map
+                 (fun l -> (s.Stmt.id, l))
+                 (t.Stmt.id :: List.filter (fun l -> l <> s.Stmt.id) lanes)
+              @ !decided)
           then grow (t.Stmt.id :: lanes) (width + 1) (j + 1)
           else grow lanes width (j + 1)
         end

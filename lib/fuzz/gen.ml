@@ -1,0 +1,373 @@
+open Slp_ir
+module Prng = Slp_util.Prng
+
+type options = {
+  max_stmts : int;
+  max_spatial_nest : int;
+  allow_f32 : bool;
+  allow_rank2 : bool;
+  allow_prologue : bool;
+}
+
+let default_options =
+  {
+    max_stmts = 8;
+    max_spatial_nest = 2;
+    allow_f32 = true;
+    allow_rank2 = true;
+    allow_prologue = true;
+  }
+
+let pick prng l = List.nth l (Prng.int prng (List.length l))
+
+(* Weighted choice: [wpick prng [(3, a); (1, b)]] returns [a] 3/4 of
+   the time. *)
+let wpick prng choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let n = Prng.int prng total in
+  let rec go n = function
+    | [] -> assert false
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n choices
+
+(* -- iteration boxes ----------------------------------------------- *)
+
+(* [box]: innermost-first (index, (vmin, vmax)) — the inclusive value
+   range each enclosing loop index takes. *)
+type box = (string * (int * int)) list
+
+let range_of (box : box) a =
+  List.fold_left
+    (fun (mn, mx) (v, k) ->
+      let lo, hi = List.assoc v box in
+      if k >= 0 then (mn + (k * lo), mx + (k * hi)) else (mn + (k * hi), mx + (k * lo)))
+    (Affine.const_part a, Affine.const_part a)
+    (Affine.terms a)
+
+(* An affine subscript provably inside [0, dim - 1 - extra] over the
+   whole box; [extra] reserves headroom for lane shifts (+0..+extra).
+   Falls back to a constant subscript when the requested term shape
+   cannot fit. *)
+let subscript prng ~(box : box) ~dim ~extra =
+  let with_offset terms =
+    let base = Affine.make terms 0 in
+    let mn, mx = range_of box base in
+    let lo_off = -mn and hi_off = dim - 1 - extra - mx in
+    if hi_off < lo_off then None
+    else
+      let span = hi_off - lo_off in
+      (* Prefer offsets near the low edge: small constants exercise
+         misalignment without wasting the array's footprint. *)
+      let off =
+        if Prng.bool prng then lo_off + Prng.int prng (min span 6 + 1)
+        else lo_off + Prng.int prng (span + 1)
+      in
+      Some (Affine.add base (Affine.const off))
+  in
+  let names = List.map fst box in
+  let candidates =
+    match names with
+    | [] -> []
+    | [ i0 ] -> [ (6, [ (i0, 1) ]); (2, [ (i0, 2) ]); (1, [ (i0, 3) ]) ]
+    | i0 :: i1 :: _ ->
+        [
+          (6, [ (i0, 1) ]);
+          (2, [ (i0, 2) ]);
+          (1, [ (i0, 3) ]);
+          (2, [ (i0, 1); (i1, 1) ]);
+          (1, [ (i1, 1) ]);
+        ]
+  in
+  let const_fallback () = Affine.const (Prng.int prng (max 1 (dim - extra))) in
+  if candidates = [] then const_fallback ()
+  else
+    match with_offset (wpick prng candidates) with
+    | Some a -> a
+    | None -> begin
+        (* Simplest stride-1 shape, then a constant. *)
+        match with_offset [ (List.hd names, 1) ] with
+        | Some a -> a
+        | None -> const_fallback ()
+      end
+
+(* -- expression skeletons ------------------------------------------ *)
+
+(* The operator skeleton shared by every statement of an isomorphic
+   group; leaves are instantiation slots. *)
+type shape = L | U of Types.unop * shape | B of Types.binop * shape * shape
+
+let rec gen_shape prng depth =
+  if depth = 0 then L
+  else
+    wpick prng
+      [
+        (2, `Leaf);
+        (1, `Un);
+        (6, `Bin);
+      ]
+    |> function
+    | `Leaf -> L
+    | `Un ->
+        let op = wpick prng [ (3, Types.Neg); (3, Types.Abs); (1, Types.Sqrt) ] in
+        U (op, gen_shape prng (depth - 1))
+    | `Bin ->
+        let op =
+          wpick prng
+            [
+              (6, Types.Add);
+              (5, Types.Sub);
+              (5, Types.Mul);
+              (2, Types.Min);
+              (2, Types.Max);
+              (1, Types.Div);
+            ]
+        in
+        B (op, gen_shape prng (depth - 1), gen_shape prng (depth - 1))
+
+let rec leaf_count = function
+  | L -> 1
+  | U (_, s) -> leaf_count s
+  | B (_, a, b) -> leaf_count a + leaf_count b
+
+let build shape leaves =
+  let rec go shape leaves =
+    match shape with
+    | L -> (Expr.Leaf (List.hd leaves), List.tl leaves)
+    | U (op, s) ->
+        let e, rest = go s leaves in
+        (Expr.Un (op, e), rest)
+    | B (op, a, b) ->
+        let ea, rest = go a leaves in
+        let eb, rest = go b rest in
+        (Expr.Bin (op, ea, eb), rest)
+  in
+  fst (go shape leaves)
+
+(* -- operands ------------------------------------------------------ *)
+
+type ctx = {
+  prng : Prng.t;
+  box : box;
+  arrays : (string * int list) list;
+  inputs : string list;  (** Read-only scalar names. *)
+  temps : string list;  (** Writable scalar names. *)
+  mutable defined : string list;  (** Temps already written in this block. *)
+}
+
+let gen_elem ctx ~extra =
+  let name, dims = pick ctx.prng ctx.arrays in
+  let rank = List.length dims in
+  let subs =
+    List.mapi
+      (fun d dim ->
+        subscript ctx.prng ~box:ctx.box ~dim ~extra:(if d = rank - 1 then extra else 0))
+      dims
+  in
+  (name, subs)
+
+let gen_operand ctx ~extra =
+  match wpick ctx.prng [ (8, `Arr); (4, `Sc); (4, `Cst) ] with
+  | `Arr ->
+      let name, subs = gen_elem ctx ~extra in
+      Operand.Elem (name, subs)
+  | `Sc ->
+      let from =
+        if ctx.defined <> [] && Prng.bool ctx.prng then ctx.defined else ctx.inputs
+      in
+      Operand.Scalar (pick ctx.prng from)
+  | `Cst -> Operand.Const (float_of_int (Prng.int ctx.prng 33 - 16) /. 8.0)
+
+(* -- statement groups ---------------------------------------------- *)
+
+(* How one rhs position is filled across the lanes of a group:
+   lane-shifted array accesses become packable/contiguous loads,
+   shared operands become broadcasts, independent draws exercise
+   gathers. *)
+type leaf_plan =
+  | Shifted of string * Affine.t list
+  | Shared of Operand.t
+  | Indep
+
+let shift_last lane subs =
+  match List.rev subs with
+  | last :: rest -> List.rev (Affine.add last (Affine.const lane) :: rest)
+  | [] -> []
+
+(* Emit an isomorphic group of [g] statements (g = 1 gives a single).
+   Returns lhs/rhs pairs in lane order. *)
+let gen_group ctx ~g =
+  let shape = gen_shape ctx.prng (wpick ctx.prng [ (2, 1); (3, 2); (1, 3) ]) in
+  let n_leaves = leaf_count shape in
+  let scalar_lhs = g <= List.length ctx.temps && Prng.int ctx.prng 10 < 3 in
+  let plans =
+    List.init n_leaves (fun _ ->
+        match wpick ctx.prng [ (4, `Shift); (3, `Share); (3, `Indep) ] with
+        | `Shift ->
+            let name, subs = gen_elem ctx ~extra:(g - 1) in
+            Shifted (name, subs)
+        | `Share -> Shared (gen_operand ctx ~extra:0)
+        | `Indep -> Indep)
+  in
+  let lhs_plan =
+    if scalar_lhs then `Temps
+    else
+      let name, subs = gen_elem ctx ~extra:(g - 1) in
+      `Elem (name, subs)
+  in
+  let stmt_of_lane lane =
+    let leaves =
+      List.map
+        (function
+          | Shifted (name, subs) -> Operand.Elem (name, shift_last lane subs)
+          | Shared op -> op
+          | Indep -> gen_operand ctx ~extra:0)
+        plans
+    in
+    let rhs = build shape leaves in
+    let lhs =
+      match lhs_plan with
+      | `Temps -> Operand.Scalar (List.nth ctx.temps lane)
+      | `Elem (name, subs) -> Operand.Elem (name, shift_last lane subs)
+    in
+    (match lhs with
+    | Operand.Scalar v -> if not (List.mem v ctx.defined) then ctx.defined <- v :: ctx.defined
+    | _ -> ());
+    (lhs, rhs)
+  in
+  List.init g stmt_of_lane
+
+let gen_block ctx ~label ~max_stmts ~scalar_only =
+  let n = 1 + Prng.int ctx.prng max_stmts in
+  let rec fill acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let g = min remaining (wpick ctx.prng [ (3, 1); (2, 2); (2, 3); (1, 4) ]) in
+      let g = if scalar_only then min g (List.length ctx.temps) else g in
+      let stmts =
+        if scalar_only then
+          (* Prologue blocks write temps only — array state stays in
+             the hands of the innermost loop. *)
+          List.mapi
+            (fun lane (_, rhs) -> (Operand.Scalar (List.nth ctx.temps lane), rhs))
+            (gen_group ctx ~g)
+        else gen_group ctx ~g
+      in
+      List.iter
+        (function
+          | Operand.Scalar v, _ ->
+              if not (List.mem v ctx.defined) then ctx.defined <- v :: ctx.defined
+          | _ -> ())
+        stmts;
+      fill (List.rev_append stmts acc) (remaining - List.length stmts)
+  in
+  let pairs = fill [] n in
+  Block.make ~label
+    (List.mapi (fun k (lhs, rhs) -> Stmt.make ~id:(k + 1) ~lhs ~rhs) pairs)
+
+(* -- whole programs ------------------------------------------------ *)
+
+let program ?(options = default_options) ~name prng =
+  let ty =
+    if options.allow_f32 && Prng.int prng 3 = 0 then Types.F32 else Types.F64
+  in
+  let env = Env.create () in
+  let rank1 = [ "A"; "B"; "C" ] in
+  List.iter (fun a -> Env.declare_array env a ty [ 256 ]) rank1;
+  let arrays = List.map (fun a -> (a, [ 256 ])) rank1 in
+  let arrays =
+    if options.allow_rank2 && Prng.int prng 3 = 0 then begin
+      Env.declare_array env "D" ty [ 12; 40 ];
+      arrays @ [ ("D", [ 12; 40 ]) ]
+    end
+    else arrays
+  in
+  let inputs = [ "s0"; "s1"; "s2" ] and temps = [ "t0"; "t1"; "t2" ] in
+  List.iter (fun v -> Env.declare_scalar env v ty) (inputs @ temps);
+  (* Loop skeleton: optional repeat loop, 1-2 spatial loops, innermost
+     statement block; constant bounds give a bounded iteration box. *)
+  let inner_lo = Prng.int prng 5 in
+  let inner_step = if Prng.int prng 4 = 0 then 2 else 1 in
+  let inner_trip = 8 + Prng.int prng 41 in
+  let inner_hi =
+    (* Occasionally a bound that is not lo + trip*step, to exercise
+       remainder-loop emission in the unroller. *)
+    let exact = inner_lo + (inner_trip * inner_step) in
+    if inner_step > 1 && Prng.bool prng then exact - 1 else exact
+  in
+  let inner_last = inner_lo + ((inner_trip - 1) * inner_step) in
+  let depth2 = options.max_spatial_nest >= 2 && Prng.int prng 3 = 0 in
+  let outer_trip = 2 + Prng.int prng 7 in
+  let repeat = Prng.bool prng in
+  let repeat_trip = 2 + Prng.int prng 2 in
+  (* The prologue sits above the spatial nest, so its box holds only
+     the repeat index; the innermost block sees the full nest. *)
+  let box_repeat : box = if repeat then [ ("rep", (0, repeat_trip - 1)) ] else [] in
+  let box_inner : box =
+    ("i0", (inner_lo, inner_last))
+    :: ((if depth2 then [ ("i1", (0, outer_trip - 1)) ] else []) @ box_repeat)
+  in
+  let ctx_inner =
+    { prng; box = box_inner; arrays; inputs; temps; defined = [] }
+  in
+  let inner_block =
+    gen_block ctx_inner ~label:"bb1" ~max_stmts:(max 1 options.max_stmts)
+      ~scalar_only:false
+  in
+  let inner_loop =
+    Program.loop "i0" ~step:inner_step ~lo:(Affine.const inner_lo)
+      ~hi:(Affine.const inner_hi)
+      [ Program.Stmts inner_block ]
+  in
+  let spatial =
+    if depth2 then
+      Program.loop "i1" ~lo:(Affine.const 0) ~hi:(Affine.const outer_trip)
+        [ inner_loop ]
+    else inner_loop
+  in
+  let prologue =
+    if options.allow_prologue && Prng.int prng 4 = 0 then begin
+      let ctx =
+        { prng; box = box_repeat; arrays; inputs; temps; defined = [] }
+      in
+      [ Program.Stmts (gen_block ctx ~label:"bb0" ~max_stmts:2 ~scalar_only:true) ]
+    end
+    else []
+  in
+  let body_at_repeat = prologue @ [ spatial ] in
+  let body =
+    if repeat then
+      [
+        Program.loop "rep" ~lo:(Affine.const 0) ~hi:(Affine.const repeat_trip)
+          body_at_repeat;
+      ]
+    else body_at_repeat
+  in
+  (* Epilogue (usually present): store every temp to memory, so scalar
+     dataflow is observable through the array oracle and the temps
+     become live-out of their defining blocks (exercising unpacks and
+     scalar-superword layout).  Omitting it sometimes keeps the
+     dead-scalar path — discarded unpack lanes — covered too. *)
+  let body =
+    if Prng.int prng 4 = 0 then body
+    else begin
+      let dst, dims = List.hd arrays in
+      let base = Prng.int prng (List.hd dims - List.length temps) in
+      let stmts =
+        List.mapi
+          (fun k v ->
+            Stmt.make ~id:(k + 1)
+              ~lhs:(Operand.Elem (dst, [ Affine.const (base + k) ]))
+              ~rhs:(Expr.Leaf (Operand.Scalar v)))
+          temps
+      in
+      body @ [ Program.Stmts (Block.make ~label:"bb9" stmts) ]
+    end
+  in
+  let prog = Program.make ~name ~env body in
+  match Program.validate prog with
+  | Ok () -> prog
+  | Error msg ->
+      invalid_arg
+        (Printf.sprintf "Fuzz.Gen produced an invalid program (%s):\n%s" msg
+           (Program.to_source prog))

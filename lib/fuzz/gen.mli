@@ -1,0 +1,29 @@
+(** Seeded random generation of well-formed kernel programs.
+
+    The generator is the front half of the differential fuzzer: it
+    draws bounded affine loop nests (constant iteration boxes, steps 1
+    and 2, optional outer repeat loop), declarations, and basic blocks
+    of scalar/array statements designed to exercise the SLP passes —
+    isomorphic statement groups, scalar reuse chains, contiguous,
+    misaligned and strided array accesses.  Every program it returns
+    satisfies [Program.validate] and stays within its arrays' bounds
+    over the whole iteration box, so any downstream diagnostic or
+    divergence is a compiler bug, not a generator artifact.
+
+    All randomness comes from an explicit {!Slp_util.Prng.t}; equal
+    seeds yield equal programs. *)
+
+type options = {
+  max_stmts : int;  (** Statement budget for the innermost block (>= 1). *)
+  max_spatial_nest : int;  (** Spatial loop depth: 1 or 2. *)
+  allow_f32 : bool;  (** Draw F32 element types (4 lanes at 128 bits). *)
+  allow_rank2 : bool;  (** Declare and access a rank-2 array. *)
+  allow_prologue : bool;  (** Scalar-statement block above the innermost loop. *)
+}
+
+val default_options : options
+(** 8 statements, depth 2, f32/rank-2/prologue all enabled. *)
+
+val program : ?options:options -> name:string -> Slp_util.Prng.t -> Slp_ir.Program.t
+(** Draw one kernel.  The result validates; violations raise
+    [Invalid_argument] (a generator bug worth a report). *)

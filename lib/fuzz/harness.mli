@@ -1,0 +1,55 @@
+(** The fuzzing campaign driver: generate, cross-check, shrink.
+
+    A campaign is fully determined by its seed: case [i] draws from
+    the [i]-th split of a master {!Slp_util.Prng.t}, so any failing
+    case is replayable from [(seed, index)] alone — independently of
+    how many cases ran before or after it. *)
+
+open Slp_ir
+module Pipeline = Slp_pipeline.Pipeline
+
+type config = {
+  seed : int;
+  count : int;
+  gen_options : Gen.options;
+  schemes : Pipeline.scheme list;
+  machines : Slp_machine.Machine.t list;
+  shrink_checks : int;  (** Predicate-evaluation budget per shrink. *)
+}
+
+val default_config : config
+(** Seed 42, 300 cases, all five schemes, both machines. *)
+
+type failure_report = {
+  case_index : int;
+  seed : int;
+  program : Program.t;  (** As generated. *)
+  shrunk : Program.t;  (** Minimal reproducer (still failing). *)
+  failures : Oracle.failure list;  (** Of the original program. *)
+}
+
+type stats = {
+  cases : int;
+  reports : failure_report list;
+  drift_total : int;
+      (** Machine-level drift records with at least two measured schemes. *)
+  drift_agreements : int;
+      (** Records where the cost model's cheapest vectorizing scheme
+          is also the measured-fastest one. *)
+}
+
+val case_program : config -> int -> Program.t
+(** The program of case [index] under this config — replay without
+    running the campaign. *)
+
+val agreement : Oracle.drift -> bool option
+(** [None] when fewer than two schemes have both predictions and
+    measurements. *)
+
+val run : ?on_case:(int -> Program.t -> unit) -> config -> stats
+(** Runs the campaign; failures are shrunk with the oracle itself as
+    the predicate (same schemes/machines). *)
+
+val pp_report : Format.formatter -> failure_report -> unit
+(** Failure list, replay coordinates, and the shrunken kernel as
+    re-parseable source. *)

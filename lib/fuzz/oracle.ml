@@ -1,0 +1,207 @@
+open Slp_ir
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Vm = Slp_vm
+
+type failure = { scheme : string; machine : string; stage : string; message : string }
+
+type drift = {
+  machine : string;
+  predicted : (string * float) list;
+  measured : (string * float) list;
+}
+
+type outcome = { failures : failure list; drifts : drift list }
+
+let default_machines = [ Machine.intel_dunnington; Machine.amd_phenom_ii ]
+let failed o = o.failures <> []
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "[%s/%s/%s] %s" f.machine f.scheme f.stage f.message
+
+(* -- deliberate miscompile for shrinker tests ---------------------- *)
+
+let flip_binop = function
+  | Types.Add -> Types.Sub
+  | Types.Sub -> Types.Add
+  | Types.Mul -> Types.Div
+  | Types.Div -> Types.Mul
+  | Types.Min -> Types.Max
+  | Types.Max -> Types.Min
+
+let miscompile (p : Vm.Visa.program) =
+  let found = ref false in
+  let mutate_instr (i : Vm.Visa.instr) =
+    match i with
+    | Vm.Visa.Vbin { dst; op; a; b } when not !found ->
+        found := true;
+        Vm.Visa.Vbin { dst; op = flip_binop op; a; b }
+    | other -> other
+  in
+  let rec mutate_items items =
+    List.map
+      (function
+        | Vm.Visa.Block instrs -> Vm.Visa.Block (List.map mutate_instr instrs)
+        | Vm.Visa.Loop l -> Vm.Visa.Loop { l with Vm.Visa.body = mutate_items l.Vm.Visa.body })
+      items
+  in
+  { p with Vm.Visa.body = mutate_items p.Vm.Visa.body }
+
+(* -- comparison helpers -------------------------------------------- *)
+
+let feq x y = Float.equal x y || Float.abs (x -. y) <= 1e-9
+
+(* First diverging array element between the scalar-reference and the
+   vectorized memory, restricted to the arrays the source program
+   declares (layout replicas are derived state). *)
+let memory_diff ~env ref_mem vec_mem =
+  List.find_map
+    (fun (name, _) ->
+      let a = Vm.Memory.array_values ref_mem name in
+      let b = Vm.Memory.array_values vec_mem name in
+      if Array.length a <> Array.length b then
+        Some (Printf.sprintf "array %s: size %d vs %d" name (Array.length a) (Array.length b))
+      else
+        let rec scan i =
+          if i >= Array.length a then None
+          else if feq a.(i) b.(i) then scan (i + 1)
+          else
+            Some
+              (Printf.sprintf "array %s[%d]: scalar %.17g vs vectorized %.17g" name i
+                 a.(i) b.(i))
+        in
+        scan 0)
+    (Env.arrays env)
+
+(* A scalar's final slot value is architecturally defined only when
+   every block that writes it must materialise it (liveness contract:
+   values are unpacked from vector registers only when demanded).
+   Scalars never written compare trivially (both sides zero). *)
+let observable_scalars prog =
+  let liveness = Slp_analysis.Liveness.compute prog in
+  let blocks = Program.blocks prog in
+  List.filter
+    (fun name ->
+      let defining =
+        List.filter (fun b -> List.mem name (Block.scalar_defs b)) blocks
+      in
+      List.for_all (fun b -> Slp_analysis.Liveness.demanded liveness b name) defining)
+    (List.map fst (Env.scalars prog.Program.env))
+
+let scalar_diff ~names ref_mem vec_mem =
+  List.find_map
+    (fun name ->
+      let a = Vm.Memory.scalar ref_mem name in
+      let b = Vm.Memory.scalar vec_mem name in
+      if feq a b then None
+      else
+        Some
+          (Printf.sprintf "scalar %s: scalar-exec %.17g vs vectorized %.17g" name a b))
+    names
+
+(* -- the oracle ---------------------------------------------------- *)
+
+let predicted_cost (plan : Slp_core.Driver.program_plan) =
+  List.fold_left
+    (fun acc (bp : Slp_core.Driver.block_plan) ->
+      match bp.Slp_core.Driver.estimate with
+      | Some e ->
+          acc
+          +.
+          if bp.Slp_core.Driver.schedule <> None then e.Slp_core.Cost.vector_cost
+          else e.Slp_core.Cost.scalar_cost
+      | None -> acc)
+    0.0 plan.Slp_core.Driver.plans
+
+let run ?(schemes = Pipeline.all_schemes) ?(machines = default_machines) ?(seed = 42)
+    ?(mutate = fun v -> v) (prog : Program.t) =
+  match Program.validate prog with
+  | Error msg ->
+      {
+        failures = [ { scheme = "-"; machine = "-"; stage = "validate"; message = msg } ];
+        drifts = [];
+      }
+  | Ok () ->
+      let failures = ref [] and drifts = ref [] in
+      let scalar_names = observable_scalars prog in
+      let fail ~scheme ~machine ~stage message =
+        failures := { scheme; machine; stage; message } :: !failures
+      in
+      List.iter
+        (fun (machine : Machine.t) ->
+          let mname = machine.Machine.name in
+          (* The scalar oracle runs the *original* program, so the
+             unroller is inside the tested surface, not the oracle. *)
+          let reference = Vm.Scalar_exec.run ~seed ~machine prog in
+          let ref_cycles = Vm.Counters.total_cycles reference.Vm.Scalar_exec.counters in
+          if not (Float.is_finite ref_cycles) then
+            fail ~scheme:"Scalar" ~machine:mname ~stage:"cycles"
+              (Printf.sprintf "non-finite scalar cycles %f" ref_cycles);
+          let predicted = ref [] and measured = ref [] in
+          List.iter
+            (fun scheme ->
+              let sname = Pipeline.scheme_name scheme in
+              match Pipeline.compile ~verify:true ~scheme ~machine prog with
+              | exception Slp_verify.Verify.Verification_failed (what, report) ->
+                  fail ~scheme:sname ~machine:mname ~stage:"verify"
+                    (Format.asprintf "%s:@ %a" what Slp_verify.Verify.pp_report report)
+              | exception Invalid_argument msg ->
+                  fail ~scheme:sname ~machine:mname ~stage:"compile" msg
+              | exception exn ->
+                  fail ~scheme:sname ~machine:mname ~stage:"compile"
+                    (Printexc.to_string exn)
+              | compiled -> begin
+                  (match compiled.Pipeline.plan with
+                  | Some plan ->
+                      predicted := (sname, predicted_cost plan) :: !predicted
+                  | None -> ());
+                  match compiled.Pipeline.vector with
+                  | None ->
+                      (* The Scalar scheme *is* the oracle; measure the
+                         prepared (unrolled) program for drift and
+                         finiteness only. *)
+                      let r =
+                        Vm.Scalar_exec.run ~seed ~machine compiled.Pipeline.reference
+                      in
+                      let cycles = Vm.Counters.total_cycles r.Vm.Scalar_exec.counters in
+                      measured := (sname, cycles) :: !measured;
+                      if not (Float.is_finite cycles) then
+                        fail ~scheme:sname ~machine:mname ~stage:"cycles"
+                          (Printf.sprintf "non-finite cycles %f" cycles)
+                  | Some vprog -> begin
+                      let vprog = mutate vprog in
+                      let memory =
+                        Vm.Memory.create ~scalar_layout:compiled.Pipeline.scalar_offsets
+                          ~env:vprog.Vm.Visa.env ()
+                      in
+                      Vm.Memory.init_arrays memory ~seed;
+                      match Vm.Vector_exec.run ~seed ~memory ~machine vprog with
+                      | exception exn ->
+                          fail ~scheme:sname ~machine:mname ~stage:"execute"
+                            (Printexc.to_string exn)
+                      | r ->
+                          let cycles =
+                            Vm.Counters.total_cycles r.Vm.Vector_exec.counters
+                          in
+                          measured := (sname, cycles) :: !measured;
+                          if not (Float.is_finite cycles) then
+                            fail ~scheme:sname ~machine:mname ~stage:"cycles"
+                              (Printf.sprintf "non-finite cycles %f" cycles);
+                          let ref_mem = reference.Vm.Scalar_exec.memory in
+                          let vec_mem = r.Vm.Vector_exec.memory in
+                          (match memory_diff ~env:prog.Program.env ref_mem vec_mem with
+                          | Some msg ->
+                              fail ~scheme:sname ~machine:mname ~stage:"memory" msg
+                          | None -> ());
+                          (match scalar_diff ~names:scalar_names ref_mem vec_mem with
+                          | Some msg ->
+                              fail ~scheme:sname ~machine:mname ~stage:"scalars" msg
+                          | None -> ())
+                    end
+                end)
+            schemes;
+          drifts :=
+            { machine = mname; predicted = List.rev !predicted; measured = List.rev !measured }
+            :: !drifts)
+        machines;
+      { failures = List.rev !failures; drifts = List.rev !drifts }

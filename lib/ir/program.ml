@@ -163,3 +163,51 @@ let pp ppf t =
     pp_items t.body
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* The header-less form is exactly the kernel language accepted by
+   Slp_frontend.Parser.parse — the fuzzer's reproducers and the
+   round-trip property tests rely on it. *)
+let to_source t =
+  Format.asprintf "@[<v>%a@,@[<v>%a@]@]@." Env.pp t.env pp_items t.body
+
+let equal_structure a b =
+  let env_equal ea eb =
+    Env.scalars ea = Env.scalars eb
+    && List.map (fun (n, i) -> (n, i.Env.elem_ty, i.Env.dims)) (Env.arrays ea)
+       = List.map (fun (n, i) -> (n, i.Env.elem_ty, i.Env.dims)) (Env.arrays eb)
+  in
+  (* Blocks compare as lhs/rhs sequences: labels and statement ids are
+     printer/parser bookkeeping, not program structure.  The grammar
+     has no negative literals — a printed [-1.5] re-parses as negation
+     of [1.5] — so negated constants are folded before comparing. *)
+  let rec norm_expr = function
+    | Expr.Leaf _ as e -> e
+    | Expr.Un (op, e) -> begin
+        match (op, norm_expr e) with
+        | Types.Neg, Expr.Leaf (Operand.Const c) -> Expr.Leaf (Operand.Const (-.c))
+        | op, e -> Expr.Un (op, e)
+      end
+    | Expr.Bin (op, l, r) -> Expr.Bin (op, norm_expr l, norm_expr r)
+  in
+  let block_equal (x : Block.t) (y : Block.t) =
+    List.length x.Block.stmts = List.length y.Block.stmts
+    && List.for_all2
+         (fun (s : Stmt.t) (s' : Stmt.t) ->
+           Operand.equal s.Stmt.lhs s'.Stmt.lhs
+           && Expr.equal (norm_expr s.Stmt.rhs) (norm_expr s'.Stmt.rhs))
+         x.Block.stmts y.Block.stmts
+  in
+  let rec items_equal xs ys =
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun x y ->
+           match (x, y) with
+           | Stmts bx, Stmts by -> block_equal bx by
+           | Loop lx, Loop ly ->
+               String.equal lx.index ly.index
+               && Affine.equal lx.lo ly.lo && Affine.equal lx.hi ly.hi
+               && lx.step = ly.step && items_equal lx.body ly.body
+           | _, _ -> false)
+         xs ys
+  in
+  env_equal a.env b.env && items_equal a.body b.body

@@ -44,3 +44,14 @@ val validate : t -> (unit, string) result
 val max_loop_depth : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val to_source : t -> string
+(** Declarations plus body, without the [program <name>] header — the
+    exact kernel language accepted by the frontend parser, so a dumped
+    program (in particular a fuzzer reproducer) re-parses. *)
+
+val equal_structure : t -> t -> bool
+(** Same declarations and the same loop/block tree with equal
+    statements (lhs and rhs compared structurally).  Program names,
+    block labels and statement ids are ignored — they are bookkeeping
+    the parser reassigns, not structure. *)

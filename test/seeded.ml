@@ -1,0 +1,23 @@
+(* One seed for every generative test executable.
+
+   Property-based tests draw all their randomness from here so a CI
+   failure is reproducible: set QCHECK_SEED to replay a run, otherwise
+   the default (42) applies.  The seed in effect is announced once per
+   executable so the log always shows what to replay. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 42)
+  | None -> 42
+
+let announce = lazy (Printf.eprintf "[seeded] QCHECK_SEED=%d\n%!" seed)
+
+let rand () =
+  Lazy.force announce;
+  Random.State.make [| seed |]
+
+let prng ?(salt = 0) () =
+  Lazy.force announce;
+  Slp_util.Prng.create (seed + salt)
+
+let to_alcotest test = QCheck_alcotest.to_alcotest ~rand:(rand ()) test

@@ -229,13 +229,7 @@ let roundtrip =
       match Program.validate p with
       | Error _ -> true
       | Ok () -> begin
-          let src = Program.to_string p in
-          (* Drop the leading "program <name>" header line. *)
-          let src =
-            match String.index_opt src '\n' with
-            | Some i -> String.sub src (i + 1) (String.length src - i - 1)
-            | None -> src
-          in
+          let src = Program.to_source p in
           match Slp_frontend.Parser.parse ~name:"roundtrip" src with
           | exception Slp_frontend.Parser.Error (msg, l, c) ->
               QCheck.Test.fail_reportf "reparse failed at %d:%d: %s\n%s" l c msg src
@@ -251,7 +245,7 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "differential",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.to_alcotest
           [
             fuzz Pipeline.Native "native preserves semantics";
             fuzz Pipeline.Slp "slp preserves semantics";
@@ -266,7 +260,7 @@ let () =
             roundtrip;
           ] );
       ( "engine vs interpreter",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Seeded.to_alcotest
           [
             engine_fuzz "scalar engine matches interpreter" (fun p ->
                 engine_scalar_agrees p);

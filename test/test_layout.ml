@@ -235,6 +235,88 @@ for t = 0 to 64 {
     (r.Pipeline.counters.Slp_vm.Counters.pack_loads
     < rg.Pipeline.counters.Slp_vm.Counters.pack_loads)
 
+(* -- edge cases ---------------------------------------------------------- *)
+
+let test_empty_plan_layout () =
+  (* A strictly sequential chain: nothing groups, so the plan has no
+     superwords — scalar placement and replication must both be
+     no-ops, not crashes. *)
+  let src =
+    "f64 A[64];\nf64 s;\nfor i = 0 to 16 {\n  s = A[i] + s;\n  A[i+17] = s * s;\n}"
+  in
+  let prog = Slp_frontend.Parser.parse ~name:"chain" src in
+  let c =
+    Pipeline.compile ~unroll:1 ~scheme:Pipeline.Global
+      ~machine:Machine.intel_dunnington prog
+  in
+  match c.Pipeline.plan with
+  | None -> Alcotest.fail "expected a plan"
+  | Some plan ->
+      List.iter
+        (fun (bp : Slp_core.Driver.block_plan) ->
+          Alcotest.(check int) "no groups" 0
+            (List.length bp.Slp_core.Driver.grouping.Slp_core.Grouping.groups))
+        plan.Slp_core.Driver.plans;
+      Alcotest.(check int) "no scalar superwords" 0
+        (List.length (Scalar_layout.collect_scalar_superwords ~env:prog.Program.env plan));
+      let placement = Scalar_layout.place ~env:prog.Program.env plan in
+      Alcotest.(check int) "no offsets" 0 (List.length placement.Scalar_layout.offsets);
+      Alcotest.(check int) "nothing skipped" 0 placement.Scalar_layout.skipped;
+      let r = Array_layout.apply plan in
+      Alcotest.(check int) "no replicas" 0 (List.length r.Array_layout.replicas);
+      Alcotest.(check int) "no setup code" 0 (List.length r.Array_layout.setup)
+
+let test_single_lane_pack_rejected () =
+  (* A pack needs at least two lanes; empty and singleton operand
+     lists are never replicable. *)
+  let env = Env.create () in
+  Env.declare_array env "W" Types.F64 [ 64 ];
+  let written _ = false in
+  let ok = Array_layout.replicable_pack ~env ~written ~innermost:(Some "i") in
+  Alcotest.(check bool) "empty pack" false (ok []);
+  Alcotest.(check bool) "single lane" false
+    (ok [ Operand.Elem ("W", [ Affine.make [ ("i", 4) ] 0 ]) ])
+
+let test_max_lane_pack_mapping () =
+  (* Four f32 lanes (the 128-bit maximum): W[4i+k] for k = 0..3 maps
+     onto R[4t+k] — stride L = lanes, every position hit exactly once. *)
+  let lanes = 4 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun t ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "t=%d p=%d" t p)
+            (Some ((lanes * t) + p))
+            (Transform.mapping_1d ~a:4 ~b:p ~lanes ~position:p ((4 * t) + p)))
+        [ 0; 1; 5 ];
+      (* Elements of other lanes are not this lane's. *)
+      Alcotest.(check (option int))
+        (Printf.sprintf "p=%d off-lane" p)
+        None
+        (Transform.mapping_1d ~a:4 ~b:p ~lanes ~position:p (p + 1)))
+    [ 0; 1; 2; 3 ]
+
+let test_max_lane_pack_replicable () =
+  let env = Env.create () in
+  Env.declare_array env "W" Types.F32 [ 256 ];
+  let written _ = false in
+  let e k = Operand.Elem ("W", [ Affine.make [ ("i", 4) ] k ]) in
+  Alcotest.(check bool) "4-lane f32 pack replicable" true
+    (Array_layout.replicable_pack ~env ~written ~innermost:(Some "i")
+       [ e 0; e 1; e 2; e 3 ])
+
+let test_single_lane_mapping () =
+  (* lanes = 1 degenerates to a gather-to-dense copy: d = a·t + b maps
+     to t. *)
+  List.iter
+    (fun t ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "t=%d" t)
+        (Some t)
+        (Transform.mapping_1d ~a:3 ~b:2 ~lanes:1 ~position:0 ((3 * t) + 2)))
+    [ 0; 1; 7 ]
+
 let test_outer_repeat () =
   let prog =
     Slp_frontend.Parser.parse ~name:"t"
@@ -265,5 +347,18 @@ let () =
           Alcotest.test_case "amortisation rule" `Quick test_amortizes;
           Alcotest.test_case "end to end" `Quick test_replication_end_to_end;
           Alcotest.test_case "outer repeat" `Quick test_outer_repeat;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "empty groups are a layout no-op" `Quick
+            test_empty_plan_layout;
+          Alcotest.test_case "single-lane packs rejected" `Quick
+            test_single_lane_pack_rejected;
+          Alcotest.test_case "max-lane (4x f32) mapping" `Quick
+            test_max_lane_pack_mapping;
+          Alcotest.test_case "max-lane (4x f32) replicable" `Quick
+            test_max_lane_pack_replicable;
+          Alcotest.test_case "single-lane mapping degenerates" `Quick
+            test_single_lane_mapping;
         ] );
     ]

@@ -349,6 +349,54 @@ let test_config () =
     (Invalid_argument "Config.make: datapath_bits must be a positive multiple of 64")
     (fun () -> ignore (Config.make ~datapath_bits:100 ()))
 
+(* -- schedule determinism ------------------------------------------------- *)
+
+(* Two independent isomorphic pairs with no reuses between them: every
+   selection step is a pure tie.  The tie-break must be program order,
+   and must not depend on the order the grouping lists the groups. *)
+let tie_env () =
+  let env = Env.create () in
+  List.iter (fun a -> Env.declare_array env a Types.F64 [ 64 ]) [ "A"; "B"; "C" ];
+  env
+
+let tie_block () =
+  let e a k = Operand.Elem (a, [ Affine.const k ]) in
+  let s id a k =
+    Stmt.make ~id ~lhs:(e a k) ~rhs:(Expr.Bin (Types.Add, Expr.Leaf (e "B" k), Expr.Leaf (e "C" k)))
+  in
+  Block.make ~label:"tie" [ s 1 "A" 0; s 2 "A" 1; s 3 "A" 8; s 4 "A" 9 ]
+
+let tie_grouping groups =
+  { Grouping.groups; singles = []; rounds = 1; decisions = List.length groups }
+
+let test_schedule_tie_break_program_order () =
+  let env = tie_env () and block = tie_block () in
+  let s = Schedule.run ~env ~config block (tie_grouping [ [ 1; 2 ]; [ 3; 4 ] ]) in
+  Alcotest.(check (list int)) "program order on ties" [ 1; 2; 3; 4 ]
+    (Schedule.scheduled_stmt_ids s)
+
+let test_schedule_group_order_independent () =
+  let env = tie_env () and block = tie_block () in
+  let a = Schedule.run ~env ~config block (tie_grouping [ [ 1; 2 ]; [ 3; 4 ] ]) in
+  let b = Schedule.run ~env ~config block (tie_grouping [ [ 3; 4 ]; [ 1; 2 ] ]) in
+  Alcotest.(check (list int)) "grouping order irrelevant"
+    (Schedule.scheduled_stmt_ids a) (Schedule.scheduled_stmt_ids b)
+
+let test_schedule_repeatable () =
+  (* Same inputs, same schedule — across options and repeated runs. *)
+  let env = fig2_env () and block = fig2_block () in
+  let g = Grouping.run ~env ~config block in
+  List.iter
+    (fun options ->
+      let a = Schedule.run ~options ~env ~config block g in
+      let b = Schedule.run ~options ~env ~config block g in
+      Alcotest.(check (list int)) "repeatable" (Schedule.scheduled_stmt_ids a)
+        (Schedule.scheduled_stmt_ids b))
+    [
+      Schedule.default_options;
+      { Schedule.selection = Schedule.Program_order; ordering_search = Schedule.Exhaustive };
+    ]
+
 let () =
   Alcotest.run "slp_core"
     [
@@ -378,6 +426,11 @@ let () =
         [
           Alcotest.test_case "analyze matches run" `Quick test_schedule_analyze_matches_run;
           Alcotest.test_case "invalid schedules detected" `Quick test_schedule_invalid_detected;
+          Alcotest.test_case "tie-break is program order" `Quick
+            test_schedule_tie_break_program_order;
+          Alcotest.test_case "independent of grouping order" `Quick
+            test_schedule_group_order_independent;
+          Alcotest.test_case "repeatable across runs" `Quick test_schedule_repeatable;
         ] );
       ( "cost",
         [
