@@ -3,9 +3,16 @@
    Usage:
      experiments                 run everything
      experiments fig16 fig19     run selected reports
-     experiments --list          list report ids *)
+     experiments --list          list report ids
+     experiments --resilient     degrade failing kernels to scalar
+                                 (exit 3 when any kernel bailed out)
+     experiments --bailout-report FILE
+                                 write the JSON bailout report
+     experiments --max-steps N   per-pass step budget (with --resilient) *)
 
 module E = Slp_harness.Experiments
+module Runner = Slp_harness.Runner
+module Pipeline = Slp_pipeline.Pipeline
 
 let registry =
   [
@@ -25,6 +32,36 @@ let registry =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Pull option flags (and their values) out of the report-id list. *)
+  let resilient = ref false in
+  let report_path = ref None in
+  let steps = ref None in
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | "--resilient" :: rest ->
+        resilient := true;
+        scan acc rest
+    | "--bailout-report" :: path :: rest ->
+        report_path := Some path;
+        scan acc rest
+    | "--bailout-report" :: [] ->
+        prerr_endline "--bailout-report requires a FILE argument";
+        exit 2
+    | "--max-steps" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some v ->
+            steps := Some v;
+            scan acc rest
+        | None ->
+            prerr_endline "--max-steps requires an integer argument";
+            exit 2
+      end
+    | "--max-steps" :: [] ->
+        prerr_endline "--max-steps requires an integer argument";
+        exit 2
+    | a :: rest -> scan (a :: acc) rest
+  in
+  let args = scan [] args in
   if List.mem "--list" args then
     List.iter (fun (id, _) -> print_endline id) registry
   else begin
@@ -32,10 +69,36 @@ let () =
     if unknown <> [] then begin
       prerr_endline ("unknown report(s): " ^ String.concat ", " unknown);
       prerr_endline "use --list to see available ids";
-      exit 1
+      exit 2
+    end;
+    if !resilient then begin
+      (match !steps with
+      | Some s -> Runner.set_resilient ~steps:s true
+      | None -> Runner.set_resilient true);
+      Runner.clear_bailouts ()
     end;
     List.iter
       (fun (id, f) ->
         if args = [] || List.mem id args then print_string (E.render (f ())))
-      registry
+      registry;
+    let bailouts = if !resilient then Runner.bailouts () else [] in
+    (match !report_path with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Pipeline.bailout_report_json bailouts);
+        output_char oc '\n';
+        close_out oc
+    | None -> ());
+    if bailouts <> [] then begin
+      Printf.eprintf "%d kernel(s) degraded to scalar:\n" (List.length bailouts);
+      List.iter
+        (fun (b : Pipeline.bailout) ->
+          Printf.eprintf "  %s (%s on %s): [%s] %s\n" b.Pipeline.kernel
+            (Pipeline.scheme_name b.Pipeline.scheme)
+            b.Pipeline.machine
+            (Slp_util.Slp_error.code_name b.Pipeline.error.Slp_util.Slp_error.code)
+            b.Pipeline.error.Slp_util.Slp_error.message)
+        bailouts;
+      exit 3
+    end
   end

@@ -78,27 +78,100 @@ let verify =
 let cores = Arg.(value & opt int 1 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Input data seed.")
 
+let resilient =
+  Arg.(
+    value & flag
+    & info [ "resilient" ]
+        ~doc:
+          "Fault-tolerant mode: a kernel whose compilation fails at any \
+           stage degrades to verified scalar code instead of aborting; \
+           bailouts are reported and the exit status is 3.")
+
+let bailout_report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bailout-report" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable JSON bailout report to $(docv).")
+
+let max_errors =
+  Arg.(
+    value & opt int 20
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:"Report up to $(docv) frontend diagnostics before giving up.")
+
+let max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Per-pass step budget for grouping and scheduling; exhaustion is a \
+           BAIL11 bailout (scalar degradation under --resilient).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let write_bailout_report path bailouts =
+  let oc = open_out path in
+  output_string oc (Pipeline.bailout_report_json bailouts);
+  output_char oc '\n';
+  close_out oc
+
+(* Exit status: 0 success, 2 input or compile error, 3 compiled in
+   resilient mode but degraded to scalar. *)
 let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector run cores
-    seed =
+    seed resilient bailout_report max_errors max_steps =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
   in
-  match Slp_frontend.Parser.parse_file file with
-  | exception Slp_frontend.Parser.Error (msg, line, col) ->
-      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
-      exit 1
-  | exception Slp_frontend.Lexer.Error (msg, line, col) ->
-      Printf.eprintf "%s:%d:%d: error: %s\n" file line col msg;
-      exit 1
-  | prog ->
-      let compiled =
-        match Pipeline.compile ?unroll ~verify ~scheme ~machine prog with
-        | c -> c
-        | exception Slp_verify.Verify.Verification_failed (what, report) ->
-            Format.eprintf "%s: verification failed@.%a@." what
-              Slp_verify.Verify.pp_report report;
-            exit 1
+  let name = Filename.remove_extension (Filename.basename file) in
+  match Slp_frontend.Parser.parse_all ~max_errors ~name (read_file file) with
+  | Result.Error diags ->
+      List.iter
+        (fun (d : Slp_frontend.Parser.diagnostic) ->
+          Printf.eprintf "%s:%d:%d: error: %s\n" file d.Slp_frontend.Parser.line
+            d.Slp_frontend.Parser.col d.Slp_frontend.Parser.message)
+        diags;
+      let n = List.length diags in
+      Printf.eprintf "%d error%s\n" n (if n = 1 then "" else "s");
+      2
+  | Ok prog ->
+      let compiled, bailouts =
+        if resilient then begin
+          let r =
+            Pipeline.compile_resilient ?unroll ?max_steps ~verify ~scheme ~machine
+              prog
+          in
+          List.iter
+            (fun (b : Pipeline.bailout) ->
+              Printf.eprintf "%s: bailout [%s]: %s\n" b.Pipeline.kernel
+                (Slp_util.Slp_error.code_name b.Pipeline.error.Slp_util.Slp_error.code)
+                b.Pipeline.error.Slp_util.Slp_error.message)
+            r.Pipeline.bailouts;
+          if r.Pipeline.degraded then
+            Printf.eprintf "%s: degraded to scalar (%s requested)\n" name
+              (Pipeline.scheme_name scheme);
+          (r.Pipeline.result, Some r.Pipeline.bailouts)
+        end
+        else
+          match Pipeline.compile ?unroll ?max_steps ~verify ~scheme ~machine prog with
+          | c -> (c, None)
+          | exception Slp_verify.Verify.Verification_failed (what, report) ->
+              Format.eprintf "%s: verification failed@.%a@." what
+                Slp_verify.Verify.pp_report report;
+              exit 2
+          | exception Slp_util.Slp_error.Error e ->
+              Printf.eprintf "%s: error: %s\n" name (Slp_util.Slp_error.to_string e);
+              exit 2
       in
+      Option.iter
+        (fun path -> write_bailout_report path (Option.value ~default:[] bailouts))
+        bailout_report;
       Printf.printf "scheme: %s on %s (%d-bit SIMD), unroll x%d\n"
         (Pipeline.scheme_name scheme) machine.Machine.name machine.Machine.simd_bits
         compiled.Pipeline.unroll_factor;
@@ -147,7 +220,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector ru
         let speedup = Pipeline.speedup_over_scalar ~cores ~seed compiled in
         Format.printf "speedup over scalar: %.3fx (%.1f%% reduction)@." speedup
           (100.0 *. (1.0 -. (1.0 /. speedup)))
-      end
+      end;
+      (match bailouts with Some (_ :: _) -> 3 | _ -> 0)
 
 let cmd =
   let doc = "compile kernel programs with the holistic SLP framework" in
@@ -155,6 +229,7 @@ let cmd =
     (Cmd.info "slpc" ~version:"1.0" ~doc)
     Term.(
       const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
-      $ dump_plan $ dump_vector $ run $ cores $ seed)
+      $ dump_plan $ dump_vector $ run $ cores $ seed $ resilient $ bailout_report
+      $ max_errors $ max_steps)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(* slpfault — the seeded fault-injection harness driver.
+
+   Runs the full injection matrix (16 suite kernels x every injection
+   point x both machines) and, optionally, a fault-enabled fuzz
+   campaign, then writes the machine-readable outcome report.  Exit 0
+   when every case recovered with the expected reason code and
+   scalar-identical memory, 1 otherwise. *)
+
+module F = Slp_faultinject.Faultinject
+
+let ensure_dir path =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_report path outcomes =
+  ensure_dir path;
+  let oc = open_out path in
+  output_string oc (F.report_json outcomes);
+  output_char oc '\n';
+  close_out oc
+
+let summarize label outcomes =
+  let bad = F.failures outcomes in
+  Printf.printf "%s: %d cases, %d failures\n" label (List.length outcomes)
+    (List.length bad);
+  List.iter
+    (fun (o : F.outcome) ->
+      Printf.printf
+        "  FAIL %s on %s at %s: degraded=%b expected=%s codes=[%s] \
+         scalar_identical=%b\n"
+        o.F.kernel o.F.machine (F.point_name o.F.point) o.F.degraded o.F.expected
+        (String.concat "," o.F.codes)
+        o.F.scalar_identical)
+    bad;
+  bad = []
+
+let run matrix fuzz seed report =
+  let outcomes = ref [] in
+  let ok = ref true in
+  if matrix then begin
+    let m = F.run_matrix () in
+    ok := summarize "matrix" m && !ok;
+    outcomes := !outcomes @ m
+  end;
+  if fuzz > 0 then begin
+    let f = F.run_fuzz ~cases:fuzz ~seed () in
+    ok := summarize (Printf.sprintf "fuzz (seed %d)" seed) f && !ok;
+    outcomes := !outcomes @ f
+  end;
+  write_report report !outcomes;
+  Printf.printf "report: %s\n" report;
+  if !ok then 0 else 1
+
+open Cmdliner
+
+let matrix =
+  Arg.(value & opt bool true & info [ "matrix" ] ~docv:"BOOL"
+         ~doc:"Run the kernel x point x machine injection matrix.")
+
+let fuzz =
+  Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N"
+         ~doc:"Additionally run $(docv) fault-enabled fuzz cases.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Seed for the fuzz campaign.")
+
+let report =
+  Arg.(value & opt string (Filename.concat "_fault" "report.json")
+       & info [ "bailout-report" ] ~docv:"FILE"
+           ~doc:"Where to write the JSON outcome report.")
+
+let cmd =
+  let doc = "seeded fault-injection harness for the resilient SLP pipeline" in
+  Cmd.v
+    (Cmd.info "slpfault" ~doc)
+    Term.(const run $ matrix $ fuzz $ seed $ report)
+
+let () = exit (Cmd.eval' cmd)

@@ -64,9 +64,15 @@ let replay =
 let repro =
   Arg.(
     value
-    & opt string "fuzz-repro.kernel"
+    & opt string (Filename.concat "_fuzz" "repro.kernel")
     & info [ "repro" ] ~docv:"FILE"
         ~doc:"Where to write the first shrunken reproducer on failure.")
+
+(* Reproducers default into the gitignored _fuzz/ scratch directory;
+   create it on demand so a failing campaign never loses its repro. *)
+let ensure_repro_dir path =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
 let progress =
   Arg.(value & flag & info [ "progress" ] ~doc:"Print a line every 50 cases.")
@@ -84,6 +90,7 @@ let config_of ~seed ~count ~max_stmts ~scheme =
   }
 
 let write_repro path (r : Fuzz.Harness.failure_report) =
+  ensure_repro_dir path;
   let oc = open_out path in
   Printf.fprintf oc "# slpfuzz reproducer: --seed %d --index %d\n" r.Fuzz.Harness.seed
     r.Fuzz.Harness.case_index;
@@ -123,6 +130,7 @@ let run_replay file scheme repro =
         Printf.printf "minimal reproducer (%d statements):\n%s"
           (Slp_ir.Program.stmt_count shrunk)
           (Slp_ir.Program.to_source shrunk);
+        ensure_repro_dir repro;
         let oc = open_out repro in
         output_string oc (Slp_ir.Program.to_source shrunk);
         close_out oc;

@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 
 type t = {
   base : string;
@@ -31,7 +32,8 @@ let rank t = Array.length t.q
 let depth t = List.length t.nest
 
 let to_mat t =
-  if rank t = 0 || depth t = 0 then invalid_arg "Access.to_mat: empty matrix";
+  if rank t = 0 || depth t = 0 then
+    E.fail ~pass:E.Analysis E.Internal "Access.to_mat: empty matrix";
   Slp_util.Mat.of_int_array t.q
 
 let strides dims =
@@ -44,7 +46,8 @@ let strides dims =
   s
 
 let linearise ~dims t =
-  if List.length dims <> rank t then invalid_arg "Access.linearise: rank mismatch";
+  if List.length dims <> rank t then
+    E.fail ~pass:E.Analysis E.Internal "Access.linearise: rank mismatch";
   let s = strides dims in
   let n = depth t in
   let coeffs = Array.make n 0 in

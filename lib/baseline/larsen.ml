@@ -1,5 +1,6 @@
 open Slp_ir
 module Graph = Slp_util.Graph
+module E = Slp_util.Slp_error
 module Units = Slp_core.Units
 module Config = Slp_core.Config
 module Grouping = Slp_core.Grouping
@@ -233,7 +234,8 @@ let schedule ~env:_ ~config (block : Block.t) (grouping : Grouping.result) =
         Graph.Directed.add_edge dg gp gq)
     (Block.dep_pairs block);
   if Graph.Directed.has_cycle dg then
-    invalid_arg "Larsen.schedule: packs are not schedulable";
+    E.fail ~pass:E.Scheduling E.Schedule_failed
+      "Larsen.schedule: packs are not schedulable";
   let items = ref [] in
   let remaining = ref (List.length nodes) in
   while !remaining > 0 do
@@ -250,7 +252,7 @@ let schedule ~env:_ ~config (block : Block.t) (grouping : Grouping.result) =
         None ready
     in
     match best with
-    | None -> invalid_arg "Larsen.schedule: no ready group"
+    | None -> E.fail ~pass:E.Scheduling E.Schedule_failed "Larsen.schedule: no ready group"
     | Some (_, gid, ms) ->
         items :=
           (match ms with
@@ -269,8 +271,8 @@ let plan_block ?params ~env ~config ~query ~nest (block : Block.t) =
   else begin
     let sched = schedule ~env ~config block grouping in
     if not (Schedule.is_valid block sched) then
-      invalid_arg
-        (Printf.sprintf "Larsen.plan_block: invalid schedule for %s" block.Block.label);
+      E.fail ~pass:E.Scheduling E.Schedule_failed
+        "Larsen.plan_block: invalid schedule for %s" block.Block.label;
     let estimate = Cost.estimate ?params ~query block sched in
     if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
       { Driver.block = block; nest; grouping; schedule = Some sched; estimate = Some estimate }

@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 module Units = Slp_core.Units
 module Config = Slp_core.Config
 module Grouping = Slp_core.Grouping
@@ -111,8 +112,8 @@ let plan_block ?params ~env ~config ~query ~nest (block : Block.t) =
   else begin
     let sched = Larsen.schedule ~env ~config block grouping in
     if not (Schedule.is_valid block sched) then
-      invalid_arg
-        (Printf.sprintf "Native.plan_block: invalid schedule for %s" block.Block.label);
+      E.fail ~pass:E.Scheduling E.Schedule_failed
+        "Native.plan_block: invalid schedule for %s" block.Block.label;
     let estimate = Cost.estimate ?params ~query block sched in
     if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
       { Driver.block = block; nest; grouping; schedule = Some sched; estimate = Some estimate }

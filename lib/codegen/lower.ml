@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 module M = Slp_machine.Machine
 module Visa = Slp_vm.Visa
 module Sched = Slp_core.Schedule
@@ -190,7 +191,8 @@ let selector ~source ~target =
        (fun want ->
          let rec find j =
            if j >= Array.length src then
-             invalid_arg "Lower.selector: multiset mismatch"
+             E.fail ~pass:E.Lowering E.Lowering_failed
+               "Lower.selector: multiset mismatch"
            else if (not used.(j)) && Operand.equal src.(j) want then begin
              used.(j) <- true;
              j
@@ -430,7 +432,9 @@ let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
     | p :: rest when p.Driver.block == b || p.Driver.block.Block.label = b.Block.label ->
         plans := rest;
         p
-    | _ -> invalid_arg "Lower.lower: plan list out of sync with program"
+    | _ ->
+        E.fail ~pass:E.Lowering E.Lowering_failed
+          "Lower.lower: plan list out of sync with program"
   in
   let rec walk items =
     List.map

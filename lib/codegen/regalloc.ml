@@ -1,3 +1,4 @@
+module E = Slp_util.Slp_error
 module Visa = Slp_vm.Visa
 
 type stats = { spills : int; reloads : int; max_pressure : int }
@@ -135,7 +136,9 @@ let allocate_block ~registers instrs =
                 end
             | None -> ()
         done;
-        if !victim < 0 then invalid_arg "Regalloc: register pressure unsatisfiable";
+        if !victim < 0 then
+          E.fail ~pass:E.Regalloc E.Regalloc_failed
+            "Regalloc: register pressure unsatisfiable";
         let p = !victim in
         (match phys_owner.(p) with
         | Some v ->
@@ -170,8 +173,8 @@ let allocate_block ~registers instrs =
                   phys_owner.(p) <- Some v;
                   protect := p :: !protect
               | None ->
-                  invalid_arg
-                    (Printf.sprintf "Regalloc: v%d used before definition" v))
+                  E.fail ~pass:E.Regalloc E.Regalloc_failed
+                    "Regalloc: v%d used before definition" v)
             uses;
           let use v =
             match Hashtbl.find_opt loc v with

@@ -186,27 +186,100 @@ let parse_stmt st ~next_id =
   expect st Token.Semicolon;
   Stmt.make ~id:next_id ~lhs ~rhs
 
-let rec parse_items st =
-  let items = ref [] in
-  let pending = ref [] in
-  let next_id = ref 1 in
-  let flush () =
-    if !pending <> [] then begin
-      let label = Printf.sprintf "bb%d" st.next_block in
-      st.next_block <- st.next_block + 1;
-      items := Program.Stmts (Block.make ~label (List.rev !pending)) :: !items;
-      pending := []
-    end
-  in
-  let rec loop () =
-    match peek_token st with
-    | Token.Ident _ ->
-        pending := parse_stmt st ~next_id:!next_id :: !pending;
-        incr next_id;
-        loop ()
-    | Token.Kw_for ->
+(* -- error recovery ------------------------------------------------- *)
+
+type diagnostic = { message : string; line : int; col : int }
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%d:%d: %s" d.line d.col d.message
+
+(* Raised internally once [max_errors] diagnostics have been
+   collected; never escapes [parse_all]. *)
+exception Stop
+
+let parse_all ?(max_errors = 20) ~name src =
+  if max_errors < 1 then invalid_arg "Parser.parse_all: max_errors must be >= 1";
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, line, col) ->
+      (* Lexing is not recoverable: the token stream ends here. *)
+      Result.Error [ { message = msg; line; col } ]
+  | tokens ->
+      let st =
+        { tokens = Array.of_list tokens; cursor = 0; env = Env.create (); next_block = 1 }
+      in
+      let diags = ref [] in
+      let count = ref 0 in
+      let record (msg, line, col) =
+        incr count;
+        diags := { message = msg; line; col } :: !diags;
+        if !count >= max_errors then raise Stop
+      in
+      (* Statement-level resynchronisation: consume through the next
+         ';', or stop before a token that opens the next construct. *)
+      let rec sync_stmt () =
+        match peek_token st with
+        | Token.Semicolon -> advance st
+        | Token.Rbrace | Token.Kw_for | Token.Eof -> ()
+        | _ ->
+            advance st;
+            sync_stmt ()
+      in
+      (* Loop-level resynchronisation after a broken header: skip to
+         the loop body if one follows and step over its balanced
+         braces, otherwise stop at the enclosing construct. *)
+      let rec sync_loop depth =
+        match peek_token st with
+        | Token.Eof -> ()
+        | Token.Lbrace ->
+            advance st;
+            sync_loop (depth + 1)
+        | Token.Rbrace when depth > 0 ->
+            advance st;
+            if depth > 1 then sync_loop (depth - 1)
+        | Token.Rbrace -> ()
+        | Token.Semicolon when depth = 0 -> advance st
+        | _ ->
+            advance st;
+            sync_loop depth
+      in
+      let rec parse_items_rec () =
+        let items = ref [] in
+        let pending = ref [] in
+        let next_id = ref 1 in
+        let flush () =
+          if !pending <> [] then begin
+            let label = Printf.sprintf "bb%d" st.next_block in
+            st.next_block <- st.next_block + 1;
+            items := Program.Stmts (Block.make ~label (List.rev !pending)) :: !items;
+            pending := []
+          end
+        in
+        let rec loop () =
+          match peek_token st with
+          | Token.Ident _ ->
+              (match parse_stmt st ~next_id:!next_id with
+              | s ->
+                  pending := s :: !pending;
+                  incr next_id
+              | exception Error (m, l, c) ->
+                  record (m, l, c);
+                  sync_stmt ());
+              loop ()
+          | Token.Kw_for ->
+              flush ();
+              next_id := 1;
+              (match parse_loop () with
+              | l -> items := Program.Loop l :: !items
+              | exception Error (m, l, c) ->
+                  record (m, l, c);
+                  sync_loop 0);
+              loop ()
+          | _ -> ()
+        in
+        loop ();
         flush ();
-        next_id := 1;
+        List.rev !items
+      and parse_loop () =
         advance st;
         let index = expect_ident st in
         expect st Token.Assign;
@@ -222,39 +295,57 @@ let rec parse_items st =
         in
         if step <= 0 then fail st "loop step must be positive";
         expect st Token.Lbrace;
-        let body = parse_items st in
+        let body = parse_items_rec () in
         expect st Token.Rbrace;
-        items := Program.Loop { Program.index; lo; hi; step; body } :: !items;
-        loop ()
-    | _ -> ()
-  in
-  loop ();
-  flush ();
-  List.rev !items
+        { Program.index; lo; hi; step; body }
+      in
+      let program = ref None in
+      (try
+         let rec decls () =
+           match peek_token st with
+           | Token.Kw_type ty ->
+               advance st;
+               (match parse_decl st ty with
+               | () -> ()
+               | exception Error (m, l, c) ->
+                   record (m, l, c);
+                   sync_stmt ());
+               decls ()
+           | _ -> ()
+         in
+         decls ();
+         let body = ref (parse_items_rec ()) in
+         let rec finish () =
+           match peek_token st with
+           | Token.Eof -> ()
+           | _ ->
+               (try expect st Token.Eof with Error (m, l, c) -> record (m, l, c));
+               (* Step over the offending token and keep collecting. *)
+               advance st;
+               body := !body @ parse_items_rec ();
+               finish ()
+         in
+         finish ();
+         if !diags = [] then begin
+           let p = Program.make ~name ~env:st.env !body in
+           match Program.validate p with
+           | Ok () -> program := Some p
+           | Error msg ->
+               record (msg, (current st).Token.line, (current st).Token.col)
+         end
+       with Stop -> ());
+      (match (!diags, !program) with
+      | [], Some p -> Ok p
+      | [], None -> assert false
+      | ds, _ -> Result.Error (List.rev ds))
 
+(* The strict single-error entry point: identical messages and
+   positions to the historical parser — the first diagnostic aborts. *)
 let parse ~name src =
-  let tokens =
-    try Array.of_list (Lexer.tokenize src)
-    with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
-  in
-  let st = { tokens; cursor = 0; env = Env.create (); next_block = 1 } in
-  (* Declarations first: every leading type keyword opens a decl. *)
-  let rec decls () =
-    match peek_token st with
-    | Token.Kw_type ty ->
-        advance st;
-        parse_decl st ty;
-        decls ()
-    | _ -> ()
-  in
-  decls ();
-  let body = parse_items st in
-  expect st Token.Eof;
-  let program = Program.make ~name ~env:st.env body in
-  (match Program.validate program with
-  | Ok () -> ()
-  | Error msg -> raise (Error (msg, (current st).Token.line, (current st).Token.col)));
-  program
+  match parse_all ~max_errors:1 ~name src with
+  | Ok p -> p
+  | Result.Error ({ message; line; col } :: _) -> raise (Error (message, line, col))
+  | Result.Error [] -> assert false
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -20,6 +20,20 @@ type measurement = {
 
 let cache : (key, measurement) Hashtbl.t = Hashtbl.create 128
 
+(* Resilient mode: a kernel whose compilation fails under some scheme
+   is measured as its scalar degradation instead of aborting the whole
+   experiment run; bailouts accumulate for the final report. *)
+let resilient_mode = ref false
+let max_steps = ref None
+let collected_bailouts : Pipeline.bailout list ref = ref []
+
+let set_resilient ?steps on =
+  resilient_mode := on;
+  max_steps := steps
+
+let bailouts () = List.rev !collected_bailouts
+let clear_bailouts () = collected_bailouts := []
+
 let measure ?(cores = 1) ~machine ~scheme (b : Suite.t) =
   let key =
     {
@@ -35,8 +49,35 @@ let measure ?(cores = 1) ~machine ~scheme (b : Suite.t) =
   | None ->
       let prog = Suite.program b in
       let unroll = max 1 (b.Suite.unroll * machine.Machine.simd_bits / 128) in
-      let compiled = Pipeline.compile ~unroll ~scheme ~machine prog in
-      let r = Pipeline.execute ~cores ~check:(cores = 1) compiled in
+      let compiled =
+        if !resilient_mode then begin
+          let r =
+            match !max_steps with
+            | Some steps ->
+                Pipeline.compile_resilient ~unroll ~max_steps:steps ~scheme ~machine
+                  prog
+            | None -> Pipeline.compile_resilient ~unroll ~scheme ~machine prog
+          in
+          collected_bailouts := List.rev_append r.Pipeline.bailouts !collected_bailouts;
+          r.Pipeline.result
+        end
+        else Pipeline.compile ~unroll ~scheme ~machine prog
+      in
+      let r, exec_error =
+        if !resilient_mode then Pipeline.execute_resilient ~cores ~check:(cores = 1) compiled
+        else (Pipeline.execute ~cores ~check:(cores = 1) compiled, None)
+      in
+      (match exec_error with
+      | Some error ->
+          collected_bailouts :=
+            {
+              Pipeline.kernel = b.Suite.name;
+              scheme;
+              machine = machine.Machine.name;
+              error;
+            }
+            :: !collected_bailouts
+      | None -> ());
       let m =
         {
           key;

@@ -24,6 +24,18 @@ type measurement = {
   replica_count : int;
 }
 
+val set_resilient : ?steps:int -> bool -> unit
+(** Toggle fault-tolerant measurement: compile failures degrade the
+    kernel to scalar (optionally under a per-pass step budget) and are
+    collected instead of raised; execution traps fall back to a scalar
+    re-run. *)
+
+val bailouts : unit -> Pipeline.bailout list
+(** Bailouts collected since the last {!clear_bailouts}, in
+    measurement order. *)
+
+val clear_bailouts : unit -> unit
+
 val measure :
   ?cores:int ->
   machine:Slp_machine.Machine.t ->

@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 module Visa = Slp_vm.Visa
 module Sched = Slp_core.Schedule
 module Driver = Slp_core.Driver
@@ -220,7 +221,7 @@ let apply ?(max_replica_elems = 4 * 1024 * 1024) (plan : Driver.program_plan) =
     | p :: rest ->
         plans := rest;
         p
-    | [] -> invalid_arg "Array_layout.apply: plan list exhausted"
+    | [] -> E.fail ~pass:E.Layout E.Layout_failed "Array_layout.apply: plan list exhausted"
   in
   let replication_profitable ~lanes ~repeat = amortizes ~lanes ~repeat in
   (* Pass 1: find candidates and record rewrites. *)

@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 module M = Slp_machine.Machine
 module Config = Slp_core.Config
 module Driver = Slp_core.Driver
@@ -94,13 +95,26 @@ let plan_with f ~config ~params (prog : Program.t) =
   in
   { Driver.program = prog; plans }
 
+(* Stage hook points, in pipeline order.  [compile ~on_stage] calls
+   the hook with each name just before the stage runs — the seeded
+   fault-injection harness raises from the hook to simulate that stage
+   failing. *)
+let stage_hook_points = [ "prepare"; "plan"; "layout"; "lower"; "regalloc"; "verify" ]
+
 let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
-    ?(verify = true) ~scheme ~machine (prog : Program.t) =
+    ?(verify = true) ?on_stage ?max_steps ~scheme ~machine (prog : Program.t) =
+  let stage name = match on_stage with Some f -> f name | None -> () in
+  (* Independent per-pass step budgets from the single user-facing
+     knob; [None] means unbounded (the historical behavior). *)
+  let fuel pass = Option.map (fun budget -> E.Fuel.create ~pass ~budget) max_steps in
+  let grouping_fuel = fuel E.Grouping in
+  let schedule_fuel = fuel E.Scheduling in
   let unroll_factor =
     match unroll with Some u -> u | None -> max 1 (machine.M.simd_bits / 64)
   in
   let config = config_of_machine machine in
   let params = params_of_machine machine in
+  stage "prepare";
   let prepared =
     Slp_transform.Simplify.fold_program prog
     |> Slp_transform.Unroll.program ~factor:unroll_factor
@@ -110,28 +124,35 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
     match scheme with
     | Scalar -> (None, None, [], 0)
     | Native ->
+        stage "plan";
         let plan =
           plan_with
             (fun ~params ~env ~config ~query ~nest b ->
               Slp_baseline.Native.plan_block ~params ~env ~config ~query ~nest b)
             ~config ~params prepared
         in
+        stage "lower";
         (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
     | Slp ->
+        stage "plan";
         let plan =
           plan_with
             (fun ~params ~env ~config ~query ~nest b ->
               Slp_baseline.Larsen.plan_block ~params ~env ~config ~query ~nest b)
             ~config ~params prepared
         in
+        stage "lower";
         (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
     | Global ->
         let query_of = query_for ~config prepared in
+        stage "plan";
         let plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+          Driver.optimize_program ?options:grouping_options ?schedule_options
+            ?grouping_fuel ?schedule_fuel ~params
             ~query_of:(fun ~nest block -> query_of ~nest block)
             ~config prepared
         in
+        stage "lower";
         ( Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan),
           Some plan, [], 0 )
     | Global_layout ->
@@ -143,20 +164,25 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
            "the benefit of layout optimization has to outweigh the
            cost; otherwise we skip the data optimization phase"). *)
         let plain_query = query_for ~config prepared in
+        stage "plan";
         let plain_plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+          Driver.optimize_program ?options:grouping_options ?schedule_options
+            ?grouping_fuel ?schedule_fuel ~params
             ~query_of:(fun ~nest block -> plain_query ~nest block)
             ~config prepared
         in
         let plain_vec = Slp_codegen.Lower.lower ~machine plain_plan in
         let query_of = query_for ~layout_aware:true ~config prepared in
         let plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options ~params
+          Driver.optimize_program ?options:grouping_options ?schedule_options
+            ?grouping_fuel ?schedule_fuel ~params
             ~query_of:(fun ~nest block -> query_of ~nest block)
             ~config prepared
         in
+        stage "layout";
         let placement = Slp_layout.Scalar_layout.place ~env:prepared.Program.env plan in
         let arr = Slp_layout.Array_layout.apply plan in
+        stage "lower";
         let laid_vec =
           Slp_codegen.Lower.lower ~machine
             ~scalar_offsets:placement.Slp_layout.Scalar_layout.offsets
@@ -188,6 +214,7 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
     match vector with
     | None -> (None, Slp_codegen.Regalloc.zero_stats)
     | Some v ->
+        stage "regalloc";
         let v', st =
           Slp_codegen.Regalloc.program ~registers:machine.M.vector_registers v
         in
@@ -203,6 +230,7 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
   let verify_report =
     if not verify then None
     else begin
+      stage "verify";
       let diags = ref (Verify.check_ir ~stage:D.Prepared_ir prepared) in
       let add ds = diags := !diags @ ds in
       (match plan with
@@ -272,3 +300,116 @@ let speedup_over_scalar ?(cores = 1) ?(seed = 42) (c : compiled) =
   s /. v
 
 let reduction_over_scalar ?cores ?seed c = 1.0 -. (1.0 /. speedup_over_scalar ?cores ?seed c)
+
+(* -- fault-tolerant compilation ------------------------------------- *)
+
+(* Classify any exception escaping the compile path into a structured
+   error.  Typed errors pass through; the known foreign exceptions map
+   to their reason codes; everything else is an internal error. *)
+let error_of_exn = function
+  | E.Error t -> t
+  | Verify.Verification_failed (what, _report) ->
+      E.make ~pass:E.Verification E.Verify_rejected
+        (Printf.sprintf "verifier rejected %s" what)
+  | Slp_vm.Trap.Trap info ->
+      E.make ~pass:E.Vm E.Vm_trap (Slp_vm.Trap.to_string info)
+  | Slp_frontend.Parser.Error (msg, line, col) ->
+      E.make ~span:{ E.line; col } ~pass:E.Frontend E.Parse_error msg
+  | Slp_frontend.Lexer.Error (msg, line, col) ->
+      E.make ~span:{ E.line; col } ~pass:E.Frontend E.Lex_error msg
+  | Invalid_argument msg -> E.make ~pass:E.Pipeline E.Internal msg
+  | Failure msg -> E.make ~pass:E.Pipeline E.Internal msg
+  | exn -> E.make ~pass:E.Pipeline E.Internal (Printexc.to_string exn)
+
+type bailout = { kernel : string; scheme : scheme; machine : string; error : E.t }
+
+let bailout_to_json (b : bailout) =
+  Printf.sprintf
+    "{\"kernel\": \"%s\", \"scheme\": \"%s\", \"machine\": \"%s\", \"error\": %s}"
+    (E.json_escape b.kernel)
+    (E.json_escape (scheme_name b.scheme))
+    (E.json_escape b.machine) (E.to_json b.error)
+
+let bailout_report_json bailouts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"bailouts\": %d, \"reports\": [" (List.length bailouts));
+  List.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (bailout_to_json b))
+    bailouts;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+type resilient = { result : compiled; degraded : bool; bailouts : bailout list }
+
+(* The unconditional last resort: the unprocessed scalar program with
+   no vector code.  Building this record cannot raise. *)
+let identity_compiled ~machine (prog : Program.t) =
+  {
+    scheme = Scalar;
+    machine;
+    reference = prog;
+    vector = None;
+    scalar_offsets = [];
+    plan = None;
+    compile_seconds = 0.0;
+    replica_count = 0;
+    unroll_factor = 1;
+    spill_stats = Slp_codegen.Regalloc.zero_stats;
+    verify_report = None;
+    verify_seconds = 0.0;
+  }
+
+let compile_resilient ?unroll ?grouping_options ?schedule_options ?register_reuse
+    ?verify ?on_stage ?(max_steps = 2_000_000) ~scheme ~machine (prog : Program.t) =
+  let bail exn =
+    { kernel = prog.Program.name; scheme; machine = machine.M.name;
+      error = error_of_exn exn }
+  in
+  match
+    compile ?unroll ?grouping_options ?schedule_options ?register_reuse ?verify
+      ?on_stage ~max_steps ~scheme ~machine prog
+  with
+  | c -> { result = c; degraded = false; bailouts = [] }
+  | exception exn -> begin
+      let first = bail exn in
+      (* Degrade the kernel to verified scalar code.  The fallback
+         compile gets no stage hooks and no fuel: the scalar path does
+         no grouping or scheduling, so the budget cannot apply, and
+         re-running injection hooks would defeat the fallback. *)
+      match compile ?unroll ~scheme:Scalar ~machine prog with
+      | c -> { result = c; degraded = true; bailouts = [ first ] }
+      | exception exn2 ->
+          (* Even the scalar compile failed (preparation or the IR
+             verifier).  Ship the unprocessed program. *)
+          let second =
+            { (bail exn2) with scheme = Scalar; error = error_of_exn exn2 }
+          in
+          { result = identity_compiled ~machine prog;
+            degraded = true;
+            bailouts = [ first; second ] }
+    end
+
+(* Execute with the same discipline: a trap (including an injected VM
+   fault) during vectorized execution falls back to a clean scalar run
+   of the reference program.  Injected faults are one-shot — they
+   disarm when they fire — so the re-execution cannot re-trap on the
+   same fault. *)
+let execute_resilient ?cores ?seed ?check (c : compiled) =
+  match execute ?cores ?seed ?check c with
+  | r -> (r, None)
+  | exception exn -> begin
+      let error = error_of_exn exn in
+      let scalar = { c with scheme = Scalar; vector = None } in
+      match execute ?cores ?seed ~check:false scalar with
+      | r -> (r, Some error)
+      | exception exn2 ->
+          (* A scalar re-run can only fail on a genuine program trap
+             (e.g. an out-of-bounds subscript): surface it as an
+             incorrect run rather than raising. *)
+          ignore (error_of_exn exn2);
+          ( { counters = Slp_vm.Counters.create (); correct = false },
+            Some error )
+    end

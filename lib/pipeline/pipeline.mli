@@ -42,12 +42,20 @@ type compiled = {
       (** Time spent inside the verifier (0 when disabled). *)
 }
 
+val stage_hook_points : string list
+(** The names passed to [compile ~on_stage], in pipeline order:
+    ["prepare"], ["plan"], ["layout"], ["lower"], ["regalloc"],
+    ["verify"].  The seeded fault-injection harness iterates this
+    list. *)
+
 val compile :
   ?unroll:int ->
   ?grouping_options:Slp_core.Grouping.options ->
   ?schedule_options:Slp_core.Schedule.options ->
   ?register_reuse:bool ->
   ?verify:bool ->
+  ?on_stage:(string -> unit) ->
+  ?max_steps:int ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
@@ -60,7 +68,16 @@ val compile :
     every stage — prepared IR, plan (pack/schedule legality), lowered
     Visa, allocated Visa — and raises
     {!Slp_verify.Verify.Verification_failed} on any error-severity
-    finding.  Disable inside benchmark loops. *)
+    finding.  Disable inside benchmark loops.
+
+    [on_stage] is called with each of {!stage_hook_points} just before
+    the stage runs; an exception raised from the hook aborts the
+    compile (the fault-injection harness's entry point).
+
+    [max_steps] bounds the grouping and scheduling passes with
+    independent step budgets; exhaustion raises
+    {!Slp_util.Slp_error.Error} with code [Fuel_exhausted].  Omitted:
+    unbounded. *)
 
 type exec_result = {
   counters : Slp_vm.Counters.t;
@@ -79,3 +96,64 @@ val speedup_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
 val reduction_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
 (** Execution-time reduction [1 - scheme/scalar] — the paper's
     y-axis. *)
+
+(** {1 Fault-tolerant compilation}
+
+    The resilient entry points never raise: any failure in the compile
+    or execute path — a pack that will not schedule, a layout plan out
+    of sync, a verifier rejection, an exhausted step budget, an
+    injected fault — degrades the kernel to verified scalar code and
+    is reported as a structured bailout. *)
+
+val error_of_exn : exn -> Slp_util.Slp_error.t
+(** Classify an exception escaping the compile/execute path: typed
+    errors pass through, verifier rejections become [BAIL10], VM traps
+    [BAIL12], frontend errors [BAIL01]/[BAIL02], anything else
+    [BAIL13]. *)
+
+type bailout = {
+  kernel : string;
+  scheme : scheme;  (** The scheme that was attempted, not the fallback. *)
+  machine : string;
+  error : Slp_util.Slp_error.t;
+}
+
+val bailout_to_json : bailout -> string
+
+val bailout_report_json : bailout list -> string
+(** The machine-readable bailout report written by
+    [slpc --bailout-report] and the harness runner. *)
+
+type resilient = {
+  result : compiled;
+  degraded : bool;  (** The requested scheme failed; [result] is scalar. *)
+  bailouts : bailout list;  (** Empty iff [degraded] is false. *)
+}
+
+val compile_resilient :
+  ?unroll:int ->
+  ?grouping_options:Slp_core.Grouping.options ->
+  ?schedule_options:Slp_core.Schedule.options ->
+  ?register_reuse:bool ->
+  ?verify:bool ->
+  ?on_stage:(string -> unit) ->
+  ?max_steps:int ->
+  scheme:scheme ->
+  machine:Slp_machine.Machine.t ->
+  Program.t ->
+  resilient
+(** Like {!compile}, but a failing kernel degrades gracefully: the
+    kernel is recompiled under [Scalar] (without hooks or fuel), and
+    if even that fails the unprocessed program ships with no vector
+    code.  [max_steps] defaults to [2_000_000].  Never raises. *)
+
+val execute_resilient :
+  ?cores:int ->
+  ?seed:int ->
+  ?check:bool ->
+  compiled ->
+  exec_result * Slp_util.Slp_error.t option
+(** Like {!execute}, but a trap during vectorized execution (including
+    an injected one-shot VM fault) falls back to a clean scalar run of
+    the reference program; the classified error rides along.  Never
+    raises. *)

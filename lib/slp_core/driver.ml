@@ -19,16 +19,20 @@ let blocks_with_nest (prog : Program.t) =
   go [] prog.Program.body
 
 (* One grouping/scheduling/estimation attempt. *)
-let attempt ~options ~schedule_options ?params ~env ~config ~query ~nest block =
-  let grouping = Grouping.run ~options ~env ~config block in
+let attempt ~options ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env
+    ~config ~query ~nest block =
+  let grouping = Grouping.run ~options ?fuel:grouping_fuel ~env ~config block in
   if grouping.Grouping.groups = [] then
     { block; nest; grouping; schedule = None; estimate = None }
   else begin
-    let schedule = Schedule.run ~options:schedule_options ~env ~config block grouping in
+    let schedule =
+      Schedule.run ~options:schedule_options ?fuel:schedule_fuel ~env ~config block
+        grouping
+    in
     if not (Schedule.is_valid block schedule) then
-      invalid_arg
-        (Printf.sprintf "Driver.optimize_block: invalid schedule for %s"
-           block.Block.label);
+      Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
+        Slp_util.Slp_error.Schedule_failed
+        "Driver.optimize_block: invalid schedule for %s" block.Block.label;
     let estimate = Cost.estimate ?params ~query block schedule in
     if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
       { block; nest; grouping; schedule = Some schedule; estimate = Some estimate }
@@ -36,9 +40,12 @@ let attempt ~options ~schedule_options ?params ~env ~config ~query ~nest block =
   end
 
 let optimize_block ?(options = Grouping.default_options)
-    ?(schedule_options = Schedule.default_options) ?params ~env ~config ~query ~nest
-    block =
-  let first = attempt ~options ~schedule_options ?params ~env ~config ~query ~nest block in
+    ?(schedule_options = Schedule.default_options) ?grouping_fuel ?schedule_fuel
+    ?params ~env ~config ~query ~nest block =
+  let first =
+    attempt ~options ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env
+      ~config ~query ~nest block
+  in
   match first.schedule with
   | Some _ -> first
   | None when not options.Grouping.exclude_scattered ->
@@ -50,15 +57,16 @@ let optimize_block ?(options = Grouping.default_options)
       let second =
         attempt
           ~options:{ options with Grouping.exclude_scattered = true }
-          ~schedule_options ?params ~env ~config ~query ~nest block
+          ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env ~config
+          ~query ~nest block
       in
       if second.schedule <> None then second else first
   | None -> first
 
 type program_plan = { program : Program.t; plans : block_plan list }
 
-let optimize_program ?options ?schedule_options ?params ?query_of ~config
-    (prog : Program.t) =
+let optimize_program ?options ?schedule_options ?grouping_fuel ?schedule_fuel
+    ?params ?query_of ~config (prog : Program.t) =
   let env = prog.Program.env in
   let query_of =
     match query_of with
@@ -71,8 +79,8 @@ let optimize_program ?options ?schedule_options ?params ?query_of ~config
   let plans =
     List.map
       (fun (block, nest) ->
-        optimize_block ?options ?schedule_options ?params ~env ~config
-          ~query:(query_of ~nest block) ~nest block)
+        optimize_block ?options ?schedule_options ?grouping_fuel ?schedule_fuel
+          ?params ~env ~config ~query:(query_of ~nest block) ~nest block)
       (blocks_with_nest prog)
   in
   { program = prog; plans }

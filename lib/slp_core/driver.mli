@@ -22,6 +22,8 @@ val blocks_with_nest : Program.t -> (Block.t * string list) list
 val optimize_block :
   ?options:Grouping.options ->
   ?schedule_options:Schedule.options ->
+  ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
+  ?schedule_fuel:Slp_util.Slp_error.Fuel.t ->
   ?params:Cost.params ->
   env:Env.t ->
   config:Config.t ->
@@ -29,6 +31,11 @@ val optimize_block :
   nest:string list ->
   Block.t ->
   block_plan
+(** The optional fuels bound the grouping decision loop and the
+    scheduling emission loop; exhaustion raises
+    {!Slp_util.Slp_error.Error} with code [Fuel_exhausted] so the
+    resilient pipeline can degrade the kernel to scalar instead of
+    spinning. *)
 
 type program_plan = { program : Program.t; plans : block_plan list }
 (** [plans] follows {!blocks_with_nest} order. *)
@@ -36,6 +43,8 @@ type program_plan = { program : Program.t; plans : block_plan list }
 val optimize_program :
   ?options:Grouping.options ->
   ?schedule_options:Schedule.options ->
+  ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
+  ?schedule_fuel:Slp_util.Slp_error.Fuel.t ->
   ?params:Cost.params ->
   ?query_of:(nest:string list -> Block.t -> Cost.query) ->
   config:Config.t ->

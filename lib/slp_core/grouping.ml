@@ -32,8 +32,11 @@ type result = {
 
 (* One application of the basic grouping algorithm over the current
    unit set.  Returns the merged unit list and the number of decisions
-   made this round. *)
-let round ~options ~env ~config ~block units =
+   made this round.  [tick] charges the caller's step budget once per
+   elimination-loop iteration — the candidate graph is quadratic in
+   block size, and the decide loop is where a pathological block
+   spends its time. *)
+let round ~options ~tick ~env ~config ~block units =
   let deps = Units.Deps.build block units in
   let candidates =
     Candidate.find ~env ~config ~units ~deps
@@ -106,6 +109,7 @@ let round ~options ~env ~config ~block units =
     in
     let drop (c : Candidate.t) = Hashtbl.remove alive c.Candidate.cid in
     let rec decide () =
+      tick ();
       match best_alive () with
       | None -> ()
       | Some (_, c) ->
@@ -166,10 +170,16 @@ let round ~options ~env ~config ~block units =
     end
   end
 
-let run ?(options = default_options) ~env ~config (block : Block.t) =
+let run ?(options = default_options) ?fuel ~env ~config (block : Block.t) =
+  let tick =
+    match fuel with
+    | None -> fun () -> ()
+    | Some f -> fun () -> Slp_util.Slp_error.Fuel.tick f
+  in
   let initial = List.map (Units.of_stmt ~env) block.Block.stmts in
   let rec iterate units rounds decisions =
-    let units', made = round ~options ~env ~config ~block units in
+    tick ();
+    let units', made = round ~options ~tick ~env ~config ~block units in
     if made = 0 then (units, rounds, decisions)
     else iterate units' (rounds + 1) (decisions + made)
   in

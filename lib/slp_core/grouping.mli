@@ -39,7 +39,17 @@ type result = {
   decisions : int;  (** Total pairwise grouping decisions. *)
 }
 
-val run : ?options:options -> env:Env.t -> config:Config.t -> Block.t -> result
+val run :
+  ?options:options ->
+  ?fuel:Slp_util.Slp_error.Fuel.t ->
+  env:Env.t ->
+  config:Config.t ->
+  Block.t ->
+  result
+(** [fuel] charges one step per grouping round and per
+    elimination-loop iteration; when the budget is exhausted the run
+    raises {!Slp_util.Slp_error.Error} with code [Fuel_exhausted] (the
+    resilient pipeline's guard against candidate-graph blowup). *)
 
 val group_count : result -> int
 val grouped_stmt_count : result -> int

@@ -161,8 +161,13 @@ let analyze ~config (block : Block.t) items =
 
 (* -- main ----------------------------------------------------------- *)
 
-let run ?(options = default_options) ~env:_ ~config (block : Block.t)
+let run ?(options = default_options) ?fuel ~env:_ ~config (block : Block.t)
     (grouping : Grouping.result) =
+  let tick =
+    match fuel with
+    | None -> fun () -> ()
+    | Some f -> fun () -> Slp_util.Slp_error.Fuel.tick f
+  in
   (* Group nodes: one per SIMD group, one per single. *)
   let nodes = ref [] in
   let next = ref 0 in
@@ -186,7 +191,9 @@ let run ?(options = default_options) ~env:_ ~config (block : Block.t)
         Graph.Directed.add_edge dg gp gq)
     (Block.dep_pairs block);
   if Graph.Directed.has_cycle dg then
-    invalid_arg "Schedule.run: groups are not schedulable (dependence cycle)";
+    Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
+      Slp_util.Slp_error.Schedule_failed
+      "Schedule.run: groups are not schedulable (dependence cycle)";
   let live = Live.create ~capacity:config.Config.vector_registers in
   let items = ref [] in
   let direct = ref 0 and permuted = ref 0 and packed = ref 0 in
@@ -278,6 +285,7 @@ let run ?(options = default_options) ~env:_ ~config (block : Block.t)
   let emitted = Hashtbl.create 32 in
   let remaining = ref (List.length nodes) in
   while !remaining > 0 do
+    tick ();
     let ready =
       List.filter
         (fun gid -> not (Hashtbl.mem emitted gid))
@@ -292,7 +300,10 @@ let run ?(options = default_options) ~env:_ ~config (block : Block.t)
             Hashtbl.replace emitted g.gid ();
             Graph.Directed.remove_node dg g.gid;
             decr remaining
-        | [] -> invalid_arg "Schedule.run: no ready group (cycle?)"
+        | [] ->
+            Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
+              Slp_util.Slp_error.Schedule_failed
+              "Schedule.run: no ready group (cycle?)"
       end
     | supers ->
         let best =

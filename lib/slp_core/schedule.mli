@@ -47,9 +47,17 @@ type stats = {
 type t = { items : item list; stats : stats }
 
 val run :
-  ?options:options -> env:Env.t -> config:Config.t -> Block.t -> Grouping.result -> t
-(** Raises [Invalid_argument] if the groups are not schedulable (the
-    grouping phase guarantees they are). *)
+  ?options:options ->
+  ?fuel:Slp_util.Slp_error.Fuel.t ->
+  env:Env.t ->
+  config:Config.t ->
+  Block.t ->
+  Grouping.result ->
+  t
+(** Raises {!Slp_util.Slp_error.Error} with code [Schedule_failed] if
+    the groups are not schedulable (the grouping phase guarantees they
+    are).  [fuel] charges one step per emission-loop iteration and
+    raises with code [Fuel_exhausted] when the budget runs out. *)
 
 val analyze : config:Config.t -> Block.t -> item list -> t
 (** Replay a fixed item sequence against a fresh live superword set and

@@ -1,4 +1,5 @@
 open Slp_ir
+module E = Slp_util.Slp_error
 
 let renamed v ~copy = Printf.sprintf "%s__u%d" v copy
 
@@ -32,7 +33,8 @@ let rename_stmt_scalars stmt ~targets ~copy =
     stmt targets
 
 let unroll_block block ~index ~factor ~copy_step =
-  if factor < 1 then invalid_arg "Unroll.unroll_block: factor must be >= 1";
+  if factor < 1 then
+    E.fail ~pass:E.Transform E.Unsupported "Unroll.unroll_block: factor must be >= 1";
   let targets = privatisable block in
   let next_id = ref 0 in
   let copies =
@@ -83,7 +85,8 @@ let declare_copies env block ~factor =
     (privatisable block)
 
 let program ~factor prog =
-  if factor < 1 then invalid_arg "Unroll.program: factor must be >= 1";
+  if factor < 1 then
+    E.fail ~pass:E.Transform E.Unsupported "Unroll.program: factor must be >= 1";
   if factor = 1 then prog
   else begin
     let env = Env.copy prog.Program.env in

@@ -1,0 +1,174 @@
+type pass =
+  | Frontend
+  | Analysis
+  | Transform
+  | Grouping
+  | Scheduling
+  | Layout
+  | Lowering
+  | Regalloc
+  | Verification
+  | Vm
+  | Pipeline
+
+let pass_name = function
+  | Frontend -> "frontend"
+  | Analysis -> "analysis"
+  | Transform -> "transform"
+  | Grouping -> "grouping"
+  | Scheduling -> "scheduling"
+  | Layout -> "layout"
+  | Lowering -> "lowering"
+  | Regalloc -> "regalloc"
+  | Verification -> "verification"
+  | Vm -> "vm"
+  | Pipeline -> "pipeline"
+
+type code =
+  | Parse_error
+  | Lex_error
+  | Validation
+  | Unsupported
+  | Grouping_failed
+  | Schedule_failed
+  | Layout_failed
+  | Lowering_failed
+  | Regalloc_failed
+  | Verify_rejected
+  | Fuel_exhausted
+  | Vm_trap
+  | Internal
+  | Injected
+
+let code_id = function
+  | Parse_error -> "BAIL01"
+  | Lex_error -> "BAIL02"
+  | Validation -> "BAIL03"
+  | Unsupported -> "BAIL04"
+  | Grouping_failed -> "BAIL05"
+  | Schedule_failed -> "BAIL06"
+  | Layout_failed -> "BAIL07"
+  | Lowering_failed -> "BAIL08"
+  | Regalloc_failed -> "BAIL09"
+  | Verify_rejected -> "BAIL10"
+  | Fuel_exhausted -> "BAIL11"
+  | Vm_trap -> "BAIL12"
+  | Internal -> "BAIL13"
+  | Injected -> "BAIL14"
+
+let code_mnemonic = function
+  | Parse_error -> "parse"
+  | Lex_error -> "lex"
+  | Validation -> "validate"
+  | Unsupported -> "unsupported"
+  | Grouping_failed -> "group"
+  | Schedule_failed -> "schedule"
+  | Layout_failed -> "layout"
+  | Lowering_failed -> "lower"
+  | Regalloc_failed -> "regalloc"
+  | Verify_rejected -> "verify"
+  | Fuel_exhausted -> "fuel"
+  | Vm_trap -> "trap"
+  | Internal -> "internal"
+  | Injected -> "injected"
+
+let code_name c = code_id c ^ "-" ^ code_mnemonic c
+
+let catalogue =
+  [
+    (Parse_error, "syntax error in the kernel source");
+    (Lex_error, "unreadable token in the kernel source");
+    (Validation, "the parsed program failed semantic validation");
+    (Unsupported, "a construct outside the compilable subset");
+    (Grouping_failed, "superword grouping could not form a legal pack set");
+    (Schedule_failed, "no dependence-respecting schedule for the chosen packs");
+    (Layout_failed, "the data layout transformation could not be applied");
+    (Lowering_failed, "lowering the plan to Visa bytecode failed");
+    (Regalloc_failed, "vector register allocation failed");
+    (Verify_rejected, "the pass-by-pass verifier rejected a stage's output");
+    (Fuel_exhausted, "a per-pass step budget ran out (blowup guard)");
+    (Vm_trap, "the VM trapped: out-of-bounds or unknown storage access");
+    (Internal, "an unclassified internal failure");
+    (Injected, "a deliberately injected fault (testing only)");
+  ]
+
+type span = { line : int; col : int }
+
+type t = {
+  code : code;
+  pass : pass;
+  span : span option;
+  recoverable : bool;
+  message : string;
+}
+
+exception Error of t
+
+let make ?span ?(recoverable = true) ~pass code message =
+  { code; pass; span; recoverable; message }
+
+let fail ?span ?recoverable ~pass code fmt =
+  Format.kasprintf
+    (fun message -> raise (Error (make ?span ?recoverable ~pass code message)))
+    fmt
+
+let to_string t =
+  Printf.sprintf "%s [%s]%s: %s" (code_name t.code) (pass_name t.pass)
+    (match t.span with
+    | Some { line; col } -> Printf.sprintf " at %d:%d" line col
+    | None -> "")
+    t.message
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Hand-rolled JSON: the toolchain has no JSON library, and bailout
+   reports must stay machine-readable, so escaping is done here. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let span =
+    match t.span with
+    | Some { line; col } -> Printf.sprintf ",\"line\":%d,\"col\":%d" line col
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"code\":\"%s\",\"reason\":\"%s\",\"pass\":\"%s\",\"recoverable\":%b%s,\"message\":\"%s\"}"
+    (code_id t.code) (code_mnemonic t.code) (pass_name t.pass) t.recoverable span
+    (json_escape t.message)
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Slp_error.Error: " ^ to_string t)
+    | _ -> None)
+
+module Fuel = struct
+  type error = t
+
+  type t = { fuel_pass : pass; budget : int; mutable left : int }
+
+  let create ~pass ~budget = { fuel_pass = pass; budget; left = max 0 budget }
+
+  let exhausted t : error =
+    make ~pass:t.fuel_pass Fuel_exhausted
+      (Printf.sprintf "step budget of %d exhausted in %s" t.budget
+         (pass_name t.fuel_pass))
+
+  let tick t =
+    if t.left <= 0 then raise (Error (exhausted t)) else t.left <- t.left - 1
+
+  let remaining t = t.left
+end

@@ -122,6 +122,11 @@ let access_line t line =
   walk 0
 
 let access t ~addr ~bytes ~write:_ =
+  (* Single chokepoint for the fault-injection harness: every memory
+     access of the interpreters AND the compiled engine charges the
+     cache here, even where the engine bypasses [Memory.load/store].
+     One flag read when disarmed. *)
+  if !Trap.fault_enabled then Trap.fault_tick ();
   let first, last =
     if t.line_shift >= 0 then
       (addr asr t.line_shift, (addr + max 1 bytes - 1) asr t.line_shift)

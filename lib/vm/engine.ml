@@ -156,16 +156,15 @@ type elem_ref = {
   e_flat : int array -> int;
 }
 
-let compile_flat ~depths ctx name idxs =
+let compile_flat ?stmt ~depths ctx name idxs =
   let dims = Memory.dims ctx.mem name in
   match (dims, idxs) with
   | [ d0 ], [ ix ] ->
       (* The common 1-D case folds the bounds check into the affine
-         closure itself (no inner closure call on the hot path). *)
-      let oob i =
-        invalid_arg
-          (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d0)
-      in
+         closure itself (no inner closure call on the hot path).  The
+         originating statement id is baked into the trap closure at
+         compile time — zero cost on the in-bounds path. *)
+      let oob i = Trap.oob ?stmt ~array:name ~index:i ~bound:d0 () in
       let const = Affine.const_part ix in
       (match resolve_terms ~depths ix with
       | [] -> if const < 0 || const >= d0 then fun _ -> oob const else fun _ -> const
@@ -191,22 +190,20 @@ let compile_flat ~depths ctx name idxs =
           (fun k f ->
             let i = f frame in
             let d = ds.(k) in
-            if i < 0 || i >= d then
-              invalid_arg
-                (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d);
+            if i < 0 || i >= d then Trap.oob ?stmt ~array:name ~index:i ~bound:d ();
             acc := (!acc * d) + i)
           fs;
         !acc
-  | _ -> (fun _ -> invalid_arg (Printf.sprintf "Memory.flat_index: rank mismatch on %s" name))
+  | _ -> fun _ -> Trap.rank_mismatch ?stmt ~array:name ()
 
-let link_elem ctx ~depths op =
+let link_elem ?stmt ctx ~depths op =
   match op with
   | Operand.Elem (b, idxs) ->
       {
         e_data = Memory.array_values ctx.mem b;
         e_base = Memory.array_base ctx.mem b;
         e_bytes = Memory.elem_bytes ctx.mem b;
-        e_flat = compile_flat ~depths ctx b idxs;
+        e_flat = compile_flat ?stmt ~depths ctx b idxs;
       }
   | Operand.Const _ | Operand.Scalar _ ->
       invalid_arg "Engine: expected an array element operand"
@@ -240,12 +237,12 @@ let unop_fn = function
 (* Mirrors [Scalar_exec.exec_stmt]: loads charge as the expression
    evaluates (right operand before left, as pinned by [Expr.eval]),
    then ALU cycles, then the store. *)
-let compile_operand_read ctx ~depths op =
+let compile_operand_read ?stmt ctx ~depths op =
   match op with
   | Operand.Const c -> fun _ -> c
   | Operand.Scalar v -> link_scalar_read ctx ~depths v
   | Operand.Elem _ ->
-      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ctx ~depths op in
+      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ?stmt ctx ~depths op in
       let issue = float_of_int ctx.machine.M.costs.M.load_issue in
       fun st ->
         let fl = e_flat st.frame in
@@ -255,16 +252,16 @@ let compile_operand_read ctx ~depths op =
           +. Cache.access st.cache ~addr:(e_base + (fl * bytes)) ~bytes ~write:false);
         e_data.(fl)
 
-let rec compile_expr ctx ~depths e =
+let rec compile_expr ?stmt ctx ~depths e =
   match e with
-  | Expr.Leaf op -> compile_operand_read ctx ~depths op
+  | Expr.Leaf op -> compile_operand_read ?stmt ctx ~depths op
   | Expr.Un (u, inner) ->
-      let f = compile_expr ctx ~depths inner in
+      let f = compile_expr ?stmt ctx ~depths inner in
       let g = unop_fn u in
       fun st -> g (f st)
   | Expr.Bin (b, l, r) ->
-      let fl = compile_expr ctx ~depths l in
-      let fr = compile_expr ctx ~depths r in
+      let fl = compile_expr ?stmt ctx ~depths l in
+      let fr = compile_expr ?stmt ctx ~depths r in
       let g = binop_fn b in
       fun st ->
         let vr = fr st in
@@ -273,7 +270,8 @@ let rec compile_expr ctx ~depths e =
 
 let compile_stmt ctx ~depths (s : Stmt.t) =
   let costs = ctx.machine.M.costs in
-  let rhs = compile_expr ctx ~depths s.Stmt.rhs in
+  let stmt = s.Stmt.id in
+  let rhs = compile_expr ~stmt ctx ~depths s.Stmt.rhs in
   let nops = Stmt.op_count s in
   let op_cycles =
     float_of_int
@@ -299,7 +297,7 @@ let compile_stmt ctx ~depths (s : Stmt.t) =
         charge st op_cycles;
         data.(slot) <- value
   | Operand.Elem _ as op ->
-      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ctx ~depths op in
+      let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ~stmt ctx ~depths op in
       let issue = float_of_int costs.M.store_issue in
       fun st ->
         let value = rhs st in

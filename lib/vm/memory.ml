@@ -83,7 +83,7 @@ let create ?(scalar_layout = []) ~env () =
 let box t name =
   match Hashtbl.find_opt t.arrays name with
   | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Memory: unknown array %s" name)
+  | None -> Trap.unknown_array ~array:name ()
 
 let init_arrays t ~seed =
   let names =
@@ -99,13 +99,13 @@ let init_arrays t ~seed =
 let load t name idx =
   let b = box t name in
   if idx < 0 || idx >= Array.length b.data then
-    invalid_arg (Printf.sprintf "Memory.load: %s[%d] out of bounds" name idx);
+    Trap.oob ~array:name ~index:idx ~bound:(Array.length b.data) ();
   b.data.(idx)
 
 let store t name idx v =
   let b = box t name in
   if idx < 0 || idx >= Array.length b.data then
-    invalid_arg (Printf.sprintf "Memory.store: %s[%d] out of bounds" name idx);
+    Trap.oob ~array:name ~index:idx ~bound:(Array.length b.data) ();
   b.data.(idx) <- v
 
 let scalar_slot t name =
@@ -141,11 +141,10 @@ let elem_bytes t name = (box t name).elem_bytes
 let flat_index t name idxs =
   let b = box t name in
   if List.length idxs <> List.length b.dims then
-    invalid_arg (Printf.sprintf "Memory.flat_index: rank mismatch on %s" name);
+    Trap.rank_mismatch ~array:name ();
   List.fold_left2
     (fun acc i d ->
-      if i < 0 || i >= d then
-        invalid_arg (Printf.sprintf "Memory.flat_index: %s index %d out of [0,%d)" name i d);
+      if i < 0 || i >= d then Trap.oob ~array:name ~index:i ~bound:d ();
       (acc * d) + i)
     0 idxs b.dims
 
@@ -162,7 +161,7 @@ let spill_store t ~slot lanes = Hashtbl.replace t.spills slot (Array.copy lanes)
 let spill_load t ~slot =
   match Hashtbl.find_opt t.spills slot with
   | Some lanes -> Array.copy lanes
-  | None -> invalid_arg (Printf.sprintf "Memory.spill_load: slot %d never stored" slot)
+  | None -> Trap.unset_spill ~slot ()
 
 let same_contents a b =
   let names =

@@ -37,8 +37,7 @@ val scalar_values : t -> float array
     capturing it. *)
 
 val load : t -> string -> int -> float
-(** [load t array flat_index]; raises [Invalid_argument] out of
-    bounds. *)
+(** [load t array flat_index]; raises {!Trap.Trap} out of bounds. *)
 
 val store : t -> string -> int -> float -> unit
 val scalar : t -> string -> float
@@ -49,7 +48,8 @@ val array_base : t -> string -> int
 val scalar_addr : t -> string -> int
 val elem_bytes : t -> string -> int
 val flat_index : t -> string -> int list -> int
-(** Row-major flattening with per-dimension bounds checks. *)
+(** Row-major flattening with per-dimension bounds checks; raises
+    {!Trap.Trap} on a rank mismatch or an out-of-range index. *)
 
 val addr_of_elem : t -> string -> int list -> int
 val array_values : t -> string -> float array
@@ -63,7 +63,7 @@ val spill_addr : t -> slot:int -> int
 
 val spill_store : t -> slot:int -> float array -> unit
 val spill_load : t -> slot:int -> float array
-(** Raises [Invalid_argument] when the slot was never stored. *)
+(** Raises {!Trap.Trap} when the slot was never stored. *)
 
 val same_contents : t -> t -> bool
 (** Array-by-array equality within 1e-9 (identical NaNs/infinities

@@ -67,7 +67,11 @@ let rec exec_items ~memory ~cache ~counters ~machine ~bindings ~override items =
       match item with
       | Program.Stmts b ->
           List.iter
-            (exec_stmt ~memory ~cache ~counters ~machine ~index_env)
+            (fun (s : Stmt.t) ->
+              try exec_stmt ~memory ~cache ~counters ~machine ~index_env s
+              with Trap.Trap ({ Trap.stmt = None; _ } as i) ->
+                (* Attribute the trap to the statement being executed. *)
+                raise (Trap.Trap { i with Trap.stmt = Some s.Stmt.id }))
             b.Block.stmts
       | Program.Loop l ->
           let lo, hi =

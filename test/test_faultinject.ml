@@ -1,0 +1,118 @@
+(* Fault-injection tests for the resilient pipeline.
+
+   Two obligations from the fault-tolerance design: (1) the full
+   injection matrix — every suite kernel x every injection point x
+   both machines — recovers under the catalogued reason code with
+   scalar-identical memory, and (2) a 300-case fault-enabled fuzz
+   campaign never lets an exception escape [compile_resilient]. *)
+
+module F = Slp_faultinject.Faultinject
+module E = Slp_util.Slp_error
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+
+let pp_failures outcomes =
+  List.iter
+    (fun (o : F.outcome) ->
+      Printf.printf "FAIL %s on %s at %s: degraded=%b codes=[%s] expected=%s identical=%b\n"
+        o.F.kernel o.F.machine (F.point_name o.F.point) o.F.degraded
+        (String.concat "; " o.F.codes)
+        o.F.expected o.F.scalar_identical)
+    (F.failures outcomes)
+
+(* The matrix covers every hook point; each stage must map to its own
+   catalogued code so a report names where the pipeline gave up. *)
+let test_expected_codes () =
+  let check point code =
+    Alcotest.(check string)
+      (F.point_name point) (E.code_name code)
+      (E.code_name (F.expected_code point))
+  in
+  check (F.Stage "prepare") E.Unsupported;
+  check (F.Stage "plan") E.Grouping_failed;
+  check (F.Stage "layout") E.Layout_failed;
+  check (F.Stage "lower") E.Lowering_failed;
+  check (F.Stage "regalloc") E.Regalloc_failed;
+  check (F.Stage "verify") E.Verify_rejected;
+  check F.Fuel E.Fuel_exhausted;
+  check (F.Vm_memory 5) E.Vm_trap;
+  check (F.Vm_cache 13) E.Injected;
+  Alcotest.(check int)
+    "every stage hook has a point" (List.length Pipeline.stage_hook_points + 3)
+    (List.length F.all_points)
+
+let test_single_case () =
+  let prog = Suite.program (List.hd Suite.all) in
+  let o = F.run_case ~machine:Machine.intel_dunnington ~point:(F.Stage "plan") prog in
+  Alcotest.(check bool) "degraded to scalar" true o.F.degraded;
+  Alcotest.(check bool) "BAIL05 reported" true o.F.code_seen;
+  Alcotest.(check bool) "memory scalar-identical" true o.F.scalar_identical;
+  Alcotest.(check bool) "case ok" true o.F.ok
+
+let test_matrix () =
+  let outcomes = F.run_matrix () in
+  let expected_cases =
+    List.length Suite.all * List.length F.all_points
+    * List.length F.default_machines
+  in
+  Alcotest.(check int) "full matrix" expected_cases (List.length outcomes);
+  pp_failures outcomes;
+  Alcotest.(check int) "no failures" 0 (List.length (F.failures outcomes));
+  (* Compile-side faults must degrade; VM-side faults recover in place
+     or by scalar re-run — either way the code must have surfaced. *)
+  List.iter
+    (fun (o : F.outcome) ->
+      match o.F.point with
+      | F.Stage _ | F.Fuel ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %s degraded" o.F.kernel (F.point_name o.F.point))
+            true o.F.degraded
+      | F.Vm_memory _ | F.Vm_cache _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %s reported" o.F.kernel (F.point_name o.F.point))
+            true o.F.code_seen)
+    outcomes
+
+(* 300 generated kernels, one drawn fault each: compile_resilient and
+   the recovery path must never raise, and every case must recover. *)
+let test_fuzz () =
+  let outcomes = F.run_fuzz ~cases:300 ~seed:42 () in
+  Alcotest.(check int) "300 cases" 300 (List.length outcomes);
+  pp_failures outcomes;
+  Alcotest.(check bool) "all recovered" true (F.all_ok outcomes)
+
+let test_determinism () =
+  let a = F.run_fuzz ~cases:25 ~seed:7 () in
+  let b = F.run_fuzz ~cases:25 ~seed:7 () in
+  Alcotest.(check (list string))
+    "same seed, same outcomes"
+    (List.map F.outcome_to_json a)
+    (List.map F.outcome_to_json b)
+
+let test_report_json () =
+  let prog = Suite.program (List.hd Suite.all) in
+  let o = F.run_case ~machine:Machine.amd_phenom_ii ~point:F.Fuel prog in
+  let json = F.report_json [ o ] in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has case count" true (contains json "\"cases\": 1");
+  Alcotest.(check bool) "names the code" true (contains json "BAIL11");
+  Alcotest.(check bool) "names the point" true (contains json "fuel")
+
+let () =
+  Alcotest.run "faultinject"
+    [
+      ( "fault injection",
+        [
+          Alcotest.test_case "expected reason codes" `Quick test_expected_codes;
+          Alcotest.test_case "single stage case" `Quick test_single_case;
+          Alcotest.test_case "full matrix recovers" `Slow test_matrix;
+          Alcotest.test_case "300-case fault fuzz never raises" `Slow test_fuzz;
+          Alcotest.test_case "seeded determinism" `Quick test_determinism;
+          Alcotest.test_case "report json" `Quick test_report_json;
+        ] );
+    ]

@@ -129,6 +129,68 @@ let test_error_messages () =
     "affine context";
   expect_error_matching "f64 A[8];\nfor i = 0 to 8 { A[i/2] = 1.0; }" "non-affine"
 
+(* -- error recovery ------------------------------------------------------- *)
+
+let test_recovery_multiple_diagnostics () =
+  (* Two broken statements, one good one: both errors reported, in
+     source order, each with a usable 1-based position. *)
+  let src = "f64 x;\nx = ;\nx = 1.0 +;\nx = 2.0;" in
+  match Parser.parse_all ~name:"t" src with
+  | Ok _ -> Alcotest.failf "accepted invalid program: %s" src
+  | Error ds ->
+      Alcotest.(check bool) "at least two diagnostics" true (List.length ds >= 2);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "1-based position" true
+            (d.Parser.line >= 1 && d.Parser.col >= 1))
+        ds;
+      let lines = List.map (fun d -> d.Parser.line) ds in
+      Alcotest.(check (list int)) "source order" (List.sort compare lines) lines
+
+let test_recovery_across_loops () =
+  (* An error inside a loop body must not swallow a later top-level
+     error, and vice versa. *)
+  let src =
+    "f64 A[8];\nf64 x;\nfor i = 0 to 8 {\n  A[i] = ;\n}\nx = ;\nx = 1.0;"
+  in
+  match Parser.parse_all ~name:"t" src with
+  | Ok _ -> Alcotest.fail "accepted invalid program"
+  | Error ds ->
+      Alcotest.(check bool) "both errors found" true (List.length ds >= 2)
+
+let test_recovery_max_errors () =
+  let src = "f64 x;\nx = ;\nx = ;\nx = ;\nx = ;" in
+  match Parser.parse_all ~max_errors:2 ~name:"t" src with
+  | Ok _ -> Alcotest.fail "accepted invalid program"
+  | Error ds -> Alcotest.(check int) "capped at max_errors" 2 (List.length ds)
+
+let test_recovery_first_diag_matches_parse () =
+  (* parse is parse_all cut to one error: same message, same spot. *)
+  let src = "f64 x;\nfor i = 0 to 4 {\n  x = ;\n}" in
+  let em, el, ec =
+    match parse src with
+    | exception Parser.Error (m, l, c) -> (m, l, c)
+    | _ -> Alcotest.fail "accepted invalid program"
+  in
+  match Parser.parse_all ~name:"t" src with
+  | Ok _ -> Alcotest.fail "accepted invalid program"
+  | Error [] -> Alcotest.fail "no diagnostics"
+  | Error (d :: _) ->
+      Alcotest.(check string) "message" em d.Parser.message;
+      Alcotest.(check int) "line" el d.Parser.line;
+      Alcotest.(check int) "col" ec d.Parser.col
+
+let test_parse_all_valid () =
+  let src = "f64 A[8];\nfor i = 0 to 8 {\n  A[i] = 2.0;\n}" in
+  match Parser.parse_all ~name:"t" src with
+  | Error ds ->
+      Alcotest.failf "rejected valid program: %s"
+        (String.concat "; " (List.map (fun d -> d.Parser.message) ds))
+  | Ok p ->
+      let q = parse src in
+      Alcotest.(check int) "same statements" (Program.stmt_count q)
+        (Program.stmt_count p)
+
 let test_parse_negative_offsets () =
   let p = parse "f64 A[64];\nfor i = 1 to 8 {\n  A[2*i-2] = 1.0;\n}" in
   match Program.blocks p with
@@ -181,6 +243,16 @@ let () =
           Alcotest.test_case "unary and calls" `Quick test_parse_unary_and_calls;
           Alcotest.test_case "rejects invalid programs" `Quick test_parse_errors;
           Alcotest.test_case "useful error messages" `Quick test_error_messages;
+          Alcotest.test_case "recovery: multiple diagnostics" `Quick
+            test_recovery_multiple_diagnostics;
+          Alcotest.test_case "recovery: across loops" `Quick
+            test_recovery_across_loops;
+          Alcotest.test_case "recovery: max-errors cap" `Quick
+            test_recovery_max_errors;
+          Alcotest.test_case "recovery: first diagnostic matches parse" `Quick
+            test_recovery_first_diag_matches_parse;
+          Alcotest.test_case "parse_all accepts valid programs" `Quick
+            test_parse_all_valid;
           Alcotest.test_case "negative offsets" `Quick test_parse_negative_offsets;
           Alcotest.test_case "nested loops" `Quick test_parse_nested_loops;
           Alcotest.test_case "deterministic execution" `Quick test_parse_roundtrip_semantics;

@@ -29,9 +29,19 @@ let test_memory_layout () =
   Alcotest.(check int) "elem size f64" 8 (Memory.elem_bytes mem "A");
   Alcotest.(check int) "elem size f32" 4 (Memory.elem_bytes mem "M");
   Alcotest.(check int) "row-major flattening" 6 (Memory.flat_index mem "M" [ 1; 2 ]);
-  Alcotest.check_raises "bounds checked"
-    (Invalid_argument "Memory.flat_index: M index 4 out of [0,4)") (fun () ->
-      ignore (Memory.flat_index mem "M" [ 0; 4 ]))
+  (* Out-of-bounds accesses raise the structured VM trap carrying the
+     array name and offending index. *)
+  (match Memory.flat_index mem "M" [ 0; 4 ] with
+  | _ -> Alcotest.fail "expected a trap"
+  | exception Slp_vm.Trap.Trap info ->
+      Alcotest.(check string) "trap array" "M" info.Slp_vm.Trap.array;
+      (match info.Slp_vm.Trap.kind with
+      | Slp_vm.Trap.Out_of_bounds { index; bound } ->
+          Alcotest.(check int) "trap index" 4 index;
+          Alcotest.(check int) "trap bound" 4 bound
+      | _ -> Alcotest.fail "expected Out_of_bounds");
+      Alcotest.(check bool) "trap unattributed outside execution" true
+        (info.Slp_vm.Trap.stmt = None))
 
 let test_memory_scalar_layout () =
   let env = env_with_arrays () in
