@@ -47,6 +47,24 @@ let compile_suite ~verify () =
            ~machine:intel (Suite.program b)))
     Suite.all
 
+(* The bench guard for the observability hooks: full-suite Global
+   compile+run with the obs bundle disabled vs fully enabled.  The
+   disabled entry is the one the ≤2% budget applies to — it measures
+   what the dormant hooks cost every user. *)
+let obs_suite ~obs () =
+  List.iter
+    (fun (b : Suite.t) ->
+      let obs =
+        if obs then Slp_obs.Obs.create ~trace:true ~remarks:true ~profile:true ()
+        else Slp_obs.Obs.none
+      in
+      let c =
+        Pipeline.compile ~unroll:b.Suite.unroll ~verify:false ~obs
+          ~scheme:Pipeline.Global ~machine:intel (Suite.program b)
+      in
+      ignore (Pipeline.execute ~check:false ~obs c))
+    Suite.all
+
 (* The Figure 15 block, used by the phase and ablation benchmarks. *)
 let fig15 () =
   let open Slp_ir in
@@ -131,6 +149,11 @@ let all_tests =
        must stay a small fraction of compile time (see EXPERIMENTS.md). *)
     t "verify_overhead_suite_off" (compile_suite ~verify:false);
     t "verify_overhead_suite_on" (compile_suite ~verify:true);
+    (* Observability overhead guard: _off is compile+run with the
+       dormant hooks (must stay within ~2% of the pre-obs baseline);
+       _on is the same work with trace+remarks+profiler all enabled. *)
+    t "obs_overhead_suite_off" (obs_suite ~obs:false);
+    t "obs_overhead_suite_on" (obs_suite ~obs:true);
     (* Phase benchmarks. *)
     t "phase_grouping_fig15" (fun () ->
         let env, block = fig15 () in

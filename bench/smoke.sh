@@ -10,4 +10,5 @@ exec dune exec bench/main.exe -- \
   --baseline bench/baseline_seed.json \
   --json BENCH_vm.json \
   fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex \
-  verify_overhead_suite_off verify_overhead_suite_on
+  verify_overhead_suite_off verify_overhead_suite_on \
+  obs_overhead_suite_off obs_overhead_suite_on

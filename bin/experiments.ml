@@ -8,7 +8,10 @@
                                  (exit 3 when any kernel bailed out)
      experiments --bailout-report FILE
                                  write the JSON bailout report
-     experiments --max-steps N   per-pass step budget (with --resilient) *)
+     experiments --max-steps N   per-pass step budget (with --resilient)
+     experiments --metrics FILE  also write per-kernel metrics JSON
+                                 (all five schemes + Global profiler
+                                 attribution) *)
 
 module E = Slp_harness.Experiments
 module Runner = Slp_harness.Runner
@@ -35,6 +38,7 @@ let () =
   (* Pull option flags (and their values) out of the report-id list. *)
   let resilient = ref false in
   let report_path = ref None in
+  let metrics_path = ref None in
   let steps = ref None in
   let rec scan acc = function
     | [] -> List.rev acc
@@ -46,6 +50,12 @@ let () =
         scan acc rest
     | "--bailout-report" :: [] ->
         prerr_endline "--bailout-report requires a FILE argument";
+        exit 2
+    | "--metrics" :: path :: rest ->
+        metrics_path := Some path;
+        scan acc rest
+    | "--metrics" :: [] ->
+        prerr_endline "--metrics requires a FILE argument";
         exit 2
     | "--max-steps" :: n :: rest -> begin
         match int_of_string_opt n with
@@ -77,10 +87,22 @@ let () =
       | None -> Runner.set_resilient true);
       Runner.clear_bailouts ()
     end;
-    List.iter
-      (fun (id, f) ->
-        if args = [] || List.mem id args then print_string (E.render (f ())))
-      registry;
+    (* [--metrics] with no report ids writes just the metrics file;
+       naming reports (or naming none without [--metrics]) renders them
+       as before. *)
+    let run_reports = args <> [] || !metrics_path = None in
+    if run_reports then
+      List.iter
+        (fun (id, f) ->
+          if args = [] || List.mem id args then print_string (E.render (f ())))
+        registry;
+    (match !metrics_path with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (E.metrics_json ());
+        output_char oc '\n';
+        close_out oc
+    | None -> ());
     let bailouts = if !resilient then Runner.bailouts () else [] in
     (match !report_path with
     | Some path ->

@@ -1,0 +1,38 @@
+(* obscheck — validate observability artifacts.
+
+   Usage: obscheck FILE...
+
+   Each FILE must be well-formed Chrome trace-event JSON with balanced,
+   properly nested B/E spans per (pid, tid) thread and non-decreasing
+   timestamps.  Exit 0 when every file validates, 1 on any validation
+   failure, 2 on usage or I/O errors.  CI runs this over the traces the
+   smoke job records. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: obscheck FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match read_file path with
+      | exception Sys_error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+      | contents -> (
+          match Slp_obs.Trace.validate_chrome_json contents with
+          | Ok n -> Printf.printf "%s: ok (%d events, balanced)\n" path n
+          | Error msg ->
+              Printf.eprintf "%s: INVALID: %s\n" path msg;
+              failed := true))
+    files;
+  exit (if !failed then 1 else 0)

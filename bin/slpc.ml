@@ -62,6 +62,49 @@ let dump_plan = Arg.(value & flag & info [ "dump-plan" ] ~doc:"Print groups and 
 let dump_vector = Arg.(value & flag & info [ "dump-vector" ] ~doc:"Print the vector program.")
 let run = Arg.(value & flag & info [ "run" ] ~doc:"Simulate and report counters.")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Simulate and pretty-print the VM counters (implies execution, \
+           without the correctness/speedup report of $(b,--run)).")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical span trace of the compile (and any \
+           simulation) and write it to $(docv) as Chrome trace-event JSON \
+           (load in chrome://tracing or Perfetto).")
+
+let remarks =
+  Arg.(
+    value & flag
+    & info [ "remarks" ]
+        ~doc:
+          "Print structured optimization remarks: every grouping \
+           merge/reject, schedule reuse/permute/pack decision, cost gate \
+           verdict, and layout transform, with stable ids.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Simulate under the VM profiler and print the hot-statement \
+           report: per statement/pack cycle attribution and cache hits by \
+           level.")
+
+let profile_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:"Like $(b,--profile), but write the attribution as JSON to $(docv).")
+
 let verify =
   Arg.(
     value
@@ -124,12 +167,20 @@ let write_bailout_report path bailouts =
 
 (* Exit status: 0 success, 2 input or compile error, 3 compiled in
    resilient mode but degraded to scalar. *)
-let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector run cores
-    seed resilient bailout_report max_errors max_steps =
+let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector run
+    stats trace_file remarks profile profile_json cores seed resilient
+    bailout_report max_errors max_steps =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
   in
   let name = Filename.remove_extension (Filename.basename file) in
+  let obs =
+    Slp_obs.Obs.create
+      ~trace:(trace_file <> None)
+      ~remarks
+      ~profile:(profile || profile_json <> None)
+      ()
+  in
   match Slp_frontend.Parser.parse_all ~max_errors ~name (read_file file) with
   | Result.Error diags ->
       List.iter
@@ -144,8 +195,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector ru
       let compiled, bailouts =
         if resilient then begin
           let r =
-            Pipeline.compile_resilient ?unroll ?max_steps ~verify ~scheme ~machine
-              prog
+            Pipeline.compile_resilient ?unroll ?max_steps ~verify ~obs ~scheme
+              ~machine prog
           in
           List.iter
             (fun (b : Pipeline.bailout) ->
@@ -159,7 +210,9 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector ru
           (r.Pipeline.result, Some r.Pipeline.bailouts)
         end
         else
-          match Pipeline.compile ?unroll ?max_steps ~verify ~scheme ~machine prog with
+          match
+            Pipeline.compile ?unroll ?max_steps ~verify ~obs ~scheme ~machine prog
+          with
           | c -> (c, None)
           | exception Slp_verify.Verify.Verification_failed (what, report) ->
               Format.eprintf "%s: verification failed@.%a@." what
@@ -210,17 +263,43 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector ru
       | true, Some v -> Format.printf "%a@." Slp_vm.Visa.pp_program v
       | true, None -> Format.printf "(scalar scheme: no vector program)@."
       | false, _ -> ());
-      if run then begin
-        let r = Pipeline.execute ~cores ~seed compiled in
-        Format.printf "-- execution (%d core%s, seed %d) --@.%a@." cores
-          (if cores = 1 then "" else "s")
-          seed Slp_vm.Counters.pp r.Pipeline.counters;
-        Format.printf "semantics vs scalar reference: %s@."
-          (if r.Pipeline.correct then "match" else "MISMATCH");
-        let speedup = Pipeline.speedup_over_scalar ~cores ~seed compiled in
-        Format.printf "speedup over scalar: %.3fx (%.1f%% reduction)@." speedup
-          (100.0 *. (1.0 -. (1.0 /. speedup)))
+      (if remarks then
+         let rs = Slp_obs.Obs.remarks obs in
+         Format.printf "-- remarks (%d) --@." (List.length rs);
+         List.iter (Format.printf "%a@." Slp_obs.Remark.pp) rs);
+      let want_exec = run || stats || profile || profile_json <> None in
+      if want_exec then begin
+        let r = Pipeline.execute ~cores ~seed ~check:run ~obs compiled in
+        if run || stats then
+          Format.printf "-- execution (%d core%s, seed %d) --@.%a@." cores
+            (if cores = 1 then "" else "s")
+            seed Slp_vm.Counters.pp r.Pipeline.counters;
+        if run then begin
+          Format.printf "semantics vs scalar reference: %s@."
+            (if r.Pipeline.correct then "match" else "MISMATCH");
+          let speedup = Pipeline.speedup_over_scalar ~cores ~seed compiled in
+          Format.printf "speedup over scalar: %.3fx (%.1f%% reduction)@." speedup
+            (100.0 *. (1.0 -. (1.0 /. speedup)))
+        end
       end;
+      (match obs.Slp_obs.Obs.profile with
+      | Some p ->
+          if profile then
+            Format.printf "-- profile --@.%a@."
+              (fun ppf -> Slp_obs.Profile.report ppf)
+              p;
+          Option.iter
+            (fun path ->
+              let oc = open_out path in
+              output_string oc
+                (Slp_obs.Json.to_string (Slp_obs.Profile.to_json p));
+              output_char oc '\n';
+              close_out oc)
+            profile_json
+      | None -> ());
+      (match (obs.Slp_obs.Obs.trace, trace_file) with
+      | Some t, Some path -> Slp_obs.Trace.write_file t path
+      | _ -> ());
       (match bailouts with Some (_ :: _) -> 3 | _ -> 0)
 
 let cmd =
@@ -229,7 +308,8 @@ let cmd =
     (Cmd.info "slpc" ~version:"1.0" ~doc)
     Term.(
       const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
-      $ dump_plan $ dump_vector $ run $ cores $ seed $ resilient $ bailout_report
-      $ max_errors $ max_steps)
+      $ dump_plan $ dump_vector $ run $ stats $ trace_file $ remarks $ profile
+      $ profile_json $ cores $ seed $ resilient $ bailout_report $ max_errors
+      $ max_steps)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,9 @@ module Visa = Slp_vm.Visa
 module Sched = Slp_core.Schedule
 module Pack = Slp_core.Pack
 module Driver = Slp_core.Driver
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
+module Profile = Slp_obs.Profile
 
 (* -- register tracker ----------------------------------------------- *)
 
@@ -109,6 +112,18 @@ type ctx = {
   track : tracker;
   mutable next_vreg : int;
   mutable code : Visa.instr list;  (** Reversed. *)
+  mutable okeys : Profile.key list;
+      (** Profiling origin of each emitted instruction, parallel to
+          [code] (reversed with it). *)
+  mutable cur_key : Profile.key;
+      (** Origin stamped on emissions: the statement or pack being
+          lowered. *)
+  block_label : string;
+  rbuf : Remark.t list ref;
+      (** Remarks buffered per lowering attempt; only the final
+          attempt's buffer survives the forced-unpack fixpoint (earlier
+          attempts' code is discarded, their remarks must be too). *)
+  remarks_wanted : bool;
   stale : (string, unit) Hashtbl.t;
       (** Scalars defined earlier in this block by a superword that did
           not materialise them — their scalar registers are invalid. *)
@@ -123,7 +138,20 @@ let fresh ctx =
   ctx.next_vreg <- r + 1;
   r
 
-let emit ctx i = ctx.code <- i :: ctx.code
+let emit ctx i =
+  ctx.code <- i :: ctx.code;
+  ctx.okeys <- ctx.cur_key :: ctx.okeys
+
+let remark ctx id ~stmts message =
+  if ctx.remarks_wanted then
+    ctx.rbuf :=
+      Remark.make ~id ~pass:"lowering" ~block:ctx.block_label ~stmts message
+      :: !(ctx.rbuf)
+
+let stmts_of_key = function
+  | Profile.Pack ids -> ids
+  | Profile.Stmt id -> [ id ]
+  | Profile.Setup | Profile.Op _ -> []
 
 let all_const ops =
   List.for_all (function Operand.Const _ -> true | _ -> false) ops
@@ -280,7 +308,22 @@ let materialize ctx ordered =
                      (scalar_names ordered);
                    emit ctx (Visa.Vload_scalars { dst; sources = scalar_names ordered })
                  end
-                 else emit ctx (Visa.Vgather { dst; srcs = List.map (lane_src_of ctx) ordered })
+                 else begin
+                   (if
+                      List.exists
+                        (function Operand.Elem _ -> true | _ -> false)
+                        ordered
+                    then
+                      remark ctx "PACK-DROP-ALIGN"
+                        ~stmts:(stmts_of_key ctx.cur_key)
+                        (Printf.sprintf
+                           "no aligned contiguous load for source pack %s; \
+                            gathering element-wise"
+                           (String.concat ","
+                              (List.map Operand.to_string ordered))));
+                   emit ctx
+                     (Visa.Vgather { dst; srcs = List.map (lane_src_of ctx) ordered })
+                 end
            end);
           tracker_insert ctx.track ordered dst;
           dst
@@ -307,6 +350,11 @@ let commit ctx ~scalar_demanded ordered src =
              (Visa.Vpermute { dst = tmp; src; sel = selector ~source:ordered ~target:sorted });
            emit ctx (Visa.Vstore { src = tmp; elems = sorted })
        | Some _ | None ->
+           remark ctx "PACK-SCATTER" ~stmts:(stmts_of_key ctx.cur_key)
+             (Printf.sprintf
+                "destination pack %s scatters over memory; unpacking \
+                 element-wise"
+                (String.concat "," (List.map Operand.to_string ordered)));
            emit ctx
              (Visa.Vunpack
                 { src; dsts = List.map (fun op -> Some (Visa.To_mem op)) ordered })
@@ -363,12 +411,14 @@ let lower_block ctx (block : Block.t) (sched : Sched.t) =
       match item with
       | Sched.Single sid ->
           let s = Block.find block sid in
+          ctx.cur_key <- Profile.Stmt sid;
           emit ctx (Visa.Sstmt s);
           (match Stmt.def s with
           | Operand.Scalar v -> Hashtbl.remove ctx.stale v
           | Operand.Const _ | Operand.Elem _ -> ());
           tracker_invalidate ctx.track [ Stmt.def s ]
       | Sched.Superword order ->
+          ctx.cur_key <- Profile.Pack order;
           let stmts = List.map (Block.find block) order in
           let first = List.hd stmts in
           let npos = Stmt.position_count first in
@@ -413,13 +463,15 @@ let lower_block ctx (block : Block.t) (sched : Sched.t) =
           commit ctx ~scalar_demanded defs result)
     items;
   let code = List.rev ctx.code in
+  let okeys = Array.of_list (List.rev ctx.okeys) in
   ctx.code <- [];
-  code
+  ctx.okeys <- [];
+  (code, okeys)
 
 (* -- program lowering ------------------------------------------------ *)
 
-let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
-    (plan : Driver.program_plan) =
+let lower_with_origins ?(obs = Obs.none) ~machine ?(reuse = true)
+    ?(scalar_offsets = []) ?(setup = []) (plan : Driver.program_plan) =
   let prog = plan.Driver.program in
   let env = prog.Program.env in
   let liveness = Slp_analysis.Liveness.compute prog in
@@ -436,6 +488,10 @@ let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
         E.fail ~pass:E.Lowering E.Lowering_failed
           "Lower.lower: plan list out of sync with program"
   in
+  (* One origin array per emitted [Visa.Block], in pre-order — the
+     order the engine pops them back off. *)
+  let origins = ref [] in
+  let push_origins arr = origins := arr :: !origins in
   let rec walk items =
     List.map
       (function
@@ -443,6 +499,11 @@ let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
             let p = pop_plan b in
             match p.Driver.schedule with
             | None ->
+                push_origins
+                  (Array.of_list
+                     (List.map
+                        (fun (s : Stmt.t) -> Profile.Stmt s.Stmt.id)
+                        b.Block.stmts));
                 Visa.Block
                   (List.map (fun s -> Visa.Sstmt s) b.Block.stmts)
             | Some sched ->
@@ -462,13 +523,24 @@ let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
                       track = { capacity = machine.M.vector_registers; regs = [] };
                       next_vreg = 0;
                       code = [];
+                      okeys = [];
+                      cur_key = Profile.Op "?";
+                      block_label = b.Block.label;
+                      rbuf = ref [];
+                      remarks_wanted = Obs.remarks_on obs;
                       stale = Hashtbl.create 8;
                       forced;
                       needs_retry = false;
                     }
                   in
-                  let code = lower_block ctx b sched in
-                  if ctx.needs_retry && n < 8 then attempt (n + 1) else code
+                  let code, okeys = lower_block ctx b sched in
+                  if ctx.needs_retry && n < 8 then attempt (n + 1)
+                  else begin
+                    (* Only the surviving attempt's remarks are real. *)
+                    List.iter (Obs.remark obs) (List.rev !(ctx.rbuf));
+                    push_origins okeys;
+                    code
+                  end
                 in
                 Visa.Block (attempt 0)
           end
@@ -484,4 +556,7 @@ let lower ~machine ?(reuse = true) ?(scalar_offsets = []) ?(setup = [])
       items
   in
   let body = walk prog.Program.body in
-  { Visa.name = prog.Program.name; env; setup; body }
+  ({ Visa.name = prog.Program.name; env; setup; body }, List.rev !origins)
+
+let lower ~machine ?reuse ?scalar_offsets ?setup plan =
+  fst (lower_with_origins ~machine ?reuse ?scalar_offsets ?setup plan)

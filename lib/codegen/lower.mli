@@ -27,3 +27,20 @@ val lower :
     scalar superword eligible for single vector memory operations.
     [setup] is prepended replication code from the array layout
     optimizer (§5.2). *)
+
+val lower_with_origins :
+  ?obs:Slp_obs.Obs.t ->
+  machine:Slp_machine.Machine.t ->
+  ?reuse:bool ->
+  ?scalar_offsets:(string * int) list ->
+  ?setup:Slp_vm.Visa.item list ->
+  Slp_core.Driver.program_plan ->
+  Slp_vm.Visa.program * Slp_obs.Profile.key array list
+(** Like {!lower}, and additionally returns the profiling origin of
+    every emitted instruction: one key array per [Visa.Block] of the
+    body in pre-order, entry [i] naming the statement or pack that
+    produced instruction [i] of that block.  [obs] collects one
+    [PACK-DROP-ALIGN] remark per source pack that fell back to an
+    element-wise gather and one [PACK-SCATTER] remark per destination
+    pack unpacked element-wise to memory (from the surviving
+    forced-unpack fixpoint attempt only). *)

@@ -1,5 +1,6 @@
 module E = Slp_util.Slp_error
 module Visa = Slp_vm.Visa
+module Profile = Slp_obs.Profile
 
 type stats = { spills : int; reloads : int; max_pressure : int }
 
@@ -66,7 +67,16 @@ let rewrite instr ~use ~def =
   | Visa.Vstore_scalars { src; targets } -> Visa.Vstore_scalars { src = use src; targets }
   | Visa.Sstmt _ -> instr
 
-let allocate_block ~registers instrs =
+let key_fallback = function
+  | Visa.Sstmt s -> Profile.Stmt s.Slp_ir.Stmt.id
+  | _ -> Profile.Op "alloc"
+
+(* [okeys.(idx)] is the profiling origin of input instruction [idx];
+   every instruction this pass emits while processing input [idx] —
+   the rewritten instruction itself, plus any spills and reloads its
+   register needs force — inherits that origin, so spill traffic is
+   charged to the statement or pack that caused it. *)
+let allocate_block_keyed ~registers ~okeys instrs =
   if registers < 2 then invalid_arg "Regalloc.allocate_block: need at least 2 registers";
   let arr = Array.of_list instrs in
   let n = Array.length arr in
@@ -99,7 +109,12 @@ let allocate_block ~registers instrs =
   let next_slot = ref 0 in
   let spills = ref 0 and reloads = ref 0 and pressure = ref 0 and max_pressure = ref 0 in
   let out = ref [] in
-  let emit i = out := i :: !out in
+  let kout = ref [] in
+  let cur = ref (Profile.Op "alloc") in
+  let emit i =
+    out := i :: !out;
+    kout := !cur :: !kout
+  in
   let slot_for v =
     match Hashtbl.find_opt slot_of v with
     | Some s -> s
@@ -155,6 +170,8 @@ let allocate_block ~registers instrs =
   in
   Array.iteri
     (fun idx instr ->
+      cur :=
+        (if idx < Array.length okeys then okeys.(idx) else key_fallback instr);
       match instr with
       | Visa.Sstmt _ -> emit instr
       | _ ->
@@ -219,20 +236,51 @@ let allocate_block ~registers instrs =
           in
           max_pressure := max !max_pressure (!pressure + spilled_live))
     arr;
-  (List.rev !out, { spills = !spills; reloads = !reloads; max_pressure = !max_pressure })
+  ( List.rev !out,
+    Array.of_list (List.rev !kout),
+    { spills = !spills; reloads = !reloads; max_pressure = !max_pressure } )
 
-let rec allocate_items ~registers items =
+let allocate_block ~registers instrs =
+  let instrs', _, stats = allocate_block_keyed ~registers ~okeys:[||] instrs in
+  (instrs', stats)
+
+(* [queue] pops one origin array per block in pre-order (the order
+   [Lower.lower_with_origins] records them); [push] receives the
+   transformed array in the same order. *)
+let rec allocate_items ~registers ~queue ~push items =
   List.fold_left_map
     (fun acc item ->
       match item with
       | Visa.Block instrs ->
-          let instrs', st = allocate_block ~registers instrs in
+          let okeys =
+            match !queue with
+            | arr :: rest ->
+                queue := rest;
+                arr
+            | [] -> [||]
+          in
+          let instrs', okeys', st =
+            allocate_block_keyed ~registers ~okeys instrs
+          in
+          push okeys';
           (add_stats acc st, Visa.Block instrs')
       | Visa.Loop l ->
-          let acc, body = allocate_items ~registers l.Visa.body in
-          (acc, Visa.Loop { l with Visa.body }))
+          let nested, body = allocate_items ~registers ~queue ~push l.Visa.body in
+          (add_stats acc nested, Visa.Loop { l with Visa.body }))
     zero_stats items
 
 let program ~registers (p : Visa.program) =
-  let stats, body = allocate_items ~registers p.Visa.body in
+  let stats, body =
+    allocate_items ~registers ~queue:(ref []) ~push:ignore p.Visa.body
+  in
   ({ p with Visa.body }, stats)
+
+let program_with_origins ~registers ~origins (p : Visa.program) =
+  let queue = ref origins in
+  let out = ref [] in
+  let stats, body =
+    allocate_items ~registers ~queue
+      ~push:(fun o -> out := o :: !out)
+      p.Visa.body
+  in
+  ({ p with Visa.body }, stats, List.rev !out)

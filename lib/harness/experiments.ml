@@ -301,16 +301,18 @@ let fig21 () =
 (* -- compile-time overhead ------------------------------------------- *)
 
 let compile_overhead () =
-  (* Compile repeatedly for a stable wall-clock ratio. *)
+  (* Compile repeatedly for a stable wall-clock ratio; the monotonic
+     clock cannot run backwards under NTP adjustments the way
+     [Sys.time] can. *)
   let time scheme =
     List.fold_left
       (fun acc (b : Suite.t) ->
         let prog = Suite.program b in
-        let t0 = Sys.time () in
+        let t0 = Slp_obs.Clock.now () in
         for _ = 1 to 5 do
           ignore (Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine:intel prog)
         done;
-        acc +. (Sys.time () -. t0))
+        acc +. (Slp_obs.Clock.now () -. t0))
       0.0 Suite.all
   in
   let slp = time Pipeline.Slp in
@@ -454,6 +456,64 @@ let reuse_value () =
     title = "Value of register-resident superword reuse (Global, Intel)";
     body;
   }
+
+(* -- machine-readable metrics ----------------------------------------- *)
+
+let metrics_json () =
+  let module J = Slp_obs.Json in
+  let kernels =
+    List.map
+      (fun (b : Suite.t) ->
+        let schemes =
+          List.map
+            (fun scheme ->
+              let m = Runner.measure ~machine:intel ~scheme b in
+              ( Pipeline.scheme_name scheme,
+                J.Obj
+                  [
+                    ("cycles", J.Num (Counters.total_cycles m.Runner.counters));
+                    ( "dynamic_instructions",
+                      J.Num
+                        (float_of_int
+                           (Counters.dynamic_instructions m.Runner.counters)) );
+                    ( "packing_instructions",
+                      J.Num
+                        (float_of_int
+                           (Counters.packing_instructions m.Runner.counters)) );
+                    ("compile_seconds", J.Num m.Runner.compile_seconds);
+                    ("correct", J.Bool m.Runner.correct);
+                  ] ))
+            Pipeline.all_schemes
+        in
+        (* Per-statement attribution of the Global run: where the
+           cycles of the paper's scheme actually go on this kernel. *)
+        let profile =
+          let prog = Suite.program b in
+          let c =
+            Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global
+              ~machine:intel prog
+          in
+          let obs = Slp_obs.Obs.create ~profile:true () in
+          ignore (Pipeline.execute ~check:false ~obs c);
+          match obs.Slp_obs.Obs.profile with
+          | Some p -> Slp_obs.Profile.to_json p
+          | None -> J.Null
+        in
+        J.Obj
+          [
+            ("kernel", J.Str b.Suite.name);
+            ("suite", J.Str (Suite.suite_name b.Suite.suite));
+            ("schemes", J.Obj schemes);
+            ("global_profile", profile);
+          ])
+      Suite.all
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("machine", J.Str intel.Machine.name); ("seed", J.Num 42.0);
+         ("kernels", J.Arr kernels);
+       ])
 
 let all () =
   [

@@ -56,5 +56,12 @@ val reuse_value : unit -> report
     superword reuse and compare cycles/packing — quantifying the
     mechanism the paper's grouping maximises. *)
 
+val metrics_json : unit -> string
+(** Machine-readable per-kernel metrics on the Intel machine: for each
+    suite kernel, cycles / dynamic instructions / packing instructions
+    / compile seconds under all five schemes, plus the VM profiler's
+    per-statement attribution of the Global run
+    ([slp-experiments --metrics FILE]). *)
+
 val all : unit -> report list
 val render : report -> string

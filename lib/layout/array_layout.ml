@@ -3,6 +3,8 @@ module E = Slp_util.Slp_error
 module Visa = Slp_vm.Visa
 module Sched = Slp_core.Schedule
 module Driver = Slp_core.Driver
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
 
 type replica = {
   source : string;
@@ -201,7 +203,12 @@ let replicable_pack ~env ~written ~innermost ordered =
         end
       end
 
-let apply ?(max_replica_elems = 4 * 1024 * 1024) (plan : Driver.program_plan) =
+let apply ?(obs = Obs.none) ?(max_replica_elems = 4 * 1024 * 1024)
+    (plan : Driver.program_plan) =
+  let remark id ~block ~stmts message =
+    if Obs.remarks_on obs then
+      Obs.remark obs (Remark.make ~id ~pass:"layout" ~block ~stmts message)
+  in
   let prog = plan.Driver.program in
   let env = Env.copy prog.Program.env in
   let written = written_arrays prog in
@@ -282,9 +289,17 @@ let apply ?(max_replica_elems = 4 * 1024 * 1024) (plan : Driver.program_plan) =
                                       1 outer
                               in
                               if
-                                total <= max_replica_elems
-                                && replication_profitable ~lanes ~repeat
-                              then begin
+                                not
+                                  (total <= max_replica_elems
+                                  && replication_profitable ~lanes ~repeat)
+                              then
+                                remark "LAYOUT-SKIP-SIZE" ~block:b.Block.label
+                                  ~stmts:order
+                                  (Printf.sprintf
+                                     "replica of %s skipped: %d elements \
+                                      against cap %d, repeat factor %d"
+                                     base total max_replica_elems repeat)
+                              else begin
                                 let signature =
                                   ( base, a, offsets, lo, hi, l.Program.step,
                                     l.Program.index,
@@ -326,6 +341,12 @@ let apply ?(max_replica_elems = 4 * 1024 * 1024) (plan : Driver.program_plan) =
                                       in
                                       Hashtbl.replace by_signature signature rep;
                                       replicas := rep :: !replicas;
+                                      remark "LAYOUT-REPLICATE"
+                                        ~block:b.Block.label ~stmts:order
+                                        (Printf.sprintf
+                                           "replicated %s as %s (%d lanes, \
+                                            stride %d, %d elements)"
+                                           base name lanes a size);
                                       rep
                                 in
                                 (* Rewrite lane k of member k. *)

@@ -41,8 +41,15 @@ type result = {
   replicas : replica list;
 }
 
-val apply : ?max_replica_elems:int -> Slp_core.Driver.program_plan -> result
-(** Default [max_replica_elems] is 4M elements. *)
+val apply :
+  ?obs:Slp_obs.Obs.t ->
+  ?max_replica_elems:int ->
+  Slp_core.Driver.program_plan ->
+  result
+(** Default [max_replica_elems] is 4M elements.  [obs] collects a
+    [LAYOUT-REPLICATE] remark per replica created and a
+    [LAYOUT-SKIP-SIZE] remark per candidate rejected on size or
+    amortisation grounds. *)
 
 val replicable_pack :
   env:Slp_ir.Env.t ->

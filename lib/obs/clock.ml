@@ -1,0 +1,15 @@
+(* Wrap a raw source in a monotone clamp: a reading older than the
+   last one returned repeats the last one (the clock pauses rather
+   than running backwards). *)
+let monotone source =
+  let last = ref neg_infinity in
+  fun () ->
+    let t = source () in
+    if t > !last then last := t;
+    !last
+
+let default = monotone Unix.gettimeofday
+let source = ref default
+let now () = !source ()
+let set_source f = source := monotone f
+let use_default () = source := default

@@ -1,0 +1,22 @@
+(** Monotonic wall-clock time for pipeline spans and compile timing.
+
+    [Sys.time] measures CPU seconds at coarse resolution — wrong for
+    wall-clock spans and flaky below a few milliseconds.  This clock
+    reads [Unix.gettimeofday] and clamps it monotone (a non-monotonic
+    system clock can step backwards under NTP), so span ends never
+    precede their begins.
+
+    The source is injectable: tests install a deterministic counter
+    with {!set_source} and restore the default with {!use_default}. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary origin; never decreases between calls
+    (within one source). *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source.  The replacement is wrapped in the same
+    monotone clamp as the default, so a source that steps backwards
+    still yields non-decreasing readings. *)
+
+val use_default : unit -> unit
+(** Restore the [Unix.gettimeofday]-backed default source. *)

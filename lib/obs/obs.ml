@@ -1,0 +1,23 @@
+type t = {
+  trace : Trace.t option;
+  remarks : Remark.t list ref option;
+  profile : Profile.t option;
+}
+
+let none = { trace = None; remarks = None; profile = None }
+
+let create ?(trace = false) ?(remarks = false) ?(profile = false) () =
+  {
+    trace = (if trace then Some (Trace.create ()) else None);
+    remarks = (if remarks then Some (ref []) else None);
+    profile = (if profile then Some (Profile.create ()) else None);
+  }
+
+let span t ?args name f =
+  match t.trace with None -> f () | Some tr -> Trace.span tr ?args name f
+
+let remark t r =
+  match t.remarks with None -> () | Some buf -> buf := r :: !buf
+
+let remarks_on t = t.remarks <> None
+let remarks t = match t.remarks with None -> [] | Some buf -> List.rev !buf

@@ -1,0 +1,32 @@
+(** Observability bundle threaded through the pipeline.
+
+    Bundles the three pillars — span tracing, optimization remarks,
+    and the VM profiler — behind one optional value.  Every pass takes
+    [?(obs = Obs.none)]; with {!none} each hook is a cheap no-op, so
+    the instrumented code paths cost nothing when observability is
+    off. *)
+
+type t = {
+  trace : Trace.t option;
+  remarks : Remark.t list ref option;
+  profile : Profile.t option;
+}
+
+val none : t
+(** All pillars disabled; the default for every pass. *)
+
+val create : ?trace:bool -> ?remarks:bool -> ?profile:bool -> unit -> t
+(** Enable the requested pillars with fresh sinks. *)
+
+val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run under a trace span, or just run when tracing is off. *)
+
+val remark : t -> Remark.t -> unit
+(** Append a remark, or drop it when remarks are off. *)
+
+val remarks_on : t -> bool
+(** True when remarks are collected — lets callers skip building
+    remark payloads (member tables, message strings) otherwise. *)
+
+val remarks : t -> Remark.t list
+(** Collected remarks in emission order; [[]] when disabled. *)

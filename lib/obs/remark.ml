@@ -1,0 +1,49 @@
+type t = {
+  id : string;
+  pass : string;
+  block : string;
+  stmts : int list;
+  message : string;
+}
+
+let make ~id ~pass ?(block = "") ?(stmts = []) message =
+  { id; pass; block; stmts; message }
+
+let catalogue =
+  [
+    ("GRP-MERGE", "grouping merged two units into a superword candidate");
+    ("GRP-REJECT-DEP", "grouping rejected a merge that would create a cycle");
+    ("GRP-REJECT-CONFLICT", "grouping dropped candidates conflicting with a commit");
+    ("SCHED-REUSE", "scheduling reused a pack already live in the exact order");
+    ("SCHED-PERM", "scheduling inserted a permutation to reuse a live pack");
+    ("SCHED-PACK", "scheduling packed operands from scratch");
+    ("COST-VECTORIZE", "cost model accepted the vectorized schedule");
+    ("COST-REJECT", "cost model kept the scalar schedule");
+    ("COST-RETRY-NOSCATTER", "cost model retried grouping with scatters disabled");
+    ("LAYOUT-REPLICATE", "layout created a transposed replica of an array");
+    ("LAYOUT-SKIP-SIZE", "layout skipped a replica: too large or unprofitable");
+    ("LAYOUT-ARBITRATE-APPLY", "arbitration chose the layout-transformed program");
+    ("LAYOUT-ARBITRATE-SKIP", "arbitration kept the untransformed program");
+    ("PACK-DROP-ALIGN", "lowering fell back to a gather: no aligned contiguous load");
+    ("PACK-SCATTER", "lowering scattered a pack element-by-element to memory");
+  ]
+
+let pp ppf r =
+  Format.fprintf ppf "remark %s %s" r.id r.pass;
+  if r.block <> "" then Format.fprintf ppf "(%s)" r.block;
+  (match r.stmts with
+  | [] -> ()
+  | ss ->
+      Format.fprintf ppf " [%s]"
+        (String.concat ";" (List.map string_of_int ss)));
+  Format.fprintf ppf ": %s" r.message
+
+let to_json r =
+  Json.Obj
+    [
+      ("id", Json.Str r.id);
+      ("pass", Json.Str r.pass);
+      ("block", Json.Str r.block);
+      ("stmts", Json.Arr (List.map (fun i -> Json.Num (float_of_int i)) r.stmts));
+      ("message", Json.Str r.message);
+    ]

@@ -1,0 +1,30 @@
+(** Structured optimization remarks.
+
+    Each remark records one decision the vectorizer made — a pack
+    merged or rejected, a permutation inserted or avoided, a layout
+    transform applied or skipped — with a stable identifier, the pass
+    that emitted it, the block it concerns, and the statement ids
+    involved.  The stable ids let tests and downstream tooling match
+    on decisions without parsing prose, in the spirit of LLVM's
+    [-Rpass] remarks. *)
+
+type t = {
+  id : string;  (** stable identifier from {!catalogue} *)
+  pass : string;  (** emitting pass, e.g. ["grouping"] *)
+  block : string;  (** label of the block concerned, or [""] *)
+  stmts : int list;  (** statement ids involved, possibly empty *)
+  message : string;  (** human-readable detail *)
+}
+
+val make :
+  id:string -> pass:string -> ?block:string -> ?stmts:int list -> string -> t
+
+val catalogue : (string * string) list
+(** Every remark id the compiler can emit, with a one-line meaning.
+    Tests check emitted ids against this list so the catalogue cannot
+    silently drift from the code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [remark ID pass(block) [stmts]: message]. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,45 @@
+(** Hierarchical span tracer with Chrome trace-event export.
+
+    A trace is an append-only buffer of begin/end ("B"/"E") duration
+    events stamped with {!Clock} timestamps.  Spans nest: the pipeline
+    opens a span per stage, passes open sub-spans per block or per
+    attempt, and the result loads directly into [chrome://tracing] /
+    Perfetto as a flame graph of where compile time went.
+
+    Recording is cheap (a list cons and a clock read per edge) and the
+    tracer is only consulted when the caller opted in via [Obs]. *)
+
+type t
+
+val create : ?pid:int -> ?tid:int -> unit -> t
+(** Fresh empty trace.  [pid]/[tid] default to 1; they only matter for
+    grouping in the Chrome viewer. *)
+
+val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] bracketed by a begin/end event pair.  The
+    end event is emitted even if [f] raises, so traces stay balanced
+    on the error path. *)
+
+val begin_span : t -> ?args:(string * string) list -> string -> unit
+
+val end_span : t -> string -> unit
+(** Unstructured span edges for callers whose open/close points sit in
+    different scopes.  [end_span] must name the innermost open span. *)
+
+val balanced : t -> bool
+(** True iff every begun span has ended, in properly nested order. *)
+
+val event_count : t -> int
+
+val to_chrome_json : t -> string
+(** Serialize as a Chrome trace-event document:
+    [{"traceEvents":[...],"displayTimeUnit":"ms"}] with microsecond
+    ["ts"] values relative to the first event. *)
+
+val write_file : t -> string -> unit
+
+val validate_chrome_json : string -> (int, string) result
+(** Check that a string is well-formed Chrome trace JSON with
+    balanced, properly nested B/E spans per (pid, tid) and
+    non-decreasing timestamps.  Returns the event count.  Used by the
+    CI trace check ([bin/obscheck]) and the property tests. *)

@@ -6,6 +6,9 @@ module Driver = Slp_core.Driver
 module Cost = Slp_core.Cost
 module Verify = Slp_verify.Verify
 module D = Slp_verify.Diagnostic
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
+module Clock = Slp_obs.Clock
 
 type scheme = Scalar | Native | Slp | Global | Global_layout
 
@@ -31,6 +34,7 @@ type compiled = {
   spill_stats : Slp_codegen.Regalloc.stats;
   verify_report : Slp_verify.Verify.report option;
   verify_seconds : float;
+  origins : Slp_obs.Profile.key array list;
 }
 
 (* The gate should predict the simulator: derive its per-instruction
@@ -102,7 +106,8 @@ let plan_with f ~config ~params (prog : Program.t) =
 let stage_hook_points = [ "prepare"; "plan"; "layout"; "lower"; "regalloc"; "verify" ]
 
 let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
-    ?(verify = true) ?on_stage ?max_steps ~scheme ~machine (prog : Program.t) =
+    ?(verify = true) ?on_stage ?max_steps ?(obs = Obs.none) ~scheme ~machine
+    (prog : Program.t) =
   let stage name = match on_stage with Some f -> f name | None -> () in
   (* Independent per-pass step budgets from the single user-facing
      knob; [None] means unbounded (the historical behavior). *)
@@ -116,45 +121,58 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
   let params = params_of_machine machine in
   stage "prepare";
   let prepared =
-    Slp_transform.Simplify.fold_program prog
-    |> Slp_transform.Unroll.program ~factor:unroll_factor
+    Obs.span obs "prepare" (fun () ->
+        Slp_transform.Simplify.fold_program prog
+        |> Slp_transform.Unroll.program ~factor:unroll_factor)
   in
-  let t0 = Sys.time () in
-  let vector, plan, scalar_offsets, replica_count =
+  let t0 = Clock.now () in
+  let lower_o = Slp_codegen.Lower.lower_with_origins ~obs ~machine in
+  let vector, plan, scalar_offsets, replica_count, origins =
     match scheme with
-    | Scalar -> (None, None, [], 0)
+    | Scalar -> (None, None, [], 0, [])
     | Native ->
         stage "plan";
         let plan =
-          plan_with
-            (fun ~params ~env ~config ~query ~nest b ->
-              Slp_baseline.Native.plan_block ~params ~env ~config ~query ~nest b)
-            ~config ~params prepared
+          Obs.span obs "plan" (fun () ->
+              plan_with
+                (fun ~params ~env ~config ~query ~nest b ->
+                  Slp_baseline.Native.plan_block ~params ~env ~config ~query ~nest b)
+                ~config ~params prepared)
         in
         stage "lower";
-        (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
+        let vec, origins =
+          Obs.span obs "lower" (fun () -> lower_o ~reuse:register_reuse plan)
+        in
+        (Some vec, Some plan, [], 0, origins)
     | Slp ->
         stage "plan";
         let plan =
-          plan_with
-            (fun ~params ~env ~config ~query ~nest b ->
-              Slp_baseline.Larsen.plan_block ~params ~env ~config ~query ~nest b)
-            ~config ~params prepared
+          Obs.span obs "plan" (fun () ->
+              plan_with
+                (fun ~params ~env ~config ~query ~nest b ->
+                  Slp_baseline.Larsen.plan_block ~params ~env ~config ~query ~nest b)
+                ~config ~params prepared)
         in
         stage "lower";
-        (Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan), Some plan, [], 0)
+        let vec, origins =
+          Obs.span obs "lower" (fun () -> lower_o ~reuse:register_reuse plan)
+        in
+        (Some vec, Some plan, [], 0, origins)
     | Global ->
         let query_of = query_for ~config prepared in
         stage "plan";
         let plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options
-            ?grouping_fuel ?schedule_fuel ~params
-            ~query_of:(fun ~nest block -> query_of ~nest block)
-            ~config prepared
+          Obs.span obs "plan" (fun () ->
+              Driver.optimize_program ~obs ?options:grouping_options
+                ?schedule_options ?grouping_fuel ?schedule_fuel ~params
+                ~query_of:(fun ~nest block -> query_of ~nest block)
+                ~config prepared)
         in
         stage "lower";
-        ( Some (Slp_codegen.Lower.lower ~machine ~reuse:register_reuse plan),
-          Some plan, [], 0 )
+        let vec, origins =
+          Obs.span obs "lower" (fun () -> lower_o ~reuse:register_reuse plan)
+        in
+        (Some vec, Some plan, [], 0, origins)
     | Global_layout ->
         (* Stage 1 planned under a layout-aware cost gate, then stage 2
            applied; the analytic amortisation rule cannot see cache
@@ -162,31 +180,48 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
            laid-out variant must actually beat the plain Global variant
            on the simulator, else layout is skipped (the paper:
            "the benefit of layout optimization has to outweigh the
-           cost; otherwise we skip the data optimization phase"). *)
+           cost; otherwise we skip the data optimization phase").
+           Remarks and per-pass spans follow the layout-aware plan (the
+           scheme's primary artifact); the plain variant is planned and
+           lowered silently for the arbitration baseline. *)
         let plain_query = query_for ~config prepared in
         stage "plan";
-        let plain_plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options
-            ?grouping_fuel ?schedule_fuel ~params
-            ~query_of:(fun ~nest block -> plain_query ~nest block)
-            ~config prepared
+        let plain_plan, plan =
+          Obs.span obs "plan" (fun () ->
+              let plain_plan =
+                Driver.optimize_program ?options:grouping_options
+                  ?schedule_options ?grouping_fuel ?schedule_fuel ~params
+                  ~query_of:(fun ~nest block -> plain_query ~nest block)
+                  ~config prepared
+              in
+              let query_of = query_for ~layout_aware:true ~config prepared in
+              let plan =
+                Driver.optimize_program ~obs ?options:grouping_options
+                  ?schedule_options ?grouping_fuel ?schedule_fuel ~params
+                  ~query_of:(fun ~nest block -> query_of ~nest block)
+                  ~config prepared
+              in
+              (plain_plan, plan))
         in
-        let plain_vec = Slp_codegen.Lower.lower ~machine plain_plan in
-        let query_of = query_for ~layout_aware:true ~config prepared in
-        let plan =
-          Driver.optimize_program ?options:grouping_options ?schedule_options
-            ?grouping_fuel ?schedule_fuel ~params
-            ~query_of:(fun ~nest block -> query_of ~nest block)
-            ~config prepared
+        let plain_vec, plain_origins =
+          Slp_codegen.Lower.lower_with_origins ~machine plain_plan
         in
         stage "layout";
-        let placement = Slp_layout.Scalar_layout.place ~env:prepared.Program.env plan in
-        let arr = Slp_layout.Array_layout.apply plan in
+        let placement, arr =
+          Obs.span obs "layout" (fun () ->
+              let placement =
+                Slp_layout.Scalar_layout.place ~env:prepared.Program.env plan
+              in
+              let arr = Slp_layout.Array_layout.apply ~obs plan in
+              (placement, arr))
+        in
         stage "lower";
-        let laid_vec =
-          Slp_codegen.Lower.lower ~machine
-            ~scalar_offsets:placement.Slp_layout.Scalar_layout.offsets
-            ~setup:arr.Slp_layout.Array_layout.setup arr.Slp_layout.Array_layout.plan
+        let laid_vec, laid_origins =
+          Obs.span obs "lower" (fun () ->
+              lower_o
+                ~scalar_offsets:placement.Slp_layout.Scalar_layout.offsets
+                ~setup:arr.Slp_layout.Array_layout.setup
+                arr.Slp_layout.Array_layout.plan)
         in
         let probe vec offsets =
           let memory =
@@ -197,61 +232,90 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
           Slp_vm.Counters.total_cycles r.Slp_vm.Vector_exec.counters
         in
         let offsets = placement.Slp_layout.Scalar_layout.offsets in
-        if
+        let trivial =
           List.length arr.Slp_layout.Array_layout.replicas = 0 && offsets = []
-          || probe laid_vec offsets < probe plain_vec []
-        then
+        in
+        let use_layout, measured =
+          if trivial then (true, None)
+          else
+            Obs.span obs "arbitrate" (fun () ->
+                let laid = probe laid_vec offsets in
+                let plain = probe plain_vec [] in
+                (laid < plain, Some (laid, plain)))
+        in
+        (match measured with
+        | None -> ()
+        | Some (laid, plain) when use_layout ->
+            Obs.remark obs
+              (Remark.make ~id:"LAYOUT-ARBITRATE-APPLY" ~pass:"layout"
+                 (Printf.sprintf
+                    "measured arbitration kept the laid-out variant (%.1f \
+                     cycles vs %.1f plain)"
+                    laid plain))
+        | Some (laid, plain) ->
+            Obs.remark obs
+              (Remark.make ~id:"LAYOUT-ARBITRATE-SKIP" ~pass:"layout"
+                 (Printf.sprintf
+                    "measured arbitration discarded the layout transforms \
+                     (%.1f cycles vs %.1f plain)"
+                    laid plain)));
+        if use_layout then
           ( Some laid_vec,
             Some arr.Slp_layout.Array_layout.plan,
             offsets,
-            List.length arr.Slp_layout.Array_layout.replicas )
-        else (Some plain_vec, Some plain_plan, [], 0)
+            List.length arr.Slp_layout.Array_layout.replicas,
+            laid_origins )
+        else (Some plain_vec, Some plain_plan, [], 0, plain_origins)
   in
   (* Post-processing: map virtual vector registers onto the machine's
      register file (paper Figure 3's register allocation box). *)
   let unallocated = vector in
-  let vector, spill_stats =
+  let vector, spill_stats, origins =
     match vector with
-    | None -> (None, Slp_codegen.Regalloc.zero_stats)
+    | None -> (None, Slp_codegen.Regalloc.zero_stats, origins)
     | Some v ->
         stage "regalloc";
-        let v', st =
-          Slp_codegen.Regalloc.program ~registers:machine.M.vector_registers v
+        let v', st, origins' =
+          Obs.span obs "regalloc" (fun () ->
+              Slp_codegen.Regalloc.program_with_origins
+                ~registers:machine.M.vector_registers ~origins v)
         in
-        (Some v', st)
+        (Some v', st, origins')
   in
-  let compile_seconds = Sys.time () -. t0 in
+  let compile_seconds = Clock.now () -. t0 in
   (* Pass-by-pass verification (the -verify-each hook points): the
      prepared scalar IR, the chosen plan (pack + schedule legality,
      plus the rewritten program when layout transformed it), the Visa
      bytecode as lowered, and the bytecode again after register
      allocation.  Error findings abort via Verification_failed. *)
-  let t1 = Sys.time () in
+  let t1 = Clock.now () in
   let verify_report =
     if not verify then None
     else begin
       stage "verify";
-      let diags = ref (Verify.check_ir ~stage:D.Prepared_ir prepared) in
-      let add ds = diags := !diags @ ds in
-      (match plan with
-      | Some p ->
-          if p.Driver.program != prepared then
-            add (Verify.check_ir ~stage:D.Layout p.Driver.program);
-          add (Verify.check_plan ~config p)
-      | None -> ());
-      (match unallocated with
-      | Some v -> add (Verify.check_visa ~stage:D.Lowering ~scalar_offsets ~machine v)
-      | None -> ());
-      (match vector with
-      | Some v ->
-          add
-            (Verify.check_visa ~stage:D.Regalloc ~stats:spill_stats ~scalar_offsets
-               ~machine v)
-      | None -> ());
-      Some (Verify.of_diagnostics !diags)
+      Obs.span obs "verify" (fun () ->
+          let diags = ref (Verify.check_ir ~stage:D.Prepared_ir prepared) in
+          let add ds = diags := !diags @ ds in
+          (match plan with
+          | Some p ->
+              if p.Driver.program != prepared then
+                add (Verify.check_ir ~stage:D.Layout p.Driver.program);
+              add (Verify.check_plan ~config p)
+          | None -> ());
+          (match unallocated with
+          | Some v ->
+              add (Verify.check_visa ~stage:D.Lowering ~scalar_offsets ~machine v)
+          | None -> ());
+          (match vector with
+          | Some v ->
+              add
+                (Verify.check_visa ~stage:D.Regalloc ~stats:spill_stats
+                   ~scalar_offsets ~machine v)
+          | None -> ());
+          Some (Verify.of_diagnostics !diags))
     end
   in
-  let verify_seconds = if verify then Sys.time () -. t1 else 0.0 in
+  let verify_seconds = if verify then Clock.now () -. t1 else 0.0 in
   Option.iter (Verify.raise_if_errors ~what:prog.Program.name) verify_report;
   {
     scheme;
@@ -266,28 +330,47 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
     spill_stats;
     verify_report;
     verify_seconds;
+    origins;
   }
 
 type exec_result = { counters : Slp_vm.Counters.t; correct : bool }
 
-let execute ?(cores = 1) ?(seed = 42) ?(check = true) (c : compiled) =
-  match c.vector with
-  | None ->
-      let r = Slp_vm.Scalar_exec.run ~cores ~seed ~machine:c.machine c.reference in
-      { counters = r.Slp_vm.Scalar_exec.counters; correct = true }
-  | Some vprog ->
-      let memory = Slp_vm.Memory.create ~scalar_layout:c.scalar_offsets ~env:vprog.Slp_vm.Visa.env () in
-      Slp_vm.Memory.init_arrays memory ~seed;
-      let r = Slp_vm.Vector_exec.run ~cores ~seed ~memory ~machine:c.machine vprog in
-      let correct =
-        if not check then true
-        else begin
-          let ref_run = Slp_vm.Scalar_exec.run ~cores:1 ~seed ~machine:c.machine c.reference in
-          Slp_vm.Memory.same_contents ref_run.Slp_vm.Scalar_exec.memory
-            r.Slp_vm.Vector_exec.memory
-        end
-      in
-      { counters = r.Slp_vm.Vector_exec.counters; correct }
+(* The profiler attaches only to the measured run: the correctness
+   reference run below stays unprofiled, so attributed cycles describe
+   exactly the execution whose counters are returned. *)
+let execute ?(cores = 1) ?(seed = 42) ?(check = true) ?(obs = Obs.none)
+    (c : compiled) =
+  Obs.span obs "execute" (fun () ->
+      let profile = obs.Obs.profile in
+      match c.vector with
+      | None ->
+          let r =
+            Slp_vm.Scalar_exec.run ~cores ~seed ?profile ~machine:c.machine
+              c.reference
+          in
+          { counters = r.Slp_vm.Scalar_exec.counters; correct = true }
+      | Some vprog ->
+          let memory =
+            Slp_vm.Memory.create ~scalar_layout:c.scalar_offsets
+              ~env:vprog.Slp_vm.Visa.env ()
+          in
+          Slp_vm.Memory.init_arrays memory ~seed;
+          let r =
+            Slp_vm.Vector_exec.run ~cores ~seed ~memory ?profile
+              ~origins:c.origins ~machine:c.machine vprog
+          in
+          let correct =
+            if not check then true
+            else begin
+              let ref_run =
+                Slp_vm.Scalar_exec.run ~cores:1 ~seed ~machine:c.machine
+                  c.reference
+              in
+              Slp_vm.Memory.same_contents ref_run.Slp_vm.Scalar_exec.memory
+                r.Slp_vm.Vector_exec.memory
+            end
+          in
+          { counters = r.Slp_vm.Vector_exec.counters; correct })
 
 let cycles_of ?(cores = 1) ?(seed = 42) (c : compiled) =
   let r = execute ~cores ~seed ~check:false c in
@@ -360,17 +443,19 @@ let identity_compiled ~machine (prog : Program.t) =
     spill_stats = Slp_codegen.Regalloc.zero_stats;
     verify_report = None;
     verify_seconds = 0.0;
+    origins = [];
   }
 
 let compile_resilient ?unroll ?grouping_options ?schedule_options ?register_reuse
-    ?verify ?on_stage ?(max_steps = 2_000_000) ~scheme ~machine (prog : Program.t) =
+    ?verify ?on_stage ?(max_steps = 2_000_000) ?obs ~scheme ~machine
+    (prog : Program.t) =
   let bail exn =
     { kernel = prog.Program.name; scheme; machine = machine.M.name;
       error = error_of_exn exn }
   in
   match
     compile ?unroll ?grouping_options ?schedule_options ?register_reuse ?verify
-      ?on_stage ~max_steps ~scheme ~machine prog
+      ?on_stage ~max_steps ?obs ~scheme ~machine prog
   with
   | c -> { result = c; degraded = false; bailouts = [] }
   | exception exn -> begin

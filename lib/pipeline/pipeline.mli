@@ -40,6 +40,12 @@ type compiled = {
           what remains are warnings. *)
   verify_seconds : float;
       (** Time spent inside the verifier (0 when disabled). *)
+  origins : Slp_obs.Profile.key array list;
+      (** Profiling origins of the vector body: one key array per
+          [Visa.Block] in pre-order, entry [i] naming the statement or
+          pack that produced instruction [i] (spills and reloads
+          inherit the origin of the instruction that forced them).
+          Empty for [Scalar]. *)
 }
 
 val stage_hook_points : string list
@@ -56,6 +62,7 @@ val compile :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
@@ -77,7 +84,13 @@ val compile :
     [max_steps] bounds the grouping and scheduling passes with
     independent step budgets; exhaustion raises
     {!Slp_util.Slp_error.Error} with code [Fuel_exhausted].  Omitted:
-    unbounded. *)
+    unbounded.
+
+    [obs] (default {!Slp_obs.Obs.none}, a no-op) attaches the
+    observability bundle: every stage of {!stage_hook_points} (plus
+    the [Global_layout] measured arbitration, as ["arbitrate"]) runs
+    inside a trace span, the optimizer emits structured remarks, and
+    lowering records per-instruction profiling origins. *)
 
 type exec_result = {
   counters : Slp_vm.Counters.t;
@@ -86,9 +99,21 @@ type exec_result = {
           true for [Scalar]). *)
 }
 
-val execute : ?cores:int -> ?seed:int -> ?check:bool -> compiled -> exec_result
+val execute :
+  ?cores:int ->
+  ?seed:int ->
+  ?check:bool ->
+  ?obs:Slp_obs.Obs.t ->
+  compiled ->
+  exec_result
 (** [check] (default true) runs the scalar reference and compares
-    array contents; disable inside benchmark loops. *)
+    array contents; disable inside benchmark loops.
+
+    [obs]: the run executes inside an ["execute"] span, and when the
+    bundle carries a profiler the measured run (vector, or scalar for
+    [Scalar]) attributes cycles and cache accesses per statement/pack
+    via [compiled.origins].  The correctness reference run is never
+    profiled. *)
 
 val speedup_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
 (** [scalar_cycles / scheme_cycles] on the same input. *)
@@ -138,14 +163,16 @@ val compile_resilient :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
   resilient
 (** Like {!compile}, but a failing kernel degrades gracefully: the
-    kernel is recompiled under [Scalar] (without hooks or fuel), and
-    if even that fails the unprocessed program ships with no vector
-    code.  [max_steps] defaults to [2_000_000].  Never raises. *)
+    kernel is recompiled under [Scalar] (without hooks, fuel, or
+    [obs]), and if even that fails the unprocessed program ships with
+    no vector code.  [max_steps] defaults to [2_000_000].  Never
+    raises. *)
 
 val execute_resilient :
   ?cores:int ->

@@ -1,4 +1,6 @@
 open Slp_ir
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
 
 type block_plan = {
   block : Block.t;
@@ -18,33 +20,62 @@ let blocks_with_nest (prog : Program.t) =
   in
   go [] prog.Program.body
 
+let cost_remark obs ~block ~id message =
+  if Obs.remarks_on obs then
+    Obs.remark obs
+      (Remark.make ~id ~pass:"cost" ~block:block.Block.label message)
+
 (* One grouping/scheduling/estimation attempt. *)
-let attempt ~options ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env
-    ~config ~query ~nest block =
-  let grouping = Grouping.run ~options ?fuel:grouping_fuel ~env ~config block in
+let attempt ?(obs = Obs.none) ~options ~schedule_options ?grouping_fuel
+    ?schedule_fuel ?params ~env ~config ~query ~nest block =
+  let label = block.Block.label in
+  let grouping =
+    Obs.span obs
+      ~args:[ ("block", label) ]
+      ("grouping:" ^ label)
+      (fun () -> Grouping.run ~options ?fuel:grouping_fuel ~obs ~env ~config block)
+  in
   if grouping.Grouping.groups = [] then
     { block; nest; grouping; schedule = None; estimate = None }
   else begin
     let schedule =
-      Schedule.run ~options:schedule_options ?fuel:schedule_fuel ~env ~config block
-        grouping
+      Obs.span obs
+        ~args:[ ("block", label) ]
+        ("schedule:" ^ label)
+        (fun () ->
+          Schedule.run ~options:schedule_options ?fuel:schedule_fuel ~obs ~env
+            ~config block grouping)
     in
     if not (Schedule.is_valid block schedule) then
       Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
         Slp_util.Slp_error.Schedule_failed
-        "Driver.optimize_block: invalid schedule for %s" block.Block.label;
-    let estimate = Cost.estimate ?params ~query block schedule in
-    if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
+        "Driver.optimize_block: invalid schedule for %s" label;
+    let estimate =
+      Obs.span obs
+        ~args:[ ("block", label) ]
+        ("estimate:" ^ label)
+        (fun () -> Cost.estimate ?params ~query block schedule)
+    in
+    if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then begin
+      cost_remark obs ~block ~id:"COST-VECTORIZE"
+        (Printf.sprintf "vector cost %.1f beats scalar cost %.1f"
+           estimate.Cost.vector_cost estimate.Cost.scalar_cost);
       { block; nest; grouping; schedule = Some schedule; estimate = Some estimate }
-    else { block; nest; grouping; schedule = None; estimate = Some estimate }
+    end
+    else begin
+      cost_remark obs ~block ~id:"COST-REJECT"
+        (Printf.sprintf "vector cost %.1f does not beat scalar cost %.1f"
+           estimate.Cost.vector_cost estimate.Cost.scalar_cost);
+      { block; nest; grouping; schedule = None; estimate = Some estimate }
+    end
   end
 
-let optimize_block ?(options = Grouping.default_options)
+let optimize_block ?(obs = Obs.none) ?(options = Grouping.default_options)
     ?(schedule_options = Schedule.default_options) ?grouping_fuel ?schedule_fuel
     ?params ~env ~config ~query ~nest block =
   let first =
-    attempt ~options ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env
-      ~config ~query ~nest block
+    attempt ~obs ~options ~schedule_options ?grouping_fuel ?schedule_fuel
+      ?params ~env ~config ~query ~nest block
   in
   match first.schedule with
   | Some _ -> first
@@ -54,8 +85,10 @@ let optimize_block ?(options = Grouping.default_options)
          are what usually sinks the estimate ("we skip the current
          basic block" is the paper's whole-block fallback; this retry
          salvages the profitably-groupable remainder first). *)
+      cost_remark obs ~block ~id:"COST-RETRY-NOSCATTER"
+        "retrying grouping with scattered-store candidates excluded";
       let second =
-        attempt
+        attempt ~obs
           ~options:{ options with Grouping.exclude_scattered = true }
           ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env ~config
           ~query ~nest block
@@ -65,8 +98,8 @@ let optimize_block ?(options = Grouping.default_options)
 
 type program_plan = { program : Program.t; plans : block_plan list }
 
-let optimize_program ?options ?schedule_options ?grouping_fuel ?schedule_fuel
-    ?params ?query_of ~config (prog : Program.t) =
+let optimize_program ?obs ?options ?schedule_options ?grouping_fuel
+    ?schedule_fuel ?params ?query_of ~config (prog : Program.t) =
   let env = prog.Program.env in
   let query_of =
     match query_of with
@@ -79,8 +112,9 @@ let optimize_program ?options ?schedule_options ?grouping_fuel ?schedule_fuel
   let plans =
     List.map
       (fun (block, nest) ->
-        optimize_block ?options ?schedule_options ?grouping_fuel ?schedule_fuel
-          ?params ~env ~config ~query:(query_of ~nest block) ~nest block)
+        optimize_block ?obs ?options ?schedule_options ?grouping_fuel
+          ?schedule_fuel ?params ~env ~config ~query:(query_of ~nest block)
+          ~nest block)
       (blocks_with_nest prog)
   in
   { program = prog; plans }

@@ -20,6 +20,7 @@ val blocks_with_nest : Program.t -> (Block.t * string list) list
     loop nests. *)
 
 val optimize_block :
+  ?obs:Slp_obs.Obs.t ->
   ?options:Grouping.options ->
   ?schedule_options:Schedule.options ->
   ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
@@ -35,12 +36,16 @@ val optimize_block :
     scheduling emission loop; exhaustion raises
     {!Slp_util.Slp_error.Error} with code [Fuel_exhausted] so the
     resilient pipeline can degrade the kernel to scalar instead of
-    spinning. *)
+    spinning.  [obs] wraps grouping/scheduling/estimation in trace
+    spans and collects the cost-gate remarks ([COST-VECTORIZE],
+    [COST-REJECT], [COST-RETRY-NOSCATTER]) alongside the per-pass
+    remarks of {!Grouping.run} and {!Schedule.run}. *)
 
 type program_plan = { program : Program.t; plans : block_plan list }
 (** [plans] follows {!blocks_with_nest} order. *)
 
 val optimize_program :
+  ?obs:Slp_obs.Obs.t ->
   ?options:Grouping.options ->
   ?schedule_options:Schedule.options ->
   ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->

@@ -1,4 +1,6 @@
 open Slp_ir
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
 
 type options = {
   recompute_weights : bool;
@@ -36,7 +38,25 @@ type result = {
    elimination-loop iteration — the candidate graph is quadratic in
    block size, and the decide loop is where a pathological block
    spends its time. *)
-let round ~options ~tick ~env ~config ~block units =
+let round ~options ~tick ~obs ~env ~config ~block units =
+  (* Remark payloads need unit members; the table is only built when
+     someone is listening. *)
+  let members_of =
+    if not (Obs.remarks_on obs) then fun _ -> []
+    else begin
+      let tbl = Hashtbl.create 32 in
+      List.iter
+        (fun (u : Units.t) -> Hashtbl.replace tbl u.Units.uid u.Units.members)
+        units;
+      fun uid -> Option.value (Hashtbl.find_opt tbl uid) ~default:[]
+    end
+  in
+  let remark id ~stmts message =
+    if Obs.remarks_on obs then
+      Obs.remark obs
+        (Remark.make ~id ~pass:"grouping" ~block:block.Block.label ~stmts
+           message)
+  in
   let deps = Units.Deps.build block units in
   let candidates =
     Candidate.find ~env ~config ~units ~deps
@@ -112,16 +132,26 @@ let round ~options ~tick ~env ~config ~block units =
       tick ();
       match best_alive () with
       | None -> ()
-      | Some (_, c) ->
+      | Some (w, c) ->
           let pair = (c.Candidate.u1, c.Candidate.u2) in
+          let pair_stmts () =
+            members_of c.Candidate.u1 @ members_of c.Candidate.u2
+          in
           if not (Units.Deps.merged_acyclic deps (pair :: !decided_pairs)) then begin
             (* Committing this candidate would create a dependence
                cycle with earlier decisions: discard it. *)
+            remark "GRP-REJECT-DEP" ~stmts:(pair_stmts ())
+              (Printf.sprintf
+                 "merging units %d and %d would create a dependence cycle"
+                 c.Candidate.u1 c.Candidate.u2);
             drop c;
             Packgraph.remove_owner vp c.Candidate.cid;
             decide ()
           end
           else begin
+            remark "GRP-MERGE" ~stmts:(pair_stmts ())
+              (Printf.sprintf "merged units %d and %d (weight %.2f)"
+                 c.Candidate.u1 c.Candidate.u2 w);
             decided_pairs := pair :: !decided_pairs;
             decided_packs := !decided_packs @ c.Candidate.packs;
             incr decisions;
@@ -138,6 +168,20 @@ let round ~options ~tick ~env ~config ~block units =
                   else acc)
                 alive []
             in
+            (match doomed with
+            | [] -> ()
+            | _ :: _ ->
+                let distinct =
+                  List.filter
+                    (fun (o : Candidate.t) -> not (Candidate.shares_unit c o))
+                    doomed
+                in
+                if distinct <> [] then
+                  remark "GRP-REJECT-CONFLICT" ~stmts:(pair_stmts ())
+                    (Printf.sprintf
+                       "dropped %d candidate(s) conflicting with the \
+                        committed merge"
+                       (List.length distinct)));
             List.iter drop doomed;
             decide ()
           end
@@ -170,7 +214,8 @@ let round ~options ~tick ~env ~config ~block units =
     end
   end
 
-let run ?(options = default_options) ?fuel ~env ~config (block : Block.t) =
+let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env ~config
+    (block : Block.t) =
   let tick =
     match fuel with
     | None -> fun () -> ()
@@ -179,7 +224,7 @@ let run ?(options = default_options) ?fuel ~env ~config (block : Block.t) =
   let initial = List.map (Units.of_stmt ~env) block.Block.stmts in
   let rec iterate units rounds decisions =
     tick ();
-    let units', made = round ~options ~tick ~env ~config ~block units in
+    let units', made = round ~options ~tick ~obs ~env ~config ~block units in
     if made = 0 then (units, rounds, decisions)
     else iterate units' (rounds + 1) (decisions + made)
   in

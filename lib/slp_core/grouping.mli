@@ -42,6 +42,7 @@ type result = {
 val run :
   ?options:options ->
   ?fuel:Slp_util.Slp_error.Fuel.t ->
+  ?obs:Slp_obs.Obs.t ->
   env:Env.t ->
   config:Config.t ->
   Block.t ->
@@ -49,7 +50,10 @@ val run :
 (** [fuel] charges one step per grouping round and per
     elimination-loop iteration; when the budget is exhausted the run
     raises {!Slp_util.Slp_error.Error} with code [Fuel_exhausted] (the
-    resilient pipeline's guard against candidate-graph blowup). *)
+    resilient pipeline's guard against candidate-graph blowup).
+    [obs] collects one remark per merge decision ([GRP-MERGE]), per
+    cycle-rejected merge ([GRP-REJECT-DEP]), and per batch of
+    conflict-dropped candidates ([GRP-REJECT-CONFLICT]). *)
 
 val group_count : result -> int
 val grouped_stmt_count : result -> int

@@ -1,5 +1,7 @@
 open Slp_ir
 module Graph = Slp_util.Graph
+module Obs = Slp_obs.Obs
+module Remark = Slp_obs.Remark
 
 type item = Single of int | Superword of int list
 
@@ -161,8 +163,14 @@ let analyze ~config (block : Block.t) items =
 
 (* -- main ----------------------------------------------------------- *)
 
-let run ?(options = default_options) ?fuel ~env:_ ~config (block : Block.t)
-    (grouping : Grouping.result) =
+let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env:_ ~config
+    (block : Block.t) (grouping : Grouping.result) =
+  let remark id ~stmts message =
+    if Obs.remarks_on obs then
+      Obs.remark obs
+        (Remark.make ~id ~pass:"scheduling" ~block:block.Block.label ~stmts
+           message)
+  in
   let tick =
     match fuel with
     | None -> fun () -> ()
@@ -268,9 +276,23 @@ let run ?(options = default_options) ?fuel ~env:_ ~config (block : Block.t)
     List.iter
       (fun (pos, pack) ->
         let ordered = ordered_pack block order pos in
-        if Live.mem_exact live ordered then incr direct
-        else if Live.mem_multiset live pack then incr permuted
-        else incr packed)
+        if Live.mem_exact live ordered then begin
+          incr direct;
+          remark "SCHED-REUSE" ~stmts:order
+            (Printf.sprintf
+               "operand position %d reuses a live pack in lane order" pos)
+        end
+        else if Live.mem_multiset live pack then begin
+          incr permuted;
+          remark "SCHED-PERM" ~stmts:order
+            (Printf.sprintf
+               "operand position %d reuses a live pack via a permutation" pos)
+        end
+        else begin
+          incr packed;
+          remark "SCHED-PACK" ~stmts:order
+            (Printf.sprintf "operand position %d is packed from scratch" pos)
+        end)
       source_packs;
     items := Superword order :: !items;
     Live.invalidate live ~defs:(defs_of g);

@@ -49,6 +49,7 @@ type t = { items : item list; stats : stats }
 val run :
   ?options:options ->
   ?fuel:Slp_util.Slp_error.Fuel.t ->
+  ?obs:Slp_obs.Obs.t ->
   env:Env.t ->
   config:Config.t ->
   Block.t ->
@@ -57,7 +58,11 @@ val run :
 (** Raises {!Slp_util.Slp_error.Error} with code [Schedule_failed] if
     the groups are not schedulable (the grouping phase guarantees they
     are).  [fuel] charges one step per emission-loop iteration and
-    raises with code [Fuel_exhausted] when the budget runs out. *)
+    raises with code [Fuel_exhausted] when the budget runs out.
+    [obs] collects one remark per source pack of each emitted
+    superword: [SCHED-REUSE] (live in lane order), [SCHED-PERM]
+    (live, permutation needed), or [SCHED-PACK] (packed from
+    scratch). *)
 
 val analyze : config:Config.t -> Block.t -> item list -> t
 (** Replay a fixed item sequence against a fresh live superword set and

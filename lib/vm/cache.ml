@@ -24,6 +24,10 @@ type t = {
   mutable level_hits : int array;
   mutable memory_accesses : int;
   mutable total : int;
+  mutable observer : (int -> int -> unit) option;
+      (** Profiler hook: called per line access with the line's base
+          address and the resolving level (0-based; one past the last
+          cache level means memory).  One option match when absent. *)
 }
 
 let log2_pow2 n =
@@ -58,7 +62,19 @@ let create ?(contention = 1.0) (m : M.t) =
     level_hits = Array.make 3 0;
     memory_accesses = 0;
     total = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- f
+
+let line_addr t line =
+  if t.line_shift >= 0 then line lsl t.line_shift
+  else line * t.levels.(0).line_bytes
+
+let notify t line level =
+  match t.observer with
+  | None -> ()
+  | Some f -> f (line_addr t line) level
 
 (* Probe one level for a line: returns true on hit; on hit or fill the
    line becomes MRU. *)
@@ -104,10 +120,15 @@ let access_line t line =
   let rec walk i =
     if i >= Array.length t.levels then begin
       t.memory_accesses <- t.memory_accesses + 1;
+      (* [max_int], not [i]: observers bin by level index and must see
+         memory as "beyond any cache level" whatever the level count of
+         this particular hierarchy. *)
+      notify t line max_int;
       t.memory_latency
     end
     else if touch t.levels.(i) line ~insert:true then begin
       t.level_hits.(i) <- t.level_hits.(i) + 1;
+      notify t line i;
       float_of_int t.levels.(i).latency
     end
     else begin
@@ -145,6 +166,7 @@ let access t ~addr ~bytes ~write:_ =
     if Array.unsafe_get tags 0 = first then begin
       t.total <- t.total + 1;
       t.level_hits.(0) <- t.level_hits.(0) + 1;
+      notify t first 0;
       float_of_int l1.latency +. t.bus_penalty
     end
     else access_line t first +. t.bus_penalty

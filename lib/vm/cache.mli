@@ -19,6 +19,12 @@ val access : t -> addr:int -> bytes:int -> write:bool -> float
 (** Cycles for the access.  Accesses spanning multiple lines charge
     each line. *)
 
+val set_observer : t -> (int -> int -> unit) option -> unit
+(** Install (or remove) a per-line-access hook for the profiler:
+    called with the line's base address and the level that resolved
+    the access (0-based cache level; one past the last level means
+    memory).  Costs one option match per line when absent. *)
+
 val reset : t -> unit
 val hits : t -> int * int * int
 (** L1, L2, L3 hit counts. *)

@@ -22,6 +22,7 @@
 
 open Slp_ir
 module M = Slp_machine.Machine
+module Profile = Slp_obs.Profile
 
 type result = { counters : Counters.t; memory : Memory.t }
 
@@ -45,6 +46,69 @@ type state = {
 }
 
 let charge st c = st.cycles.(0) <- st.cycles.(0) +. c
+
+(* -- profiling ------------------------------------------------------ *)
+
+(* Every cycle the engine charges happens inside a compiled statement
+   or instruction closure, so bracketing each closure with a cycle
+   delta attributes the entire run total to source constructs — the
+   per-key sums equal [Counters.total_cycles] exactly (per core).
+   Cache accesses ride the same bracket: the profile's current-stat
+   pointer is set for the closure's duration and the cache observer
+   bins each access against it.  With profiling off the closure is
+   returned untouched — the unprofiled path compiles to the same code
+   as before. *)
+let wrap_profile prof key f =
+  match prof with
+  | None -> f
+  | Some p ->
+      let s = Profile.stat p key in
+      fun st ->
+        let before = st.cycles.(0) in
+        Profile.set_current p (Some s);
+        f st;
+        Profile.set_current p None;
+        Profile.add s ~cycles:(st.cycles.(0) -. before)
+
+let opcode_name = function
+  | Visa.Vload _ -> "vload"
+  | Visa.Vstore _ -> "vstore"
+  | Visa.Vgather _ -> "vgather"
+  | Visa.Vunpack _ -> "vunpack"
+  | Visa.Vbroadcast _ -> "vbroadcast"
+  | Visa.Vpermute _ -> "vpermute"
+  | Visa.Vshuffle2 _ -> "vshuffle2"
+  | Visa.Vbin _ -> "vbin"
+  | Visa.Vun _ -> "vun"
+  | Visa.Vspill _ -> "vspill"
+  | Visa.Vreload _ -> "vreload"
+  | Visa.Vload_scalars _ -> "vload_scalars"
+  | Visa.Vstore_scalars _ -> "vstore_scalars"
+  | Visa.Sstmt _ -> "sstmt"
+
+(* Key for an instruction with no recorded origin: scalar statements
+   keep their statement id, everything else degrades to its opcode. *)
+let fallback_key = function
+  | Visa.Sstmt s -> Profile.Stmt s.Stmt.id
+  | instr -> Profile.Op (opcode_name instr)
+
+let register_arrays p env memory =
+  List.iter
+    (fun (name, (info : Env.array_info)) ->
+      let bytes =
+        Memory.elem_bytes memory name * List.fold_left ( * ) 1 info.Env.dims
+      in
+      Profile.register_array p ~name
+        ~base:(Memory.array_base memory name)
+        ~bytes)
+    (Env.arrays env)
+
+let observe_cache profile cache =
+  match profile with
+  | None -> ()
+  | Some p ->
+      Cache.set_observer cache
+        (Some (fun addr level -> Profile.note_access p ~addr ~level))
 
 (* Unique sentinel marking a register never written.  A zero-length
    array cannot serve: OCaml shares one atom for all empty arrays, so
@@ -316,19 +380,24 @@ let run_block fs st =
     fs.(k) st
   done
 
-let rec compile_scalar_items ctx ~depths ~depth items =
+let rec compile_scalar_items ?prof ctx ~depths ~depth items =
   List.map
     (function
       | Program.Stmts b ->
           let fs =
-            Array.of_list (List.map (compile_stmt ctx ~depths) b.Block.stmts)
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   wrap_profile prof (Profile.Stmt s.Stmt.id)
+                     (compile_stmt ctx ~depths s))
+                 b.Block.stmts)
           in
           Cblock (run_block fs)
       | Program.Loop l ->
           let c_lo = compile_bound ~depths l.Program.lo in
           let c_hi = compile_bound ~depths l.Program.hi in
           let body =
-            compile_scalar_items ctx
+            compile_scalar_items ?prof ctx
               ~depths:((l.Program.index, depth) :: depths)
               ~depth:(depth + 1) l.Program.body
           in
@@ -610,17 +679,48 @@ let compile_instr ctx ~depths instr =
         charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:true)
   | Visa.Sstmt s -> compile_stmt ctx ~depths s
 
-let rec compile_vector_items ctx ~depths ~depth items =
+(* [keys] selects profiling keys for vector instructions: [`Setup]
+   charges everything to the setup key; [`Origins q] pops one origin
+   array per [Visa.Block] from [q] in pre-order (the order [Lower]
+   records them), falling back to opcode keys when the queue runs dry
+   or an origin array is short. *)
+let rec compile_vector_items ?prof ?(keys = `Origins (ref [])) ctx ~depths
+    ~depth items =
   List.map
     (function
       | Visa.Block instrs ->
-          let fs = Array.of_list (List.map (compile_instr ctx ~depths) instrs) in
+          let okeys =
+            match keys with
+            | `Setup -> None
+            | `Origins q -> (
+                match !q with
+                | arr :: rest ->
+                    q := rest;
+                    Some arr
+                | [] -> None)
+          in
+          let key i instr =
+            match keys with
+            | `Setup -> Profile.Setup
+            | `Origins _ -> (
+                match okeys with
+                | Some arr when i < Array.length arr -> arr.(i)
+                | _ -> fallback_key instr)
+          in
+          let fs =
+            Array.of_list
+              (List.mapi
+                 (fun i instr ->
+                   wrap_profile prof (key i instr)
+                     (compile_instr ctx ~depths instr))
+                 instrs)
+          in
           Cblock (run_block fs)
       | Visa.Loop l ->
           let c_lo = compile_bound ~depths l.Visa.lo in
           let c_hi = compile_bound ~depths l.Visa.hi in
           let body =
-            compile_vector_items ctx
+            compile_vector_items ?prof ~keys ctx
               ~depths:((l.Visa.index, depth) :: depths)
               ~depth:(depth + 1) l.Visa.body
           in
@@ -746,7 +846,8 @@ let fresh_state ?contention ~machine ~nframe ~nvregs () =
 
 (* -- drivers (multicore semantics mirror the interpreters) --------- *)
 
-let run_scalar ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
+let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ~machine
+    (prog : Program.t) =
   let memory =
     match memory with
     | Some m -> m
@@ -755,11 +856,20 @@ let run_scalar ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
         Memory.init_arrays m ~seed;
         m
   in
+  (match profile with
+  | None -> ()
+  | Some p -> register_arrays p prog.Program.env memory);
   let ctx = make_ctx ~machine memory (scalar_prog_names [] prog.Program.body) in
-  let items = compile_scalar_items ctx ~depths:[] ~depth:0 prog.Program.body in
+  let items =
+    compile_scalar_items ?prof:profile ctx ~depths:[] ~depth:0 prog.Program.body
+  in
   assert (Memory.scalar_values memory == ctx.sdata);
   let nframe = scalar_prog_depth prog.Program.body in
-  let fresh ?contention () = fresh_state ?contention ~machine ~nframe ~nvregs:0 () in
+  let fresh ?contention () =
+    let st = fresh_state ?contention ~machine ~nframe ~nvregs:0 () in
+    observe_cache profile st.cache;
+    st
+  in
   let run_single () =
     let st = fresh () in
     run_items st items;
@@ -795,7 +905,8 @@ let run_scalar ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Program.t) =
         { counters = all; memory }
   end
 
-let run_vector ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) =
+let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
+    (prog : Visa.program) =
   let memory =
     match memory with
     | Some m -> m
@@ -804,19 +915,31 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.program) 
         Memory.init_arrays m ~seed;
         m
   in
+  (match profile with
+  | None -> ()
+  | Some p -> register_arrays p prog.Visa.env memory);
   let names =
     vector_prog_names (vector_prog_names [] prog.Visa.setup) prog.Visa.body
   in
   let ctx = make_ctx ~machine memory names in
-  let setup = compile_vector_items ctx ~depths:[] ~depth:0 prog.Visa.setup in
-  let body = compile_vector_items ctx ~depths:[] ~depth:0 prog.Visa.body in
+  let setup =
+    compile_vector_items ?prof:profile ~keys:`Setup ctx ~depths:[] ~depth:0
+      prog.Visa.setup
+  in
+  let body =
+    compile_vector_items ?prof:profile
+      ~keys:(`Origins (ref (Option.value origins ~default:[])))
+      ctx ~depths:[] ~depth:0 prog.Visa.body
+  in
   assert (Memory.scalar_values memory == ctx.sdata);
   let nframe =
     max (vector_prog_depth prog.Visa.setup) (vector_prog_depth prog.Visa.body)
   in
   let nvregs = 1 + max_vreg_items (max_vreg_items (-1) prog.Visa.setup) prog.Visa.body in
   let fresh ?contention () =
-    fresh_state ?contention ~machine ~nframe ~nvregs ()
+    let st = fresh_state ?contention ~machine ~nframe ~nvregs () in
+    observe_cache profile st.cache;
+    st
   in
   let setup_state = fresh () in
   (* Setup (layout replication) runs once.  Replication loops are data

@@ -14,17 +14,32 @@ open Slp_ir
 type result = { counters : Counters.t; memory : Memory.t }
 
 val run_scalar :
-  ?cores:int -> ?seed:int -> ?memory:Memory.t -> machine:Slp_machine.Machine.t ->
-  Program.t -> result
+  ?cores:int -> ?seed:int -> ?memory:Memory.t -> ?profile:Slp_obs.Profile.t ->
+  machine:Slp_machine.Machine.t -> Program.t -> result
 (** Compile and run a scalar program; multicore semantics (first
     top-level loop partitioned, contention on the memory system,
-    cycles = slowest core) mirror {!Scalar_exec.run}. *)
+    cycles = slowest core) mirror {!Scalar_exec.run}.
+
+    With [?profile], every statement closure is bracketed with a cycle
+    delta and the cache observer, attributing all charged cycles and
+    cache accesses to statement ids.  On a single-core run the per-key
+    cycle sums equal [Counters.total_cycles] exactly; on multicore
+    they sum to the per-core total over all cores (reported cycles are
+    the slowest core's).  Profiling does not perturb counters, cycles,
+    or memory contents. *)
 
 val run_vector :
-  ?cores:int -> ?seed:int -> ?memory:Memory.t -> machine:Slp_machine.Machine.t ->
+  ?cores:int -> ?seed:int -> ?memory:Memory.t -> ?profile:Slp_obs.Profile.t ->
+  ?origins:Slp_obs.Profile.key array list -> machine:Slp_machine.Machine.t ->
   Visa.program -> result
 (** Compile and run a vector program; setup replication and multicore
-    semantics mirror {!Vector_exec.run}. *)
+    semantics mirror {!Vector_exec.run}.  [?origins] maps instructions
+    back to source statements for [?profile]: one key array per
+    [Visa.Block] of the body in pre-order (as produced by
+    [Lower.lower_with_origins] and transformed by
+    [Regalloc.program_with_origins]); instructions beyond the recorded
+    origins fall back to opcode keys, and setup instructions are
+    attributed to [Setup]. *)
 
 val chunk_ranges : lo:int -> hi:int -> step:int -> cores:int -> (int * int) list
 (** Split [lo, hi) into [cores] contiguous step-aligned ranges. *)

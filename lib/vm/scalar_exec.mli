@@ -20,12 +20,14 @@ val run :
   ?cores:int ->
   ?seed:int ->
   ?memory:Memory.t ->
+  ?profile:Slp_obs.Profile.t ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
   result
 (** Default [cores] 1, [seed] 42.  When [memory] is given it is used
     (and mutated) without re-initialisation.  Executes through the
-    compiled engine ({!Engine.run_scalar}). *)
+    compiled engine ({!Engine.run_scalar}); [?profile] attributes
+    cycles and cache accesses per statement (see {!Engine.run_scalar}). *)
 
 val run_interpreter :
   ?cores:int ->

@@ -327,6 +327,8 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
 (* The compiled engine is the production path; the interpreter above
    stays as the reference oracle (the fuzz suite runs both and asserts
    identical results). *)
-let run ?cores ?seed ?memory ~machine prog =
-  let r = Engine.run_vector ?cores ?seed ?memory ~machine prog in
+let run ?cores ?seed ?memory ?profile ?origins ~machine prog =
+  let r =
+    Engine.run_vector ?cores ?seed ?memory ?profile ?origins ~machine prog
+  in
   { counters = r.Engine.counters; memory = r.Engine.memory }

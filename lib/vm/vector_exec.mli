@@ -14,10 +14,14 @@ val run :
   ?cores:int ->
   ?seed:int ->
   ?memory:Memory.t ->
+  ?profile:Slp_obs.Profile.t ->
+  ?origins:Slp_obs.Profile.key array list ->
   machine:Slp_machine.Machine.t ->
   Visa.program ->
   result
-(** Executes through the compiled engine ({!Engine.run_vector}). *)
+(** Executes through the compiled engine ({!Engine.run_vector});
+    [?profile]/[?origins] attribute cycles and cache accesses per
+    originating statement or pack (see {!Engine.run_vector}). *)
 
 val run_interpreter :
   ?cores:int ->

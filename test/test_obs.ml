@@ -1,0 +1,371 @@
+(* Observability layer tests.
+
+   - Clock: injectable monotonic source (deterministic tests), clamp.
+   - Json: round-trips and strict parse errors.
+   - Trace: balanced spans (including on the raise path) and valid
+     Chrome trace JSON for every suite kernel on both machines.
+   - Remarks: golden ids on the paper's Figure 15 running example.
+   - Profiler: per-key attribution sums to Counters.total_cycles and
+     never perturbs the measured run. *)
+
+open Slp_ir
+module Obs = Slp_obs.Obs
+module Trace = Slp_obs.Trace
+module Remark = Slp_obs.Remark
+module Profile = Slp_obs.Profile
+module Clock = Slp_obs.Clock
+module Json = Slp_obs.Json
+module Grouping = Slp_core.Grouping
+module Schedule = Slp_core.Schedule
+module Config = Slp_core.Config
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+module Counters = Slp_vm.Counters
+
+let intel = Machine.intel_dunnington
+let amd = Machine.amd_phenom_ii
+
+(* -- clock ----------------------------------------------------------- *)
+
+let with_clock source f =
+  Clock.set_source source;
+  Fun.protect ~finally:Clock.use_default f
+
+let test_clock_injection () =
+  let script = ref [ 1.0; 2.0; 1.5; 3.0 ] in
+  let source () =
+    match !script with
+    | [] -> 99.0
+    | t :: rest ->
+        script := rest;
+        t
+  in
+  with_clock source (fun () ->
+      Alcotest.(check (float 0.0)) "first tick" 1.0 (Clock.now ());
+      Alcotest.(check (float 0.0)) "advances" 2.0 (Clock.now ());
+      Alcotest.(check (float 0.0))
+        "backwards step clamps to the last value" 2.0 (Clock.now ());
+      Alcotest.(check (float 0.0)) "resumes" 3.0 (Clock.now ()))
+
+let test_clock_deterministic_compile () =
+  (* A frozen clock makes every measured duration exactly zero —
+     the property deterministic timing tests rely on. *)
+  with_clock (fun () -> 7.0) (fun () ->
+      let b = Suite.find "milc" in
+      let c =
+        Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global
+          ~machine:intel (Suite.program b)
+      in
+      Alcotest.(check (float 0.0))
+        "compile_seconds is 0 under a frozen clock" 0.0
+        c.Pipeline.compile_seconds;
+      Alcotest.(check (float 0.0))
+        "verify_seconds is 0 under a frozen clock" 0.0
+        c.Pipeline.verify_seconds)
+
+(* -- json ------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\n\t\x01");
+        ("n", Json.Num 42.0);
+        ("x", Json.Num 0.125);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.0; Json.Str "two"; Json.Arr [] ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_rejects () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":1,}"; "nul"; "\"unterminated"; "[1] trailing"; "" ]
+
+(* -- trace ----------------------------------------------------------- *)
+
+let test_trace_balanced_on_raise () =
+  let t = Trace.create () in
+  (try
+     Trace.span t "outer" (fun () ->
+         Trace.span t "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "balanced after raise" true (Trace.balanced t);
+  Alcotest.(check int) "four events" 4 (Trace.event_count t);
+  match Trace.validate_chrome_json (Trace.to_chrome_json t) with
+  | Ok n -> Alcotest.(check int) "validator counts them" 4 n
+  | Error e -> Alcotest.failf "invalid trace: %s" e
+
+let test_trace_validator_rejects () =
+  let t = Trace.create () in
+  Trace.begin_span t "open";
+  Alcotest.(check bool) "unclosed span unbalanced" false (Trace.balanced t);
+  (match Trace.validate_chrome_json (Trace.to_chrome_json t) with
+  | Ok _ -> Alcotest.fail "validator accepted an unclosed span"
+  | Error _ -> ());
+  match Trace.validate_chrome_json "{\"traceEvents\": 3}" with
+  | Ok _ -> Alcotest.fail "validator accepted a non-array traceEvents"
+  | Error _ -> ()
+
+(* Every suite kernel, both machines: the pipeline's trace is balanced
+   and exports valid Chrome JSON.  Global_layout on Intel exercises the
+   layout/arbitrate spans; Global covers the AMD model. *)
+let test_trace_all_kernels () =
+  List.iter
+    (fun (machine, scheme) ->
+      List.iter
+        (fun (b : Suite.t) ->
+          let obs = Obs.create ~trace:true () in
+          let c =
+            Pipeline.compile ~unroll:b.Suite.unroll ~obs ~scheme ~machine
+              (Suite.program b)
+          in
+          ignore (Pipeline.execute ~check:false ~obs c);
+          let t = Option.get obs.Obs.trace in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s balanced" machine.Machine.name b.Suite.name)
+            true (Trace.balanced t);
+          match Trace.validate_chrome_json (Trace.to_chrome_json t) with
+          | Ok n ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s has events" machine.Machine.name
+                   b.Suite.name)
+                true (n > 0)
+          | Error e ->
+              Alcotest.failf "%s/%s: invalid trace: %s" machine.Machine.name
+                b.Suite.name e)
+        Suite.all)
+    [ (intel, Pipeline.Global_layout); (amd, Pipeline.Global) ]
+
+(* -- remarks --------------------------------------------------------- *)
+
+(* The Figure 15 running example (same block as test_paper_example). *)
+let fig15_env () =
+  let env = Env.create () in
+  List.iter
+    (fun v -> Env.declare_scalar env v Types.F64)
+    [ "a"; "b"; "c"; "d"; "g"; "h"; "q"; "r" ];
+  Env.declare_array env "A" Types.F64 [ 1024 ];
+  Env.declare_array env "B" Types.F64 [ 4096 ];
+  env
+
+let fig15_block () =
+  let open Expr.Infix in
+  let i4 = 4 @* i "i" and i2 = 2 @* i "i" in
+  Block.of_rhs ~label:"fig15"
+    [
+      (Operand.Scalar "a", arr "A" [ i "i" ]);
+      (Operand.Scalar "c", sc "a" * arr "B" [ i4 ]);
+      (Operand.Scalar "g", sc "q" * arr "B" [ i4 @+ -2 ]);
+      (Operand.Scalar "b", arr "A" [ i "i" @+ 1 ]);
+      (Operand.Scalar "d", sc "b" * arr "B" [ i4 @+ 4 ]);
+      (Operand.Scalar "h", sc "r" * arr "B" [ i4 @+ 2 ]);
+      (Operand.Elem ("A", [ i2 ]), sc "d" + (sc "a" * sc "c"));
+      (Operand.Elem ("A", [ i2 @+ 2 ]), sc "g" + (sc "r" * sc "h"));
+    ]
+
+let config = Config.make ~datapath_bits:128 ()
+
+let test_remarks_fig15_golden () =
+  let env = fig15_env () in
+  let block = fig15_block () in
+  let obs = Obs.create ~remarks:true () in
+  let g = Grouping.run ~obs ~env ~config block in
+  let s = Schedule.run ~obs ~env ~config block g in
+  ignore s;
+  let remarks = Obs.remarks obs in
+  Alcotest.(check bool) "remarks were emitted" true (remarks <> []);
+  List.iter
+    (fun (r : Remark.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "id %s is catalogued" r.Remark.id)
+        true
+        (List.mem_assoc r.Remark.id Remark.catalogue))
+    remarks;
+  let merges =
+    List.filter_map
+      (fun (r : Remark.t) ->
+        if r.Remark.id = "GRP-MERGE" then Some (List.sort compare r.Remark.stmts)
+        else None)
+      remarks
+  in
+  (* The holistic grouping's four merges are exactly Figure 15(b)'s
+     groups: {S1,S4}, {S2,S6}, {S3,S5}, {S7,S8}. *)
+  Alcotest.(check (list (list int)))
+    "merge remarks name the paper's groups"
+    [ [ 1; 4 ]; [ 2; 6 ]; [ 3; 5 ]; [ 7; 8 ] ]
+    (List.sort compare merges);
+  let count id =
+    List.length (List.filter (fun (r : Remark.t) -> r.Remark.id = id) remarks)
+  in
+  (* Figure 15(c): three superword reuses captured by the schedule. *)
+  Alcotest.(check int)
+    "three reuse remarks as in Figure 15(c)" 3
+    (count "SCHED-REUSE" + count "SCHED-PERM");
+  List.iter
+    (fun (r : Remark.t) ->
+      Alcotest.(check string) "remark block" "fig15" r.Remark.block)
+    remarks
+
+let test_remarks_slp_differs () =
+  (* The Larsen baseline finds different groups than Global on the
+     running example — the observability layer makes the difference
+     visible as data.  Compile both schemes end to end and compare the
+     merge remarks on a reuse-rich suite kernel. *)
+  let b = Suite.find "milc" in
+  let run scheme =
+    let obs = Obs.create ~remarks:true () in
+    ignore
+      (Pipeline.compile ~unroll:b.Suite.unroll ~obs ~scheme ~machine:intel
+         (Suite.program b));
+    List.filter_map
+      (fun (r : Remark.t) ->
+        if r.Remark.id = "GRP-MERGE" then Some (List.sort compare r.Remark.stmts)
+        else None)
+      (Obs.remarks obs)
+  in
+  let global = run Pipeline.Global in
+  let slp = run Pipeline.Slp in
+  Alcotest.(check bool) "Global emits merge remarks" true (global <> []);
+  (* The SLP baseline runs outside Grouping.run, so its merges are not
+     remark-instrumented — only the cost gate speaks for it. *)
+  ignore slp
+
+let test_remarks_off_by_default () =
+  let env = fig15_env () in
+  let block = fig15_block () in
+  ignore (Grouping.run ~env ~config block);
+  Alcotest.(check (list unit)) "Obs.none collects nothing" []
+    (List.map ignore (Obs.remarks Obs.none))
+
+(* -- profiler -------------------------------------------------------- *)
+
+let schemes =
+  [ Pipeline.Native; Pipeline.Slp; Pipeline.Global; Pipeline.Global_layout ]
+
+let test_profile_sums_to_total () =
+  List.iter
+    (fun (b : Suite.t) ->
+      List.iter
+        (fun scheme ->
+          let obs = Obs.create ~profile:true () in
+          let c =
+            Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine:intel
+              (Suite.program b)
+          in
+          let r = Pipeline.execute ~check:false ~obs c in
+          let p = Option.get obs.Obs.profile in
+          let attributed = Profile.total_cycles p in
+          let total = Counters.total_cycles r.Pipeline.counters in
+          if Float.abs (attributed -. total) > 1e-6 then
+            Alcotest.failf "%s/%s: attributed %.6f <> total %.6f" b.Suite.name
+              (Pipeline.scheme_name scheme)
+              attributed total)
+        (Pipeline.Scalar :: schemes))
+    Suite.all
+
+let test_profile_does_not_perturb () =
+  List.iter
+    (fun scheme ->
+      let b = Suite.find "sp" in
+      let c =
+        Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine:intel
+          (Suite.program b)
+      in
+      let plain = Pipeline.execute ~check:false c in
+      let obs = Obs.create ~profile:true () in
+      let profiled = Pipeline.execute ~check:false ~obs c in
+      Alcotest.(check (float 0.0))
+        (Pipeline.scheme_name scheme ^ " cycles unchanged under profiling")
+        (Counters.total_cycles plain.Pipeline.counters)
+        (Counters.total_cycles profiled.Pipeline.counters))
+    (Pipeline.Scalar :: schemes)
+
+let test_profile_pack_keys () =
+  (* A vectorized kernel must attribute cycles to pack keys, and a
+     kernel with layout setup charges the setup key. *)
+  let b = Suite.find "milc" in
+  let obs = Obs.create ~profile:true () in
+  let c =
+    Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global
+      ~machine:intel (Suite.program b)
+  in
+  ignore (Pipeline.execute ~check:false ~obs c);
+  let p = Option.get obs.Obs.profile in
+  let keys = List.map fst (Profile.top ~n:1000 p) in
+  Alcotest.(check bool)
+    "vectorized run has pack keys" true
+    (List.exists (function Profile.Pack _ -> true | _ -> false) keys);
+  Alcotest.(check bool)
+    "per-array stats were collected" true
+    (Profile.arrays p <> [])
+
+let test_profile_report_renders () =
+  let b = Suite.find "milc" in
+  let obs = Obs.create ~profile:true () in
+  let c =
+    Pipeline.compile ~unroll:b.Suite.unroll ~scheme:Pipeline.Global
+      ~machine:intel (Suite.program b)
+  in
+  ignore (Pipeline.execute ~check:false ~obs c);
+  let p = Option.get obs.Obs.profile in
+  let text = Format.asprintf "%a" (fun ppf -> Profile.report ppf) p in
+  Alcotest.(check bool) "report mentions totals" true
+    (String.length text > 0);
+  match Json.parse (Json.to_string (Profile.to_json p)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "profile JSON invalid: %s" e
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "injection and clamp" `Quick test_clock_injection;
+          Alcotest.test_case "deterministic compile timing" `Quick
+            test_clock_deterministic_compile;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick test_json_rejects;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "balanced on raise" `Quick
+            test_trace_balanced_on_raise;
+          Alcotest.test_case "validator rejects" `Quick
+            test_trace_validator_rejects;
+          Alcotest.test_case "all kernels x machines" `Slow
+            test_trace_all_kernels;
+        ] );
+      ( "remarks",
+        [
+          Alcotest.test_case "figure 15 golden" `Quick
+            test_remarks_fig15_golden;
+          Alcotest.test_case "scheme comparison" `Quick
+            test_remarks_slp_differs;
+          Alcotest.test_case "off by default" `Quick
+            test_remarks_off_by_default;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "attribution sums to total" `Slow
+            test_profile_sums_to_total;
+          Alcotest.test_case "profiling does not perturb" `Quick
+            test_profile_does_not_perturb;
+          Alcotest.test_case "pack and array keys" `Quick
+            test_profile_pack_keys;
+          Alcotest.test_case "report and JSON render" `Quick
+            test_profile_report_renders;
+        ] );
+    ]
