@@ -65,6 +65,36 @@ let obs_suite ~obs () =
       ignore (Pipeline.execute ~check:false ~obs c))
     Suite.all
 
+(* Figure 21's workload on real domains: the six NAS kernels at four
+   simulated cores, executed through the harness's shared domain pool.
+   The sequential twin runs the identical workload without a pool; the
+   smoke guard asserts the domain entry is not slower.  On a
+   single-processor host the pool spawns no workers and the two
+   entries measure the same code path. *)
+let fig21_nas_4core ?pool () =
+  List.iter
+    (fun (b : Suite.t) ->
+      let c =
+        Pipeline.compile ~unroll:b.Suite.unroll ~verify:false
+          ~scheme:Pipeline.Global ~machine:intel (Suite.program b)
+      in
+      ignore (Pipeline.execute ?pool ~cores:4 ~check:false c))
+    Suite.nas
+
+(* The suite-wide wall-clock entry: every kernel compiled under the
+   paper's scheme and executed on the VM — the number every future
+   representation or parallelism change is judged against (the
+   before/after/speedup trajectory lives in BENCH_vm.json). *)
+let suite_wall_clock () =
+  List.iter
+    (fun (b : Suite.t) ->
+      let c =
+        Pipeline.compile ~unroll:b.Suite.unroll ~verify:false
+          ~scheme:Pipeline.Global ~machine:intel (Suite.program b)
+      in
+      ignore (Pipeline.execute ~check:false c))
+    Suite.all
+
 (* The Figure 15 block, used by the phase and ablation benchmarks. *)
 let fig15 () =
   let open Slp_ir in
@@ -142,6 +172,11 @@ let all_tests =
     (* Figure 21: multicore execution. *)
     t "fig21_multicore_sp_4c" (run_scheme ~cores:4 ~scheme:Pipeline.Global "sp");
     t "fig21_multicore_sp_12c" (run_scheme ~cores:12 ~scheme:Pipeline.Global "sp");
+    t "fig21_sequential_4core" (fig21_nas_4core ?pool:None);
+    t "fig21_domains_4core" (fun () ->
+        fig21_nas_4core ~pool:(Slp_harness.Runner.domain_pool ()) ());
+    (* Suite-wide wall clock: all 16 kernels, Global, compile+execute. *)
+    t "suite_wall_clock" suite_wall_clock;
     (* Compilation overhead (the paper's +27% claim). *)
     t "compile_overhead_slp" (compile_only ~scheme:Pipeline.Slp "cactusADM");
     t "compile_overhead_global" (compile_only ~scheme:Pipeline.Global "cactusADM");

@@ -1,14 +1,32 @@
 #!/bin/sh
-# Perf smoke: run a 3-benchmark subset with a tiny quota and write the
+# Perf smoke: run a benchmark subset with a tiny quota and write the
 # machine-readable perf trajectory (before/after/speedup vs the seed
 # interpreter baseline) to BENCH_vm.json at the repo root.
 set -e
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
-exec dune exec bench/main.exe -- \
+dune exec bench/main.exe -- \
   --quota "${SMOKE_QUOTA:-0.05}" --limit 50 \
   --baseline bench/baseline_seed.json \
   --json BENCH_vm.json \
   fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex \
   verify_overhead_suite_off verify_overhead_suite_on \
-  obs_overhead_suite_off obs_overhead_suite_on
+  obs_overhead_suite_off obs_overhead_suite_on \
+  suite_wall_clock fig21_sequential_4core fig21_domains_4core
+
+# Guard: the domain-parallel Figure 21 workload (NAS kernels, 4
+# simulated cores, real OCaml domains) must not be slower than its
+# sequential twin; 15% allowance for timer noise at smoke quotas.  On
+# a single-processor host the pool spawns no workers and the entries
+# measure the same code path.
+awk -F'"' '
+  $2 == "fig21_sequential_4core" { v = $3; sub(/^[: ]+/, "", v); seq = v + 0 }
+  $2 == "fig21_domains_4core"    { v = $3; sub(/^[: ]+/, "", v); dom = v + 0 }
+  END {
+    if (seq <= 0 || dom <= 0) { print "fig21 guard: entries missing from BENCH_vm.json"; exit 1 }
+    if (dom > seq * 1.15) {
+      printf "fig21 guard FAILED: domains %.0f ns/run vs sequential %.0f ns/run\n", dom, seq
+      exit 1
+    }
+    printf "fig21 guard ok: sequential %.0f ns/run, domains %.0f ns/run\n", seq, dom
+  }' BENCH_vm.json

@@ -59,16 +59,18 @@ let memory_diff ~env ref_mem vec_mem =
     (fun (name, _) ->
       let a = Vm.Memory.array_values ref_mem name in
       let b = Vm.Memory.array_values vec_mem name in
-      if Array.length a <> Array.length b then
-        Some (Printf.sprintf "array %s: size %d vs %d" name (Array.length a) (Array.length b))
+      if Float.Array.length a <> Float.Array.length b then
+        Some
+          (Printf.sprintf "array %s: size %d vs %d" name (Float.Array.length a)
+             (Float.Array.length b))
       else
         let rec scan i =
-          if i >= Array.length a then None
-          else if feq a.(i) b.(i) then scan (i + 1)
+          if i >= Float.Array.length a then None
+          else if feq (Float.Array.get a i) (Float.Array.get b i) then scan (i + 1)
           else
             Some
               (Printf.sprintf "array %s[%d]: scalar %.17g vs vectorized %.17g" name i
-                 a.(i) b.(i))
+                 (Float.Array.get a i) (Float.Array.get b i))
         in
         scan 0)
     (Env.arrays env)

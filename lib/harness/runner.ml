@@ -20,6 +20,13 @@ type measurement = {
 
 let cache : (key, measurement) Hashtbl.t = Hashtbl.create 128
 
+(* One domain pool shared by every multicore measurement, spawned
+   lazily on first use and sized to the host (zero workers on a
+   single-processor machine, where the engine falls back to the
+   bit-identical sequential legs). *)
+let pool = lazy (Slp_vm.Dpool.create ())
+let domain_pool () = Lazy.force pool
+
 (* Resilient mode: a kernel whose compilation fails under some scheme
    is measured as its scalar degradation instead of aborting the whole
    experiment run; bailouts accumulate for the final report. *)
@@ -65,7 +72,11 @@ let measure ?(cores = 1) ~machine ~scheme (b : Suite.t) =
       in
       let r, exec_error =
         if !resilient_mode then Pipeline.execute_resilient ~cores ~check:(cores = 1) compiled
-        else (Pipeline.execute ~cores ~check:(cores = 1) compiled, None)
+        else
+          ( Pipeline.execute ~cores ~check:(cores = 1)
+              ?pool:(if cores > 1 then Some (domain_pool ()) else None)
+              compiled,
+            None )
       in
       (match exec_error with
       | Some error ->

@@ -36,6 +36,11 @@ val bailouts : unit -> Pipeline.bailout list
 
 val clear_bailouts : unit -> unit
 
+val domain_pool : unit -> Slp_vm.Dpool.t
+(** The shared domain pool multicore measurements execute on —
+    spawned lazily, sized to the host ({!Slp_vm.Dpool.create}'s
+    default), reused for the process lifetime. *)
+
 val measure :
   ?cores:int ->
   machine:Slp_machine.Machine.t ->

@@ -338,14 +338,14 @@ type exec_result = { counters : Slp_vm.Counters.t; correct : bool }
 (* The profiler attaches only to the measured run: the correctness
    reference run below stays unprofiled, so attributed cycles describe
    exactly the execution whose counters are returned. *)
-let execute ?(cores = 1) ?(seed = 42) ?(check = true) ?(obs = Obs.none)
+let execute ?(cores = 1) ?(seed = 42) ?(check = true) ?(obs = Obs.none) ?pool
     (c : compiled) =
   Obs.span obs "execute" (fun () ->
       let profile = obs.Obs.profile in
       match c.vector with
       | None ->
           let r =
-            Slp_vm.Scalar_exec.run ~cores ~seed ?profile ~machine:c.machine
+            Slp_vm.Scalar_exec.run ~cores ~seed ?profile ?pool ~machine:c.machine
               c.reference
           in
           { counters = r.Slp_vm.Scalar_exec.counters; correct = true }
@@ -357,7 +357,7 @@ let execute ?(cores = 1) ?(seed = 42) ?(check = true) ?(obs = Obs.none)
           Slp_vm.Memory.init_arrays memory ~seed;
           let r =
             Slp_vm.Vector_exec.run ~cores ~seed ~memory ?profile
-              ~origins:c.origins ~machine:c.machine vprog
+              ~origins:c.origins ?pool ~machine:c.machine vprog
           in
           let correct =
             if not check then true
@@ -372,17 +372,18 @@ let execute ?(cores = 1) ?(seed = 42) ?(check = true) ?(obs = Obs.none)
           in
           { counters = r.Slp_vm.Vector_exec.counters; correct })
 
-let cycles_of ?(cores = 1) ?(seed = 42) (c : compiled) =
-  let r = execute ~cores ~seed ~check:false c in
+let cycles_of ?(cores = 1) ?(seed = 42) ?pool (c : compiled) =
+  let r = execute ~cores ~seed ~check:false ?pool c in
   Slp_vm.Counters.total_cycles r.counters
 
-let speedup_over_scalar ?(cores = 1) ?(seed = 42) (c : compiled) =
+let speedup_over_scalar ?(cores = 1) ?(seed = 42) ?pool (c : compiled) =
   let scalar = { c with scheme = Scalar; vector = None } in
-  let s = cycles_of ~cores ~seed scalar in
-  let v = cycles_of ~cores ~seed c in
+  let s = cycles_of ~cores ~seed ?pool scalar in
+  let v = cycles_of ~cores ~seed ?pool c in
   s /. v
 
-let reduction_over_scalar ?cores ?seed c = 1.0 -. (1.0 /. speedup_over_scalar ?cores ?seed c)
+let reduction_over_scalar ?cores ?seed ?pool c =
+  1.0 -. (1.0 /. speedup_over_scalar ?cores ?seed ?pool c)
 
 (* -- fault-tolerant compilation ------------------------------------- *)
 

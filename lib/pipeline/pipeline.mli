@@ -104,10 +104,15 @@ val execute :
   ?seed:int ->
   ?check:bool ->
   ?obs:Slp_obs.Obs.t ->
+  ?pool:Slp_vm.Dpool.t ->
   compiled ->
   exec_result
 (** [check] (default true) runs the scalar reference and compares
     array contents; disable inside benchmark loops.
+
+    [pool]: with [cores > 1], simulate the cores on real OCaml domains
+    (see {!Slp_vm.Engine.run_vector}); counters are bit-identical to
+    the sequential simulation.
 
     [obs]: the run executes inside an ["execute"] span, and when the
     bundle carries a profiler the measured run (vector, or scalar for
@@ -115,10 +120,12 @@ val execute :
     via [compiled.origins].  The correctness reference run is never
     profiled. *)
 
-val speedup_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
+val speedup_over_scalar :
+  ?cores:int -> ?seed:int -> ?pool:Slp_vm.Dpool.t -> compiled -> float
 (** [scalar_cycles / scheme_cycles] on the same input. *)
 
-val reduction_over_scalar : ?cores:int -> ?seed:int -> compiled -> float
+val reduction_over_scalar :
+  ?cores:int -> ?seed:int -> ?pool:Slp_vm.Dpool.t -> compiled -> float
 (** Execution-time reduction [1 - scheme/scalar] — the paper's
     y-axis. *)
 

@@ -1,0 +1,128 @@
+(* A persistent pool of OCaml 5 domains for running the per-core legs
+   of a multicore simulation concurrently.
+
+   Domains are expensive to spawn (fresh minor heaps, GC
+   registration), so the pool spawns its workers once and parcels out
+   many [run] calls to them.  Work distribution is an atomic
+   next-index counter over [0, n): cores whose chunks finish early
+   steal nothing (each index is one simulated core), but the counter
+   keeps the dispatch wait-free.  The caller participates as a worker,
+   so a pool with zero spawned workers degrades to plain sequential
+   execution — which is also the fallback on single-processor hosts,
+   where [Domain.recommended_domain_count] is 1 and spawning would
+   only add scheduling overhead.
+
+   Each [run] allocates a fresh job record carrying its own atomic
+   cursor and completion count, so a worker that wakes late and drains
+   an already-exhausted job cannot touch the indices of a subsequent
+   one.  The first exception a task raises is captured and re-raised
+   from [run] after every task has finished; later exceptions in the
+   same job are dropped (deterministic runs re-raise the same one). *)
+
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t;
+  mutable pending : int;  (* tasks not yet finished; guarded by the pool lock *)
+  mutable failure : exn option;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* a new job generation was posted *)
+  idle : Condition.t;  (* a task finished (pending may have hit 0) *)
+  mutable generation : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  nworkers : int;
+}
+
+let drain t (j : job) =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.n then begin
+      (try j.f i
+       with e ->
+         Mutex.lock t.lock;
+         if j.failure = None then j.failure <- Some e;
+         Mutex.unlock t.lock);
+      Mutex.lock t.lock;
+      j.pending <- j.pending - 1;
+      if j.pending = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let rec loop gen =
+    Mutex.lock t.lock;
+    while (not t.stop) && t.generation = gen do
+      Condition.wait t.work t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      let gen' = t.generation in
+      let j = t.job in
+      Mutex.unlock t.lock;
+      (match j with Some j -> drain t j | None -> ());
+      loop gen'
+    end
+  in
+  loop 0
+
+let create ?workers () =
+  let nworkers =
+    match workers with
+    | Some w -> max 0 w
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      generation = 0;
+      job = None;
+      stop = false;
+      domains = [];
+      nworkers;
+    }
+  in
+  t.domains <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let workers t = t.nworkers
+
+let run t n f =
+  if n > 0 then
+    if t.nworkers = 0 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let j = { f; n; next = Atomic.make 0; pending = n; failure = None } in
+      Mutex.lock t.lock;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock;
+      drain t j;
+      Mutex.lock t.lock;
+      while j.pending > 0 do
+        Condition.wait t.idle t.lock
+      done;
+      (match t.job with Some j' when j' == j -> t.job <- None | _ -> ());
+      Mutex.unlock t.lock;
+      match j.failure with Some e -> raise e | None -> ()
+    end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,27 @@
+(** A persistent pool of OCaml 5 domains.
+
+    Executes the per-core legs of a multicore simulation on real
+    domains: each simulated core's chunk runs as one task, dispatched
+    to the pool's workers through a wait-free atomic cursor, with the
+    calling domain participating as a worker.  Spawning is paid once
+    at {!create}; every {!run} reuses the same domains. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn a pool with [workers] worker domains (clamped to >= 0).
+    Default: [Domain.recommended_domain_count () - 1], so the pool
+    never oversubscribes the host — on a single-processor machine it
+    spawns nothing and {!run} degrades to sequential execution. *)
+
+val workers : t -> int
+(** Number of spawned worker domains (0 means {!run} is sequential). *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run t n f] executes [f 0 .. f (n-1)], concurrently when the pool
+    has workers, and returns when all calls have finished.  Tasks must
+    not themselves call {!run} on the same pool.  If any task raises,
+    the first exception is re-raised after all tasks finish. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)

@@ -7,11 +7,22 @@
    string-map fold.  This module performs that resolution once, as a
    *compilation* step: a program becomes a tree of OCaml closures over
    a flat execution state — scalar names resolved to integer slots in
-   [Memory]'s flat backing store, vector registers in a preallocated
-   array indexed by the regalloc-assigned number, loop indices in an
-   int frame indexed by nesting depth, affine subscripts specialised
-   to [base + sum coeff*frame.(d)] multiply-adds, and per-instruction
+   [Memory]'s flat backing store, vector registers packed into one
+   unboxed [floatarray] register file, loop indices in an int frame
+   indexed by nesting depth, affine subscripts specialised to
+   [base + sum coeff*frame.(d)] multiply-adds, and per-instruction
    cost constants hoisted out of the loop.
+
+   All hot-path storage is unboxed and preallocated: the register
+   file is a single [floatarray] of [nvregs * stride] cells (register
+   [r]'s lanes live at [r*stride ..]), lane counts live in a side
+   [int array], shuffle scratch and spill slots are state-owned flat
+   arenas, and loads/stores on 1-D arrays with unit-stride lanes (the
+   case the lowering pass guarantees for adjacent packs) compile to a
+   single range check plus a flat blit-style loop.  Compiled closures
+   therefore allocate nothing per execution and carry no mutable
+   compile-time scratch, so one compiled program can be run by many
+   states — including states owned by different domains.
 
    The engine is observationally identical to the interpreters: every
    cache access happens at the same address in the same order, every
@@ -23,6 +34,7 @@
 open Slp_ir
 module M = Slp_machine.Machine
 module Profile = Slp_obs.Profile
+module FA = Float.Array
 
 type result = { counters : Counters.t; memory : Memory.t }
 
@@ -42,10 +54,25 @@ type state = {
           happen in the same order as the interpreters', so the result
           is bit-identical. *)
   frame : int array;  (** Loop index value per nesting depth. *)
-  vregs : float array array;  (** Vector register file by register number. *)
+  vregs : floatarray;
+      (** Flat register file: register [r]'s lanes at [r*stride ..]
+          (the stride is the program's widest lane count, baked into
+          every compiled offset). *)
+  vlanes : int array;  (** Lane count per register; -1 = never written. *)
+  fscratch : floatarray;  (** One register's worth of shuffle scratch. *)
+  iscratch : int array;  (** Flat-index scratch for gathered loads. *)
+  spills : floatarray;  (** Spill arena, same stride as [vregs]. *)
+  spill_ln : int array;  (** Lane count per spill slot; -1 = unset. *)
+  sdata : floatarray;
+      (** The scalar slot store this state reads and writes.  All
+          states of a sequential run share [Memory]'s backing store;
+          the domain-parallel legs give each core a private copy
+          (chunk-independence proved by {!Parcheck}) merged back in
+          core order, so privatizable temporaries such as an FFT's
+          [tr]/[ti] cannot race across domains. *)
 }
 
-let charge st c = st.cycles.(0) <- st.cycles.(0) +. c
+let charge st c = Array.unsafe_set st.cycles 0 (Array.unsafe_get st.cycles 0 +. c)
 
 (* -- profiling ------------------------------------------------------ *)
 
@@ -110,16 +137,10 @@ let observe_cache profile cache =
       Cache.set_observer cache
         (Some (fun addr level -> Profile.note_access p ~addr ~level))
 
-(* Unique sentinel marking a register never written.  A zero-length
-   array cannot serve: OCaml shares one atom for all empty arrays, so
-   it would also match a legitimately empty register value. *)
-let unset_vreg = [| Float.nan |]
-
-let vreg st r =
-  let lanes = st.vregs.(r) in
-  if lanes == unset_vreg then
-    invalid_arg (Printf.sprintf "Vector_exec: v%d read before write" r);
-  lanes
+let vreg_lanes st r =
+  let n = Array.unsafe_get st.vlanes r in
+  if n < 0 then invalid_arg (Printf.sprintf "Vector_exec: v%d read before write" r);
+  n
 
 (* Compiled top-level items keep their loop structure exposed so the
    multicore driver can override the bounds of the partitioned loop;
@@ -138,7 +159,7 @@ and cloop = {
 let run_loop st l ~lo ~hi =
   let i = ref lo in
   while !i < hi do
-    st.frame.(l.c_depth) <- !i;
+    Array.unsafe_set st.frame l.c_depth !i;
     l.c_body st;
     i := !i + l.c_step
   done
@@ -148,6 +169,15 @@ let run_item st = function
   | Cloop l -> run_loop st l ~lo:(l.c_lo st) ~hi:(l.c_hi st)
 
 let run_items st items = List.iter (run_item st) items
+
+(* A loop body is almost always one straight-line block; running it
+   directly saves a list traversal and an item dispatch per
+   iteration. *)
+let seq_items items =
+  match items with
+  | [ Cblock f ] -> f
+  | [ item ] -> fun st -> run_item st item
+  | items -> fun st -> run_items st items
 
 let first_cloop items =
   let rec go k = function
@@ -176,10 +206,13 @@ let chunk_ranges ~lo ~hi ~step ~cores =
 type linkctx = {
   mem : Memory.t;
   machine : M.t;
-  sdata : float array;
+  sdata : floatarray;
       (* The scalar backing store, captured after every name in the
          program has been registered (so it cannot be replaced by a
          growth mid-run). *)
+  stride : int;
+      (* Lanes per register slot in the flat register file; register
+         [r]'s lanes start at [r * stride]. *)
 }
 
 (* Affine subscripts specialise to integer multiply-adds over the loop
@@ -198,12 +231,12 @@ let compile_affine ~depths a =
   let const = Affine.const_part a in
   match resolve_terms ~depths a with
   | [] -> fun _ -> const
-  | [ (d, k) ] -> fun (frame : int array) -> const + (k * frame.(d))
+  | [ (d, k) ] -> fun (frame : int array) -> const + (k * Array.unsafe_get frame d)
   | terms ->
       let terms = Array.of_list terms in
       fun frame ->
         let acc = ref const in
-        Array.iter (fun (d, k) -> acc := !acc + (k * frame.(d))) terms;
+        Array.iter (fun (d, k) -> acc := !acc + (k * Array.unsafe_get frame d)) terms;
         !acc
 
 let compile_bound ~depths a =
@@ -214,7 +247,7 @@ let compile_bound ~depths a =
    bounds-checked flat-index function (same checks and error messages
    as [Memory.flat_index]). *)
 type elem_ref = {
-  e_data : float array;
+  e_data : floatarray;
   e_base : int;
   e_bytes : int;
   e_flat : int array -> int;
@@ -234,14 +267,16 @@ let compile_flat ?stmt ~depths ctx name idxs =
       | [] -> if const < 0 || const >= d0 then fun _ -> oob const else fun _ -> const
       | [ (d, k) ] ->
           fun (frame : int array) ->
-            let i = const + (k * frame.(d)) in
+            let i = const + (k * Array.unsafe_get frame d) in
             if i < 0 || i >= d0 then oob i;
             i
       | terms ->
           let terms = Array.of_list terms in
           fun frame ->
             let acc = ref const in
-            Array.iter (fun (d, k) -> acc := !acc + (k * frame.(d))) terms;
+            Array.iter
+              (fun (d, k) -> acc := !acc + (k * Array.unsafe_get frame d))
+              terms;
             let i = !acc in
             if i < 0 || i >= d0 then oob i;
             i)
@@ -277,24 +312,10 @@ let link_elem ?stmt ctx ~depths op =
    lookup), otherwise the flat scalar slot. *)
 let link_scalar_read ctx ~depths v =
   match List.assoc_opt v depths with
-  | Some d -> fun st -> float_of_int st.frame.(d)
+  | Some d -> fun st -> float_of_int (Array.unsafe_get st.frame d)
   | None ->
-      let data = ctx.sdata in
       let slot = Memory.scalar_slot ctx.mem v in
-      fun _ -> data.(slot)
-
-let binop_fn = function
-  | Types.Add -> ( +. )
-  | Types.Sub -> ( -. )
-  | Types.Mul -> ( *. )
-  | Types.Div -> ( /. )
-  | Types.Min -> Float.min
-  | Types.Max -> Float.max
-
-let unop_fn = function
-  | Types.Neg -> ( ~-. )
-  | Types.Abs -> Float.abs
-  | Types.Sqrt -> Float.sqrt
+      fun st -> FA.unsafe_get st.sdata slot
 
 (* -- scalar statements --------------------------------------------- *)
 
@@ -305,32 +326,87 @@ let compile_operand_read ?stmt ctx ~depths op =
   match op with
   | Operand.Const c -> fun _ -> c
   | Operand.Scalar v -> link_scalar_read ctx ~depths v
-  | Operand.Elem _ ->
+  | Operand.Elem (name, idxs) -> (
       let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ?stmt ctx ~depths op in
       let issue = float_of_int ctx.machine.M.costs.M.load_issue in
-      fun st ->
+      let generic st =
         let fl = e_flat st.frame in
         st.counters.Counters.scalar_loads <- st.counters.Counters.scalar_loads + 1;
         charge st
           (issue
           +. Cache.access st.cache ~addr:(e_base + (fl * bytes)) ~bytes ~write:false);
-        e_data.(fl)
+        FA.unsafe_get e_data fl
+      in
+      (* The dominant shape — 1-D array, single-variable subscript —
+         fuses the index multiply-add and its bounds check straight
+         into the read closure (no inner closure call per load). *)
+      match (Memory.dims ctx.mem name, idxs) with
+      | [ d0 ], [ ix ] -> (
+          match resolve_terms ~depths ix with
+          | [ (d, k) ] ->
+              let const = Affine.const_part ix in
+              let oob i = Trap.oob ?stmt ~array:name ~index:i ~bound:d0 () in
+              fun st ->
+                let i = const + (k * Array.unsafe_get st.frame d) in
+                if i < 0 || i >= d0 then oob i;
+                st.counters.Counters.scalar_loads <-
+                  st.counters.Counters.scalar_loads + 1;
+                charge st
+                  (issue
+                  +. Cache.access st.cache ~addr:(e_base + (i * bytes)) ~bytes
+                       ~write:false);
+                FA.unsafe_get e_data i
+          | _ -> generic)
+      | _ -> generic)
 
+(* Binary nodes dispatch on the operator at compile time so the hot
+   closure applies the float primitive directly instead of calling
+   through a generic [float -> float -> float] closure (the right
+   operand still evaluates before the left, as pinned by
+   [Expr.eval]). *)
 let rec compile_expr ?stmt ctx ~depths e =
   match e with
   | Expr.Leaf op -> compile_operand_read ?stmt ctx ~depths op
-  | Expr.Un (u, inner) ->
+  | Expr.Un (u, inner) -> (
       let f = compile_expr ?stmt ctx ~depths inner in
-      let g = unop_fn u in
-      fun st -> g (f st)
-  | Expr.Bin (b, l, r) ->
+      match u with
+      | Types.Neg -> fun st -> -.(f st)
+      | Types.Abs -> fun st -> Float.abs (f st)
+      | Types.Sqrt -> fun st -> Float.sqrt (f st))
+  | Expr.Bin (b, l, r) -> (
       let fl = compile_expr ?stmt ctx ~depths l in
       let fr = compile_expr ?stmt ctx ~depths r in
-      let g = binop_fn b in
-      fun st ->
-        let vr = fr st in
-        let vl = fl st in
-        g vl vr
+      match b with
+      | Types.Add ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            vl +. vr
+      | Types.Sub ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            vl -. vr
+      | Types.Mul ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            vl *. vr
+      | Types.Div ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            vl /. vr
+      | Types.Min ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            Float.min vl vr
+      | Types.Max ->
+          fun st ->
+            let vr = fr st in
+            let vl = fl st in
+            Float.max vl vr)
 
 let compile_stmt ctx ~depths (s : Stmt.t) =
   let costs = ctx.machine.M.costs in
@@ -353,17 +429,16 @@ let compile_stmt ctx ~depths (s : Stmt.t) =
   in
   match s.Stmt.lhs with
   | Operand.Scalar v ->
-      let data = ctx.sdata in
       let slot = Memory.scalar_slot ctx.mem v in
       fun st ->
         let value = rhs st in
         st.counters.Counters.scalar_ops <- st.counters.Counters.scalar_ops + nops;
         charge st op_cycles;
-        data.(slot) <- value
-  | Operand.Elem _ as op ->
+        FA.unsafe_set st.sdata slot value
+  | Operand.Elem (name, idxs) as op -> (
       let { e_data; e_base; e_bytes = bytes; e_flat } = link_elem ~stmt ctx ~depths op in
       let issue = float_of_int costs.M.store_issue in
-      fun st ->
+      let generic st =
         let value = rhs st in
         st.counters.Counters.scalar_ops <- st.counters.Counters.scalar_ops + nops;
         charge st op_cycles;
@@ -372,12 +447,37 @@ let compile_stmt ctx ~depths (s : Stmt.t) =
         charge st
           (issue
           +. Cache.access st.cache ~addr:(e_base + (fl * bytes)) ~bytes ~write:true);
-        e_data.(fl) <- value
+        FA.unsafe_set e_data fl value
+      in
+      (* Same fusion as [compile_operand_read]: 1-D single-variable
+         stores skip the flat-index closure. *)
+      match (Memory.dims ctx.mem name, idxs) with
+      | [ d0 ], [ ix ] -> (
+          match resolve_terms ~depths ix with
+          | [ (d, k) ] ->
+              let const = Affine.const_part ix in
+              let oob i = Trap.oob ~stmt ~array:name ~index:i ~bound:d0 () in
+              fun st ->
+                let value = rhs st in
+                st.counters.Counters.scalar_ops <-
+                  st.counters.Counters.scalar_ops + nops;
+                charge st op_cycles;
+                let i = const + (k * Array.unsafe_get st.frame d) in
+                if i < 0 || i >= d0 then oob i;
+                st.counters.Counters.scalar_stores <-
+                  st.counters.Counters.scalar_stores + 1;
+                charge st
+                  (issue
+                  +. Cache.access st.cache ~addr:(e_base + (i * bytes)) ~bytes
+                       ~write:true);
+                FA.unsafe_set e_data i value
+          | _ -> generic)
+      | _ -> generic)
   | Operand.Const _ -> assert false
 
 let run_block fs st =
   for k = 0 to Array.length fs - 1 do
-    fs.(k) st
+    (Array.unsafe_get fs k) st
   done
 
 let rec compile_scalar_items ?prof ctx ~depths ~depth items =
@@ -411,7 +511,7 @@ let rec compile_scalar_items ?prof ctx ~depths ~depth items =
                 (match (Affine.to_const l.Program.lo, Affine.to_const l.Program.hi) with
                 | Some lo, Some hi -> Some (lo, hi)
                 | _, _ -> None);
-              c_body = (fun st -> run_items st body);
+              c_body = seq_items body;
             })
     items
 
@@ -432,95 +532,186 @@ let link_lane_src ctx ~depths ~count (src : Visa.lane_src) =
           +. Cache.access st.cache
                ~addr:(e_base + (fl * e_bytes))
                ~bytes:e_bytes ~write:false);
-        e_data.(fl)
+        FA.unsafe_get e_data fl
 
 let pack_load c = c.Counters.pack_loads <- c.Counters.pack_loads + 1
 
+(* The lowering pass packs memory lanes that are provably adjacent, so
+   the overwhelmingly common vload/vstore shape is "same 1-D array,
+   lane k's subscript = lane 0's + k".  When the subscripts prove that
+   at compile time ([Affine.diff_const]), the whole superword accesses
+   collapse to one affine evaluation, one range check, and a flat copy
+   — no per-lane closure calls.  Returns the shared array geometry and
+   lane 0's *unchecked* affine index function. *)
+let contig_1d ctx ~depths elems =
+  match elems with
+  | Operand.Elem (name, [ ix0 ]) :: rest -> (
+      match Memory.dims ctx.mem name with
+      | [ d0 ] ->
+          let ok, _ =
+            List.fold_left
+              (fun (ok, k) op ->
+                match op with
+                | Operand.Elem (name', [ ix ]) when ok && String.equal name' name ->
+                    (Affine.diff_const ix ix0 = Some k, k + 1)
+                | _ -> (false, k + 1))
+              (true, 1) rest
+          in
+          if ok then Some (name, d0, compile_affine ~depths ix0) else None
+      | _ -> None)
+  | _ -> None
+
 let compile_instr ctx ~depths instr =
   let costs = ctx.machine.M.costs in
+  let stride = ctx.stride in
   match instr with
-  | Visa.Vload { dst; elems } ->
-      let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
-      let n = Array.length es in
-      let e0 = es.(0) in
+  | Visa.Vload { dst; elems } -> (
+      let n = List.length elems in
+      let dst_off = dst * stride in
       let issue = float_of_int costs.M.load_issue in
-      let bytes_total = e0.e_bytes * n in
-      let flats = Array.make n 0 in
-      (* The lane buffer is owned by this instruction: it only ever
-         reaches the register file through [dst], so reusing it across
-         executions cannot alias another live register. *)
-      let values = Array.make n 0.0 in
-      fun st ->
-        let frame = st.frame in
-        for k = 0 to n - 1 do
-          flats.(k) <- es.(k).e_flat frame
-        done;
-        for k = 0 to n - 1 do
-          values.(k) <- es.(k).e_data.(flats.(k))
-        done;
-        st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
-        charge st
-          (issue
-          +. Cache.access st.cache
-               ~addr:(e0.e_base + (flats.(0) * e0.e_bytes))
-               ~bytes:bytes_total ~write:false);
-        st.vregs.(dst) <- values
-  | Visa.Vstore { src; elems } ->
-      let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
-      let n = Array.length es in
-      let e0 = es.(0) in
+      match contig_1d ctx ~depths elems with
+      | Some (name, d0, f0) ->
+          let data = Memory.array_values ctx.mem name in
+          let base = Memory.array_base ctx.mem name in
+          let bytes = Memory.elem_bytes ctx.mem name in
+          let bytes_total = bytes * n in
+          fun st ->
+            let i0 = f0 st.frame in
+            if i0 < 0 || i0 + n > d0 then
+              (* Out of range: replay the generic path's per-lane
+                 checks so the trap blames the same lane. *)
+              for k = 0 to n - 1 do
+                let i = i0 + k in
+                if i < 0 || i >= d0 then Trap.oob ~array:name ~index:i ~bound:d0 ()
+              done;
+            let vregs = st.vregs in
+            for k = 0 to n - 1 do
+              FA.unsafe_set vregs (dst_off + k) (FA.unsafe_get data (i0 + k))
+            done;
+            Array.unsafe_set st.vlanes dst n;
+            st.counters.Counters.vector_loads <-
+              st.counters.Counters.vector_loads + 1;
+            charge st
+              (issue
+              +. Cache.access st.cache ~addr:(base + (i0 * bytes)) ~bytes:bytes_total
+                   ~write:false)
+      | None ->
+          let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
+          let e0 = es.(0) in
+          let bytes_total = e0.e_bytes * n in
+          fun st ->
+            let frame = st.frame in
+            let flats = st.iscratch in
+            for k = 0 to n - 1 do
+              Array.unsafe_set flats k ((Array.unsafe_get es k).e_flat frame)
+            done;
+            let vregs = st.vregs in
+            for k = 0 to n - 1 do
+              FA.unsafe_set vregs (dst_off + k)
+                (FA.unsafe_get (Array.unsafe_get es k).e_data
+                   (Array.unsafe_get flats k))
+            done;
+            Array.unsafe_set st.vlanes dst n;
+            st.counters.Counters.vector_loads <-
+              st.counters.Counters.vector_loads + 1;
+            charge st
+              (issue
+              +. Cache.access st.cache
+                   ~addr:(e0.e_base + (Array.unsafe_get flats 0 * e0.e_bytes))
+                   ~bytes:bytes_total ~write:false))
+  | Visa.Vstore { src; elems } -> (
+      let n = List.length elems in
+      let src_off = src * stride in
       let issue = float_of_int costs.M.store_issue in
-      let bytes_total = e0.e_bytes * n in
-      let flats = Array.make n 0 in
-      fun st ->
-        let lanes = vreg st src in
-        let frame = st.frame in
-        for k = 0 to n - 1 do
-          flats.(k) <- es.(k).e_flat frame
-        done;
-        for k = 0 to n - 1 do
-          es.(k).e_data.(flats.(k)) <- lanes.(k)
-        done;
-        st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
-        charge st
-          (issue
-          +. Cache.access st.cache
-               ~addr:(e0.e_base + (flats.(0) * e0.e_bytes))
-               ~bytes:bytes_total ~write:true)
+      match contig_1d ctx ~depths elems with
+      | Some (name, d0, f0) ->
+          let data = Memory.array_values ctx.mem name in
+          let base = Memory.array_base ctx.mem name in
+          let bytes = Memory.elem_bytes ctx.mem name in
+          let bytes_total = bytes * n in
+          fun st ->
+            let ls = vreg_lanes st src in
+            let i0 = f0 st.frame in
+            if i0 < 0 || i0 + n > d0 then
+              for k = 0 to n - 1 do
+                let i = i0 + k in
+                if i < 0 || i >= d0 then Trap.oob ~array:name ~index:i ~bound:d0 ()
+              done;
+            let vregs = st.vregs in
+            for k = 0 to n - 1 do
+              if k >= ls then invalid_arg "index out of bounds";
+              FA.unsafe_set data (i0 + k) (FA.unsafe_get vregs (src_off + k))
+            done;
+            st.counters.Counters.vector_stores <-
+              st.counters.Counters.vector_stores + 1;
+            charge st
+              (issue
+              +. Cache.access st.cache ~addr:(base + (i0 * bytes)) ~bytes:bytes_total
+                   ~write:true)
+      | None ->
+          let es = Array.of_list (List.map (link_elem ctx ~depths) elems) in
+          let e0 = es.(0) in
+          let bytes_total = e0.e_bytes * n in
+          fun st ->
+            let ls = vreg_lanes st src in
+            let frame = st.frame in
+            let flats = st.iscratch in
+            for k = 0 to n - 1 do
+              Array.unsafe_set flats k ((Array.unsafe_get es k).e_flat frame)
+            done;
+            let vregs = st.vregs in
+            for k = 0 to n - 1 do
+              if k >= ls then invalid_arg "index out of bounds";
+              FA.unsafe_set
+                (Array.unsafe_get es k).e_data
+                (Array.unsafe_get flats k)
+                (FA.unsafe_get vregs (src_off + k))
+            done;
+            st.counters.Counters.vector_stores <-
+              st.counters.Counters.vector_stores + 1;
+            charge st
+              (issue
+              +. Cache.access st.cache
+                   ~addr:(e0.e_base + (Array.unsafe_get flats 0 * e0.e_bytes))
+                   ~bytes:bytes_total ~write:true))
   | Visa.Vgather { dst; srcs } ->
       let fns =
         Array.of_list (List.map (link_lane_src ctx ~depths ~count:pack_load) srcs)
       in
       let n = Array.length fns in
       let insert_c = float_of_int (n * costs.M.insert) in
-      let values = Array.make n 0.0 in
+      let dst_off = dst * stride in
       fun st ->
+        let vregs = st.vregs in
         for k = 0 to n - 1 do
-          values.(k) <- fns.(k) st
+          (* Lane sources read memory and scalars, never registers, so
+             filling [dst] as they evaluate cannot alias an operand. *)
+          FA.unsafe_set vregs (dst_off + k) ((Array.unsafe_get fns k) st)
         done;
         st.counters.Counters.inserts <- st.counters.Counters.inserts + n;
         charge st insert_c;
-        st.vregs.(dst) <- values
+        Array.unsafe_set st.vlanes dst n
   | Visa.Vunpack { src; dsts } ->
       let extract_c = float_of_int costs.M.extract in
+      let src_off = src * stride in
       let fns =
         List.mapi
           (fun i d ->
             match d with
             | None -> None
             | Some (Visa.To_reg v) ->
-                let data = ctx.sdata in
                 let slot = Memory.scalar_slot ctx.mem v in
                 Some
-                  (fun st (lanes : float array) ->
+                  (fun st n ->
                     st.counters.Counters.extracts <- st.counters.Counters.extracts + 1;
                     charge st extract_c;
-                    data.(slot) <- lanes.(i))
+                    if i >= n then invalid_arg "index out of bounds";
+                    FA.unsafe_set st.sdata slot (FA.unsafe_get st.vregs (src_off + i)))
             | Some (Visa.To_mem op) ->
                 let { e_data; e_base; e_bytes; e_flat } = link_elem ctx ~depths op in
                 let issue = float_of_int costs.M.store_issue in
                 Some
-                  (fun st lanes ->
+                  (fun st n ->
                     st.counters.Counters.extracts <- st.counters.Counters.extracts + 1;
                     charge st extract_c;
                     let fl = e_flat st.frame in
@@ -531,148 +722,250 @@ let compile_instr ctx ~depths instr =
                       +. Cache.access st.cache
                            ~addr:(e_base + (fl * e_bytes))
                            ~bytes:e_bytes ~write:true);
-                    e_data.(fl) <- lanes.(i)))
+                    if i >= n then invalid_arg "index out of bounds";
+                    FA.unsafe_set e_data fl (FA.unsafe_get st.vregs (src_off + i))))
           dsts
         |> List.filter_map Fun.id |> Array.of_list
       in
       fun st ->
-        let lanes = vreg st src in
+        let n = vreg_lanes st src in
         for k = 0 to Array.length fns - 1 do
-          fns.(k) st lanes
+          (Array.unsafe_get fns k) st n
         done
   | Visa.Vbroadcast { dst; src; lanes } ->
       let value = link_lane_src ctx ~depths ~count:pack_load src in
       let broadcast_c = float_of_int costs.M.broadcast in
-      let buf = Array.make lanes 0.0 in
+      let dst_off = dst * stride in
       fun st ->
         let v = value st in
         st.counters.Counters.broadcasts <- st.counters.Counters.broadcasts + 1;
         charge st broadcast_c;
-        Array.fill buf 0 lanes v;
-        st.vregs.(dst) <- buf
+        let vregs = st.vregs in
+        for k = 0 to lanes - 1 do
+          FA.unsafe_set vregs (dst_off + k) v
+        done;
+        Array.unsafe_set st.vlanes dst lanes
   | Visa.Vpermute { dst; src; sel } ->
       let sel = Array.copy sel in
+      let nsel = Array.length sel in
       let permute_c = float_of_int costs.M.permute in
+      let dst_off = dst * stride and src_off = src * stride in
       fun st ->
-        let lanes = vreg st src in
+        let n = vreg_lanes st src in
         st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
         charge st permute_c;
-        st.vregs.(dst) <- Array.map (fun i -> lanes.(i)) sel
+        let vregs = st.vregs and buf = st.fscratch in
+        (* Staged through scratch: [dst] may be [src]. *)
+        for k = 0 to nsel - 1 do
+          let s = Array.unsafe_get sel k in
+          if s < 0 || s >= n then invalid_arg "index out of bounds";
+          FA.unsafe_set buf k (FA.unsafe_get vregs (src_off + s))
+        done;
+        FA.blit buf 0 vregs dst_off nsel;
+        Array.unsafe_set st.vlanes dst nsel
   | Visa.Vshuffle2 { dst; a; b; sel } ->
-      let sel = Array.copy sel in
+      let nsel = Array.length sel in
+      let side = Array.map fst sel and lane = Array.map snd sel in
       let permute_c = float_of_int costs.M.permute in
+      let dst_off = dst * stride in
+      let a_off = a * stride and b_off = b * stride in
       fun st ->
-        let la = vreg st a and lb = vreg st b in
+        let na = vreg_lanes st a and nb = vreg_lanes st b in
         st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
         charge st permute_c;
-        st.vregs.(dst) <-
-          Array.map (fun (s, lane) -> if s = 0 then la.(lane) else lb.(lane)) sel
+        let vregs = st.vregs and buf = st.fscratch in
+        for k = 0 to nsel - 1 do
+          let l = Array.unsafe_get lane k in
+          if Array.unsafe_get side k = 0 then begin
+            if l < 0 || l >= na then invalid_arg "index out of bounds";
+            FA.unsafe_set buf k (FA.unsafe_get vregs (a_off + l))
+          end
+          else begin
+            if l < 0 || l >= nb then invalid_arg "index out of bounds";
+            FA.unsafe_set buf k (FA.unsafe_get vregs (b_off + l))
+          end
+        done;
+        FA.blit buf 0 vregs dst_off nsel;
+        Array.unsafe_set st.vlanes dst nsel
   | Visa.Vbin { dst; op; a; b } ->
-      let f = binop_fn op in
       let c =
         float_of_int
           (match op with Types.Div -> costs.M.divide | _ -> costs.M.vector_op)
       in
-      let buf = ref [||] in
-      fun st ->
-        let la = vreg st a and lb = vreg st b in
+      let dst_off = dst * stride in
+      let a_off = a * stride and b_off = b * stride in
+      (* The update is elementwise (lane [i] is read before written),
+         so writing [dst] in place is safe even when it aliases an
+         operand.  Dispatching on the operator here keeps the float
+         primitive direct in the lane loop. *)
+      let lanes_pre st =
+        let na = vreg_lanes st a in
+        let nb = vreg_lanes st b in
         st.counters.Counters.vector_ops <- st.counters.Counters.vector_ops + 1;
         charge st c;
-        let n = Array.length la in
-        let r =
-          if Array.length !buf = n then !buf
-          else begin
-            let b = Array.make n 0.0 in
-            buf := b;
-            b
-          end
-        in
-        (* [r] may alias [la]/[lb] when [dst] is also an operand; the
-           update is elementwise (index [i] is read before written), so
-           aliasing is harmless. *)
-        for i = 0 to n - 1 do
-          r.(i) <- f la.(i) lb.(i)
-        done;
-        st.vregs.(dst) <- r
+        if nb < na then invalid_arg "index out of bounds";
+        na
+      in
+      (match op with
+      | Types.Add ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (FA.unsafe_get vregs (a_off + i) +. FA.unsafe_get vregs (b_off + i))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Sub ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (FA.unsafe_get vregs (a_off + i) -. FA.unsafe_get vregs (b_off + i))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Mul ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (FA.unsafe_get vregs (a_off + i) *. FA.unsafe_get vregs (b_off + i))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Div ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (FA.unsafe_get vregs (a_off + i) /. FA.unsafe_get vregs (b_off + i))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Min ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (Float.min
+                   (FA.unsafe_get vregs (a_off + i))
+                   (FA.unsafe_get vregs (b_off + i)))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Max ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (Float.max
+                   (FA.unsafe_get vregs (a_off + i))
+                   (FA.unsafe_get vregs (b_off + i)))
+            done;
+            Array.unsafe_set st.vlanes dst na)
   | Visa.Vun { dst; op; a } ->
-      let f = unop_fn op in
       let c =
         float_of_int
           (match op with
           | Types.Sqrt -> costs.M.square_root
           | Types.Neg | Types.Abs -> costs.M.vector_op)
       in
-      let buf = ref [||] in
-      fun st ->
-        let la = vreg st a in
+      let dst_off = dst * stride and a_off = a * stride in
+      let lanes_pre st =
+        let na = vreg_lanes st a in
         st.counters.Counters.vector_ops <- st.counters.Counters.vector_ops + 1;
         charge st c;
-        let n = Array.length la in
-        let r =
-          if Array.length !buf = n then !buf
-          else begin
-            let b = Array.make n 0.0 in
-            buf := b;
-            b
-          end
-        in
-        for i = 0 to n - 1 do
-          r.(i) <- f la.(i)
-        done;
-        st.vregs.(dst) <- r
+        na
+      in
+      (match op with
+      | Types.Neg ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i) (-.FA.unsafe_get vregs (a_off + i))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Abs ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (Float.abs (FA.unsafe_get vregs (a_off + i)))
+            done;
+            Array.unsafe_set st.vlanes dst na
+      | Types.Sqrt ->
+          fun st ->
+            let na = lanes_pre st in
+            let vregs = st.vregs in
+            for i = 0 to na - 1 do
+              FA.unsafe_set vregs (dst_off + i)
+                (Float.sqrt (FA.unsafe_get vregs (a_off + i)))
+            done;
+            Array.unsafe_set st.vlanes dst na)
   | Visa.Vspill { src; slot } ->
-      let mem = ctx.mem in
-      let addr = Memory.spill_addr mem ~slot in
+      let addr = Memory.spill_addr ctx.mem ~slot in
       let issue = float_of_int costs.M.store_issue in
+      let src_off = src * stride and slot_off = slot * stride in
+      (* Spills live in the *state's* arena, not in shared [Memory]:
+         each simulated core owns its spilled values, which is what
+         the sequential per-core execution means and what lets domains
+         run cores concurrently without racing on slots. *)
       fun st ->
-        let lanes = vreg st src in
-        Memory.spill_store mem ~slot lanes;
+        let n = vreg_lanes st src in
+        FA.blit st.vregs src_off st.spills slot_off n;
+        Array.unsafe_set st.spill_ln slot n;
         st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
-        charge st
-          (issue
-          +. Cache.access st.cache ~addr ~bytes:(8 * Array.length lanes) ~write:true)
+        charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:true)
   | Visa.Vreload { dst; slot } ->
-      let mem = ctx.mem in
-      let addr = Memory.spill_addr mem ~slot in
+      let addr = Memory.spill_addr ctx.mem ~slot in
       let issue = float_of_int costs.M.load_issue in
+      let dst_off = dst * stride and slot_off = slot * stride in
       fun st ->
-        let lanes = Memory.spill_load mem ~slot in
+        let n = Array.unsafe_get st.spill_ln slot in
+        if n < 0 then Trap.unset_spill ~slot ();
+        FA.blit st.spills slot_off st.vregs dst_off n;
         st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
-        charge st
-          (issue
-          +. Cache.access st.cache ~addr ~bytes:(8 * Array.length lanes) ~write:false);
-        st.vregs.(dst) <- lanes
+        charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:false);
+        Array.unsafe_set st.vlanes dst n
   | Visa.Vload_scalars { dst; sources } ->
-      let data = ctx.sdata in
       let slots = Array.of_list (List.map (Memory.scalar_slot ctx.mem) sources) in
       let n = Array.length slots in
       let issue = float_of_int costs.M.load_issue in
+      let dst_off = dst * stride in
       let addr0 =
         try Ok (Memory.scalar_addr ctx.mem (List.hd sources))
         with Invalid_argument msg -> Error msg
       in
       fun st ->
-        let values = Array.make n 0.0 in
+        let vregs = st.vregs and data = st.sdata in
         for k = 0 to n - 1 do
-          values.(k) <- data.(slots.(k))
+          FA.unsafe_set vregs (dst_off + k)
+            (FA.unsafe_get data (Array.unsafe_get slots k))
         done;
         st.counters.Counters.vector_loads <- st.counters.Counters.vector_loads + 1;
         let addr = match addr0 with Ok a -> a | Error msg -> invalid_arg msg in
         charge st (issue +. Cache.access st.cache ~addr ~bytes:(8 * n) ~write:false);
-        st.vregs.(dst) <- values
+        Array.unsafe_set st.vlanes dst n
   | Visa.Vstore_scalars { src; targets } ->
-      let data = ctx.sdata in
       let slots = Array.of_list (List.map (Memory.scalar_slot ctx.mem) targets) in
       let n = Array.length slots in
       let issue = float_of_int costs.M.store_issue in
+      let src_off = src * stride in
       let addr0 =
         try Ok (Memory.scalar_addr ctx.mem (List.hd targets))
         with Invalid_argument msg -> Error msg
       in
       fun st ->
-        let lanes = vreg st src in
+        let ls = vreg_lanes st src in
+        let vregs = st.vregs and data = st.sdata in
         for k = 0 to n - 1 do
-          data.(slots.(k)) <- lanes.(k)
+          if k >= ls then invalid_arg "index out of bounds";
+          FA.unsafe_set data (Array.unsafe_get slots k)
+            (FA.unsafe_get vregs (src_off + k))
         done;
         st.counters.Counters.vector_stores <- st.counters.Counters.vector_stores + 1;
         let addr = match addr0 with Ok a -> a | Error msg -> invalid_arg msg in
@@ -734,7 +1027,7 @@ let rec compile_vector_items ?prof ?(keys = `Origins (ref [])) ctx ~depths
                 (match (Affine.to_const l.Visa.lo, Affine.to_const l.Visa.hi) with
                 | Some lo, Some hi -> Some (lo, hi)
                 | _, _ -> None);
-              c_body = (fun st -> run_items st body);
+              c_body = seq_items body;
             })
     items
 
@@ -756,6 +1049,14 @@ let rec vector_prog_depth items =
       | Visa.Loop l -> max acc (1 + vector_prog_depth l.Visa.body))
     0 items
 
+let rec fold_instrs f acc items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Visa.Block instrs -> List.fold_left f acc instrs
+      | Visa.Loop l -> fold_instrs f acc l.Visa.body)
+    acc items
+
 let max_vreg_instr acc = function
   | Visa.Vload { dst; _ }
   | Visa.Vgather { dst; _ }
@@ -774,13 +1075,33 @@ let max_vreg_instr acc = function
   | Visa.Vun { dst; a; _ } -> max acc (max dst a)
   | Visa.Sstmt _ -> acc
 
-let rec max_vreg_items acc items =
-  List.fold_left
-    (fun acc item ->
-      match item with
-      | Visa.Block instrs -> List.fold_left max_vreg_instr acc instrs
-      | Visa.Loop l -> max_vreg_items acc l.Visa.body)
-    acc items
+(* Every register is written by one of the width-bearing opcodes below
+   (or by a reload of a value one of them spilled), so their maximum
+   is a sound lane stride for the whole file. *)
+let max_lanes_instr acc = function
+  | Visa.Vload { elems; _ } | Visa.Vstore { elems; _ } ->
+      max acc (List.length elems)
+  | Visa.Vgather { srcs; _ } -> max acc (List.length srcs)
+  | Visa.Vunpack { dsts; _ } -> max acc (List.length dsts)
+  | Visa.Vbroadcast { lanes; _ } -> max acc lanes
+  | Visa.Vpermute { sel; _ } -> max acc (Array.length sel)
+  | Visa.Vshuffle2 { sel; _ } -> max acc (Array.length sel)
+  | Visa.Vload_scalars { sources; _ } -> max acc (List.length sources)
+  | Visa.Vstore_scalars { targets; _ } -> max acc (List.length targets)
+  | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _ | Visa.Sstmt _ -> acc
+
+let max_slot_instr acc = function
+  | Visa.Vspill { slot; _ } | Visa.Vreload { slot; _ } -> max acc slot
+  | _ -> acc
+
+let program_vregs (p : Visa.program) =
+  1 + fold_instrs max_vreg_instr (fold_instrs max_vreg_instr (-1) p.Visa.setup) p.Visa.body
+
+let program_lane_stride (p : Visa.program) =
+  max 1 (fold_instrs max_lanes_instr (fold_instrs max_lanes_instr 1 p.Visa.setup) p.Visa.body)
+
+let program_spill_slots (p : Visa.program) =
+  1 + fold_instrs max_slot_instr (fold_instrs max_slot_instr (-1) p.Visa.setup) p.Visa.body
 
 (* Every scalar name a program can touch, registered with [Memory]
    before the backing store is captured (a later registration could
@@ -823,30 +1144,93 @@ let instr_scalar_names acc = function
   | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _ ->
       acc
 
-let rec vector_prog_names acc items =
-  List.fold_left
-    (fun acc item ->
-      match item with
-      | Visa.Block instrs -> List.fold_left instr_scalar_names acc instrs
-      | Visa.Loop l -> vector_prog_names acc l.Visa.body)
-    acc items
+let vector_prog_names acc items = fold_instrs instr_scalar_names acc items
 
-let make_ctx ~machine mem names =
+let make_ctx ~machine ~stride mem names =
   List.iter (fun v -> ignore (Memory.scalar_slot mem v)) names;
-  { mem; machine; sdata = Memory.scalar_values mem }
+  { mem; machine; sdata = Memory.scalar_values mem; stride }
 
-let fresh_state ?contention ~machine ~nframe ~nvregs () =
+let fresh_state ?contention ~machine ~nframe ~nvregs ~stride ~nslots ~sdata () =
   {
     cache = Cache.create ?contention machine;
     counters = Counters.create ();
     cycles = [| 0.0 |];
     frame = Array.make (max 1 nframe) 0;
-    vregs = Array.make nvregs unset_vreg;
+    vregs = FA.make (max 1 (nvregs * stride)) 0.0;
+    vlanes = Array.make (max 1 nvregs) (-1);
+    fscratch = FA.make (max 1 stride) 0.0;
+    iscratch = Array.make (max 1 stride) 0;
+    spills = FA.make (max 1 (nslots * stride)) 0.0;
+    spill_ln = Array.make (max 1 nslots) (-1);
+    sdata;
   }
 
 (* -- drivers (multicore semantics mirror the interpreters) --------- *)
 
-let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ~machine
+(* Execute the partitioned per-core legs — core [k] runs the main
+   loop's [k]-th chunk (plus the non-loop items on core 0) against its
+   own cache, counters, registers, and spill arena — then merge
+   deterministically in core order.  With a pool the legs run on real
+   domains: compiled closures are state-pure (all mutable scratch
+   lives in the per-core [state]) and the simulated cycle/cache
+   accounting is address-driven, so concurrent execution produces
+   bit-identical counters to the sequential legs.  Shared [Memory]
+   array data is written concurrently only by the data-parallel chunks
+   themselves (row-disjoint by {!Parcheck}'s subscript rule), and the
+   scalar slot store is privatized per core: each domain runs on its
+   own copy of [sdata], and the last core whose chunk is non-empty
+   writes its copy back — exactly the values the sequential legs leave
+   behind, because the safety check guarantees each chunk's results
+   are independent of incoming scalar values. *)
+let exec_cores ?pool ~fresh ~sdata ~items ~main_idx ~main_loop ~ranges ~into () =
+  let ranges = Array.of_list ranges in
+  let cores = Array.length ranges in
+  let privatize = pool <> None in
+  let sts =
+    Array.init cores (fun _ ->
+        fresh ~sdata:(if privatize then FA.copy sdata else sdata) ())
+  in
+  let run_core core =
+    let st = sts.(core) in
+    let clo, chi = ranges.(core) in
+    List.iteri
+      (fun j item ->
+        if j = main_idx then run_loop st main_loop ~lo:clo ~hi:chi
+        else if core = 0 then run_item st item)
+      items
+  in
+  (match pool with
+  | Some p -> Dpool.run p cores run_core
+  | None ->
+      for core = 0 to cores - 1 do
+        run_core core
+      done);
+  if privatize then
+    Array.iteri
+      (fun core (st : state) ->
+        let clo, chi = ranges.(core) in
+        if clo < chi then FA.blit st.sdata 0 sdata 0 (FA.length sdata))
+      sts;
+  let max_cycles = ref 0.0 in
+  Array.iter
+    (fun st ->
+      max_cycles := Float.max !max_cycles st.cycles.(0);
+      Counters.merge_into ~into st.counters)
+    sts;
+  !max_cycles
+
+(* Domain execution is only taken when nothing global is observed per
+   access: profiling bins into one shared profile and fault injection
+   advances a global tick, so either forces the sequential legs. *)
+let use_pool pool ~profile =
+  match pool with
+  | Some p
+    when Dpool.workers p > 0 && Option.is_none profile
+         && not !Trap.fault_enabled ->
+      Some p
+  | _ -> None
+
+let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ?pool ~machine
     (prog : Program.t) =
   let memory =
     match memory with
@@ -859,19 +1243,24 @@ let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ~machine
   (match profile with
   | None -> ()
   | Some p -> register_arrays p prog.Program.env memory);
-  let ctx = make_ctx ~machine memory (scalar_prog_names [] prog.Program.body) in
+  let ctx =
+    make_ctx ~machine ~stride:1 memory (scalar_prog_names [] prog.Program.body)
+  in
   let items =
     compile_scalar_items ?prof:profile ctx ~depths:[] ~depth:0 prog.Program.body
   in
   assert (Memory.scalar_values memory == ctx.sdata);
   let nframe = scalar_prog_depth prog.Program.body in
-  let fresh ?contention () =
-    let st = fresh_state ?contention ~machine ~nframe ~nvregs:0 () in
+  let fresh ?contention ~sdata () =
+    let st =
+      fresh_state ?contention ~machine ~nframe ~nvregs:0 ~stride:1 ~nslots:0
+        ~sdata ()
+    in
     observe_cache profile st.cache;
     st
   in
   let run_single () =
-    let st = fresh () in
+    let st = fresh ~sdata:ctx.sdata () in
     run_items st items;
     st.counters.Counters.cycles <- st.cycles.(0);
     { counters = st.counters; memory }
@@ -888,25 +1277,21 @@ let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ~machine
           | None -> raise Not_found
         in
         let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let pool =
+          match use_pool pool ~profile with
+          | Some p when Parcheck.scalar_parallel_safe prog -> Some p
+          | _ -> None
+        in
         let all = Counters.create () in
-        let max_cycles = ref 0.0 in
-        List.iteri
-          (fun core (clo, chi) ->
-            let st = fresh ~contention () in
-            List.iteri
-              (fun j item ->
-                if j = main_idx then run_loop st main_loop ~lo:clo ~hi:chi
-                else if core = 0 then run_item st item)
-              items;
-            max_cycles := Float.max !max_cycles st.cycles.(0);
-            Counters.merge_into ~into:all st.counters)
-          ranges;
-        all.Counters.cycles <- !max_cycles;
+        all.Counters.cycles <-
+          exec_cores ?pool
+            ~fresh:(fun ~sdata () -> fresh ~contention ~sdata ())
+            ~sdata:ctx.sdata ~items ~main_idx ~main_loop ~ranges ~into:all ();
         { counters = all; memory }
   end
 
-let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
-    (prog : Visa.program) =
+let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ?pool
+    ~machine (prog : Visa.program) =
   let memory =
     match memory with
     | Some m -> m
@@ -921,7 +1306,8 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
   let names =
     vector_prog_names (vector_prog_names [] prog.Visa.setup) prog.Visa.body
   in
-  let ctx = make_ctx ~machine memory names in
+  let stride = program_lane_stride prog in
+  let ctx = make_ctx ~machine ~stride memory names in
   let setup =
     compile_vector_items ?prof:profile ~keys:`Setup ctx ~depths:[] ~depth:0
       prog.Visa.setup
@@ -935,13 +1321,17 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
   let nframe =
     max (vector_prog_depth prog.Visa.setup) (vector_prog_depth prog.Visa.body)
   in
-  let nvregs = 1 + max_vreg_items (max_vreg_items (-1) prog.Visa.setup) prog.Visa.body in
-  let fresh ?contention () =
-    let st = fresh_state ?contention ~machine ~nframe ~nvregs () in
+  let nvregs = program_vregs prog in
+  let nslots = program_spill_slots prog in
+  let fresh ?contention ~sdata () =
+    let st =
+      fresh_state ?contention ~machine ~nframe ~nvregs ~stride ~nslots ~sdata ()
+    in
     observe_cache profile st.cache;
     st
   in
-  let setup_state = fresh () in
+  let fresh_shared ?contention () = fresh ?contention ~sdata:ctx.sdata () in
+  let setup_state = fresh_shared () in
   (* Setup (layout replication) runs once.  Replication loops are data
      parallel, so under multicore execution each one is partitioned
      like the main loop and its time is the slowest core's share. *)
@@ -988,7 +1378,7 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
     let contention = 1.0 +. (float_of_int (cores - 1) *. machine.M.contention_per_core) in
     match first_cloop body with
     | None ->
-        let st = fresh () in
+        let st = fresh_shared () in
         run_items st body;
         st.counters.Counters.cycles <- st.cycles.(0);
         st.counters.Counters.setup_cycles <- setup_cycles;
@@ -1000,19 +1390,15 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ~machine
           | None -> raise Not_found
         in
         let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let pool =
+          match use_pool pool ~profile with
+          | Some p when Parcheck.vector_parallel_safe prog -> Some p
+          | _ -> None
+        in
         let all = setup_state.counters in
-        let max_cycles = ref 0.0 in
-        List.iteri
-          (fun core (clo, chi) ->
-            let st = fresh ~contention () in
-            List.iteri
-              (fun j item ->
-                if j = main_idx then run_loop st main_loop ~lo:clo ~hi:chi
-                else if core = 0 then run_item st item)
-              body;
-            max_cycles := Float.max !max_cycles st.cycles.(0);
-            Counters.merge_into ~into:all st.counters)
-          ranges;
-        all.Counters.cycles <- !max_cycles;
+        all.Counters.cycles <-
+          exec_cores ?pool
+            ~fresh:(fun ~sdata () -> fresh ~contention ~sdata ())
+            ~sdata:ctx.sdata ~items:body ~main_idx ~main_loop ~ranges ~into:all ();
         { counters = all; memory }
   end

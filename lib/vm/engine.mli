@@ -15,10 +15,16 @@ type result = { counters : Counters.t; memory : Memory.t }
 
 val run_scalar :
   ?cores:int -> ?seed:int -> ?memory:Memory.t -> ?profile:Slp_obs.Profile.t ->
-  machine:Slp_machine.Machine.t -> Program.t -> result
+  ?pool:Dpool.t -> machine:Slp_machine.Machine.t -> Program.t -> result
 (** Compile and run a scalar program; multicore semantics (first
     top-level loop partitioned, contention on the memory system,
     cycles = slowest core) mirror {!Scalar_exec.run}.
+
+    With [?pool] (and [cores > 1]) the per-core legs execute on real
+    OCaml domains and are merged deterministically in core order, so
+    counters and cycles are bit-identical to the sequential
+    simulation; profiling and armed fault injection observe global
+    state per access and silently force the sequential legs.
 
     With [?profile], every statement closure is bracketed with a cycle
     delta and the cache observer, attributing all charged cycles and
@@ -30,10 +36,11 @@ val run_scalar :
 
 val run_vector :
   ?cores:int -> ?seed:int -> ?memory:Memory.t -> ?profile:Slp_obs.Profile.t ->
-  ?origins:Slp_obs.Profile.key array list -> machine:Slp_machine.Machine.t ->
-  Visa.program -> result
+  ?origins:Slp_obs.Profile.key array list -> ?pool:Dpool.t ->
+  machine:Slp_machine.Machine.t -> Visa.program -> result
 (** Compile and run a vector program; setup replication and multicore
-    semantics mirror {!Vector_exec.run}.  [?origins] maps instructions
+    semantics mirror {!Vector_exec.run} ([?pool] as in
+    {!run_scalar}).  [?origins] maps instructions
     back to source statements for [?profile]: one key array per
     [Visa.Block] of the body in pre-order (as produced by
     [Lower.lower_with_origins] and transformed by
@@ -43,3 +50,15 @@ val run_vector :
 
 val chunk_ranges : lo:int -> hi:int -> step:int -> cores:int -> (int * int) list
 (** Split [lo, hi) into [cores] contiguous step-aligned ranges. *)
+
+val program_vregs : Visa.program -> int
+(** One more than the highest register number the program mentions
+    (0 for a register-free program) — sizes a dense register file. *)
+
+val program_lane_stride : Visa.program -> int
+(** The widest lane count any instruction can produce (at least 1) —
+    the per-register pitch of the flat register file. *)
+
+val program_spill_slots : Visa.program -> int
+(** One more than the highest spill slot mentioned (0 when the
+    program never spills) — sizes a dense spill arena. *)

@@ -1,21 +1,31 @@
 open Slp_ir
+module FA = Float.Array
 
 type array_box = {
-  data : float array;
+  data : floatarray;
   base : int;
   dims : int list;
   elem_bytes : int;
 }
 
+(* Spill slots live in a single flat arena of [spill_stride] lanes per
+   slot instead of a hash table of boxed lane arrays: storing a
+   superword is a blit into the arena and reloading is a blit out,
+   with no allocation and no hashing on the VM's register-pressure hot
+   path.  [spill_lanes.(slot)] records the lane count of the value the
+   slot holds, or -1 when the slot was never stored (reloading such a
+   slot traps, like the hash-table miss used to). *)
 type t = {
   arrays : (string, array_box) Hashtbl.t;
   scalar_addrs : (string, int) Hashtbl.t;
   scalar_slots : (string, int) Hashtbl.t;
-  mutable scalar_data : float array;
+  mutable scalar_data : floatarray;
   mutable scalar_count : int;
   scalar_base : int;
   spill_base : int;
-  spills : (int, float array) Hashtbl.t;
+  mutable spill_data : floatarray;
+  mutable spill_lanes : int array;
+  mutable spill_stride : int;
 }
 
 let align a n = (a + n - 1) / n * n
@@ -30,7 +40,7 @@ let create ?(scalar_layout = []) ~env () =
       let base = align !brk 64 in
       brk := base + (total * elem_bytes);
       Hashtbl.replace arrays name
-        { data = Array.make total 0.0; base; dims = info.Env.dims; elem_bytes })
+        { data = FA.make total 0.0; base; dims = info.Env.dims; elem_bytes })
     (Env.arrays env);
   let scalar_base = align !brk 64 in
   let scalar_addrs = Hashtbl.create 16 in
@@ -73,11 +83,13 @@ let create ?(scalar_layout = []) ~env () =
     arrays;
     scalar_addrs;
     scalar_slots;
-    scalar_data = Array.make (max 8 n) 0.0;
+    scalar_data = FA.make (max 8 n) 0.0;
     scalar_count = n;
     scalar_base;
     spill_base;
-    spills = Hashtbl.create 16;
+    spill_data = FA.make 0 0.0;
+    spill_lanes = [||];
+    spill_stride = 8;
   }
 
 let box t name =
@@ -93,29 +105,31 @@ let init_arrays t ~seed =
     (fun name ->
       let b = box t name in
       let rng = Slp_util.Prng.create (seed lxor Hashtbl.hash name) in
-      Array.iteri (fun i _ -> b.data.(i) <- Slp_util.Prng.float rng 1.0) b.data)
+      for i = 0 to FA.length b.data - 1 do
+        FA.unsafe_set b.data i (Slp_util.Prng.float rng 1.0)
+      done)
     names
 
 let load t name idx =
   let b = box t name in
-  if idx < 0 || idx >= Array.length b.data then
-    Trap.oob ~array:name ~index:idx ~bound:(Array.length b.data) ();
-  b.data.(idx)
+  if idx < 0 || idx >= FA.length b.data then
+    Trap.oob ~array:name ~index:idx ~bound:(FA.length b.data) ();
+  FA.unsafe_get b.data idx
 
 let store t name idx v =
   let b = box t name in
-  if idx < 0 || idx >= Array.length b.data then
-    Trap.oob ~array:name ~index:idx ~bound:(Array.length b.data) ();
-  b.data.(idx) <- v
+  if idx < 0 || idx >= FA.length b.data then
+    Trap.oob ~array:name ~index:idx ~bound:(FA.length b.data) ();
+  FA.unsafe_set b.data idx v
 
 let scalar_slot t name =
   match Hashtbl.find_opt t.scalar_slots name with
   | Some s -> s
   | None ->
       let s = t.scalar_count in
-      if s >= Array.length t.scalar_data then begin
-        let grown = Array.make (2 * Array.length t.scalar_data) 0.0 in
-        Array.blit t.scalar_data 0 grown 0 (Array.length t.scalar_data);
+      if s >= FA.length t.scalar_data then begin
+        let grown = FA.make (2 * FA.length t.scalar_data) 0.0 in
+        FA.blit t.scalar_data 0 grown 0 (FA.length t.scalar_data);
         t.scalar_data <- grown
       end;
       Hashtbl.replace t.scalar_slots name s;
@@ -124,10 +138,10 @@ let scalar_slot t name =
 
 let scalar t name =
   match Hashtbl.find_opt t.scalar_slots name with
-  | Some s -> t.scalar_data.(s)
+  | Some s -> FA.get t.scalar_data s
   | None -> 0.0
 
-let set_scalar t name v = t.scalar_data.(scalar_slot t name) <- v
+let set_scalar t name v = FA.set t.scalar_data (scalar_slot t name) v
 let scalar_values t = t.scalar_data
 let array_base t name = (box t name).base
 
@@ -155,13 +169,70 @@ let addr_of_elem t name idxs =
 let array_values t name = (box t name).data
 let dims t name = (box t name).dims
 
+(* -- spill arena ---------------------------------------------------- *)
+
 let spill_addr t ~slot = t.spill_base + (slot * 64)
-let spill_store t ~slot lanes = Hashtbl.replace t.spills slot (Array.copy lanes)
+
+(* Grow the arena to hold [slot] at [lanes] lanes.  Widening the
+   stride re-lays existing rows out at the new pitch so live values
+   survive; both growths double to amortise. *)
+let ensure_spill t ~slot ~lanes =
+  let cap = Array.length t.spill_lanes in
+  if lanes > t.spill_stride then begin
+    let stride = max lanes (2 * t.spill_stride) in
+    let data = FA.make (max cap 1 * stride) 0.0 in
+    for s = 0 to cap - 1 do
+      if t.spill_lanes.(s) >= 0 then
+        FA.blit t.spill_data (s * t.spill_stride) data (s * stride)
+          t.spill_lanes.(s)
+    done;
+    t.spill_data <- data;
+    t.spill_stride <- stride
+  end;
+  if slot >= cap then begin
+    let cap' = max (slot + 1) (max 16 (2 * cap)) in
+    let data = FA.make (cap' * t.spill_stride) 0.0 in
+    FA.blit t.spill_data 0 data 0 (cap * t.spill_stride);
+    let lanes' = Array.make cap' (-1) in
+    Array.blit t.spill_lanes 0 lanes' 0 cap;
+    t.spill_data <- data;
+    t.spill_lanes <- lanes'
+  end
+
+let reserve_spills t ~slots ~max_lanes =
+  if slots > 0 then ensure_spill t ~slot:(slots - 1) ~lanes:(max 1 max_lanes)
+
+let spill_store_from t ~slot ~src ~pos ~lanes =
+  if slot >= Array.length t.spill_lanes || lanes > t.spill_stride then
+    ensure_spill t ~slot ~lanes;
+  FA.blit src pos t.spill_data (slot * t.spill_stride) lanes;
+  t.spill_lanes.(slot) <- lanes
+
+let spill_lanes_of t ~slot =
+  if slot < 0 || slot >= Array.length t.spill_lanes then -1
+  else Array.unsafe_get t.spill_lanes slot
+
+let spill_load_into t ~slot ~dst ~pos =
+  let lanes = spill_lanes_of t ~slot in
+  if lanes < 0 then Trap.unset_spill ~slot ();
+  FA.blit t.spill_data (slot * t.spill_stride) dst pos lanes;
+  lanes
+
+let spill_store t ~slot lanes =
+  let n = Array.length lanes in
+  if slot >= Array.length t.spill_lanes || n > t.spill_stride then
+    ensure_spill t ~slot ~lanes:n;
+  let base = slot * t.spill_stride in
+  for k = 0 to n - 1 do
+    FA.unsafe_set t.spill_data (base + k) (Array.unsafe_get lanes k)
+  done;
+  t.spill_lanes.(slot) <- n
 
 let spill_load t ~slot =
-  match Hashtbl.find_opt t.spills slot with
-  | Some lanes -> Array.copy lanes
-  | None -> Trap.unset_spill ~slot ()
+  let lanes = spill_lanes_of t ~slot in
+  if lanes < 0 then Trap.unset_spill ~slot ();
+  let base = slot * t.spill_stride in
+  Array.init lanes (fun k -> FA.unsafe_get t.spill_data (base + k))
 
 let same_contents a b =
   let names =
@@ -173,11 +244,16 @@ let same_contents a b =
       | None -> false
       | Some bb ->
           let ba = box a name in
-          Array.length ba.data = Array.length bb.data
-          && Array.for_all2
-               (fun x y ->
-                 (* Identical NaNs/infinities count as equal: both
-                    executions overflowing the same way is agreement. *)
-                 Float.equal x y || Float.abs (x -. y) <= 1e-9)
-               ba.data bb.data)
+          FA.length ba.data = FA.length bb.data
+          &&
+          let rec scan i =
+            if i >= FA.length ba.data then true
+            else begin
+              let x = FA.unsafe_get ba.data i and y = FA.unsafe_get bb.data i in
+              (* Identical NaNs/infinities count as equal: both
+                 executions overflowing the same way is agreement. *)
+              (Float.equal x y || Float.abs (x -. y) <= 1e-9) && scan (i + 1)
+            end
+          in
+          scan 0)
     names

@@ -5,7 +5,12 @@
     optimizer may override (paper §5.1 — adjacent slots let a scalar
     superword move with one vector memory operation).  Addresses are
     bytes; values are doubles regardless of declared element type
-    (types govern widths and lane counts, not arithmetic). *)
+    (types govern widths and lane counts, not arithmetic).
+
+    All value storage is unboxed [floatarray]: array backing stores,
+    the scalar segment, and the vector spill arena, so the execution
+    engine's hot loops touch flat float memory with no per-element
+    boxing and no hashing. *)
 
 open Slp_ir
 
@@ -30,7 +35,7 @@ val scalar_slot : t -> string -> int
     The compiled execution engine resolves every name to a slot once,
     then reads and writes the flat backing store directly. *)
 
-val scalar_values : t -> float array
+val scalar_values : t -> floatarray
 (** The live scalar backing store, indexed by {!scalar_slot}.  The
     array may be replaced (grown) by a later [scalar_slot]
     registration of a new name, so register every name before
@@ -52,7 +57,7 @@ val flat_index : t -> string -> int list -> int
     {!Trap.Trap} on a rank mismatch or an out-of-range index. *)
 
 val addr_of_elem : t -> string -> int list -> int
-val array_values : t -> string -> float array
+val array_values : t -> string -> floatarray
 (** The live backing store (not a copy). *)
 
 val dims : t -> string -> int list
@@ -61,9 +66,24 @@ val spill_addr : t -> slot:int -> int
 (** Byte address of a vector spill slot (64-byte aligned segment after
     the scalar slots; slots are 64 bytes). *)
 
+val reserve_spills : t -> slots:int -> max_lanes:int -> unit
+(** Preallocate the spill arena for [slots] slots of up to [max_lanes]
+    lanes each, so no growth happens on the execution hot path.  The
+    register allocator's static slot count and the program's widest
+    register give the exact sizing. *)
+
 val spill_store : t -> slot:int -> float array -> unit
 val spill_load : t -> slot:int -> float array
 (** Raises {!Trap.Trap} when the slot was never stored. *)
+
+val spill_store_from : t -> slot:int -> src:floatarray -> pos:int -> lanes:int -> unit
+(** Allocation-free spill used by the compiled engine: blit [lanes]
+    values from [src] at [pos] into the slot's arena row. *)
+
+val spill_load_into : t -> slot:int -> dst:floatarray -> pos:int -> int
+(** Blit the slot's value into [dst] at [pos]; returns its lane count.
+    Raises {!Trap.Trap} when the slot was never stored (before writing
+    anything). *)
 
 val same_contents : t -> t -> bool
 (** Array-by-array equality within 1e-9 (identical NaNs/infinities

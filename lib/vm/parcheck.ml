@@ -1,0 +1,214 @@
+(* Static chunk-independence analysis for the domain-parallel leg.
+
+   The multicore simulation partitions the first top-level loop into
+   per-core chunks and — sequentially — runs them one after another on
+   shared memory.  Executing the chunks on concurrent domains is only
+   observationally identical when no chunk can see another chunk's
+   writes:
+
+   - every array the loop writes must be accessed (read or written)
+     only through a leading subscript that is exactly the partitioned
+     index, so distinct iterations touch provably disjoint rows;
+   - every scalar variable the loop writes must be written before it
+     is read within a single iteration of the partitioned loop
+     (privatizable temporaries like an FFT butterfly's [tr]/[ti]); a
+     read-modify-write recurrence such as [rdot = rdot + ...] is a
+     genuine serial dependence and rejects the program;
+   - the body must consist of the partitioned loop alone, so core 0
+     carries no extra items racing against the other cores' chunks.
+
+   Scalars that pass the check are run out of per-core private copies
+   of the scalar store (see [Engine]); arrays stay shared because the
+   subscript rule makes the chunks' footprints disjoint.
+
+   The analysis is purely syntactic and conservative: [false] never
+   breaks anything (the engine just keeps its sequential legs), and
+   [true] is sound because control flow in the kernel language is
+   data-independent — loop bounds are affine in the enclosing indices,
+   so every chunk executes a fixed iteration sequence regardless of
+   the float data. *)
+
+open Slp_ir
+
+type acc = {
+  mutable warrays : string list;  (* arrays written anywhere in the loop *)
+  mutable wscalars : string list;  (* scalars written anywhere in the loop *)
+}
+
+let add xs x = if List.mem x xs then xs else x :: xs
+
+(* -- collection: everything the partitioned loop writes ------------ *)
+
+let collect_stmt acc (s : Stmt.t) =
+  match s.Stmt.lhs with
+  | Operand.Scalar v -> acc.wscalars <- add acc.wscalars v
+  | Operand.Elem (b, _) -> acc.warrays <- add acc.warrays b
+  | Operand.Const _ -> ()
+
+let rec collect_scalar_items acc items =
+  List.iter
+    (function
+      | Program.Stmts blk -> List.iter (collect_stmt acc) blk.Block.stmts
+      | Program.Loop l -> collect_scalar_items acc l.Program.body)
+    items
+
+let collect_instr acc (i : Visa.instr) =
+  match i with
+  | Visa.Vstore { elems; _ } ->
+      List.iter
+        (function
+          | Operand.Elem (b, _) -> acc.warrays <- add acc.warrays b
+          | Operand.Scalar _ | Operand.Const _ -> ())
+        elems
+  | Visa.Vunpack { dsts; _ } ->
+      List.iter
+        (function
+          | Some (Visa.To_reg v) -> acc.wscalars <- add acc.wscalars v
+          | Some (Visa.To_mem (Operand.Elem (b, _))) ->
+              acc.warrays <- add acc.warrays b
+          | Some (Visa.To_mem _) | None -> ())
+        dsts
+  | Visa.Vstore_scalars { targets; _ } ->
+      List.iter (fun v -> acc.wscalars <- add acc.wscalars v) targets
+  | Visa.Sstmt s -> collect_stmt acc s
+  | Visa.Vload _ | Visa.Vgather _ | Visa.Vbroadcast _ | Visa.Vpermute _
+  | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _
+  | Visa.Vload_scalars _ ->
+      ()
+
+let rec collect_vector_items acc items =
+  List.iter
+    (function
+      | Visa.Block instrs -> List.iter (collect_instr acc) instrs
+      | Visa.Loop l -> collect_vector_items acc l.Visa.body)
+    items
+
+(* -- the check ------------------------------------------------------ *)
+
+exception Unsafe
+
+(* A loop whose bounds are compile-time constants provably executes at
+   least once; only then may its writes count as definite for code
+   after it (a zero-trip loop writes nothing). *)
+let trip_at_least_once ~lo ~hi =
+  match (Affine.to_const lo, Affine.to_const hi) with
+  | Some lo, Some hi -> hi > lo
+  | _ -> false
+
+let check_elem ~pvar ~warrays b idxs =
+  if List.mem b warrays then
+    match idxs with
+    | ix :: _ when Affine.equal ix (Affine.var pvar) -> ()
+    | _ -> raise Unsafe
+
+(* Reading a loop-written scalar is safe only once this iteration of
+   the partitioned loop has definitely written it. *)
+let check_scalar_read ~wscalars ~bound ~written v =
+  if (not (List.mem v bound)) && List.mem v wscalars && not (List.mem v !written)
+  then raise Unsafe
+
+let check_operand_read ~pvar ~warrays ~wscalars ~bound ~written op =
+  match op with
+  | Operand.Const _ -> ()
+  | Operand.Scalar v -> check_scalar_read ~wscalars ~bound ~written v
+  | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
+
+let check_stmt ~pvar ~warrays ~wscalars ~bound ~written (s : Stmt.t) =
+  List.iter
+    (check_operand_read ~pvar ~warrays ~wscalars ~bound ~written)
+    (Expr.leaves s.Stmt.rhs);
+  match s.Stmt.lhs with
+  | Operand.Scalar v -> written := add !written v
+  | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
+  | Operand.Const _ -> ()
+
+let rec check_scalar_items ~pvar ~warrays ~wscalars ~bound ~written items =
+  List.iter
+    (function
+      | Program.Stmts blk ->
+          List.iter (check_stmt ~pvar ~warrays ~wscalars ~bound ~written)
+            blk.Block.stmts
+      | Program.Loop l ->
+          let inner = ref !written in
+          check_scalar_items ~pvar ~warrays ~wscalars
+            ~bound:(l.Program.index :: bound) ~written:inner l.Program.body;
+          if trip_at_least_once ~lo:l.Program.lo ~hi:l.Program.hi then
+            written := !inner)
+    items
+
+let check_vsrc ~pvar ~warrays ~wscalars ~bound ~written = function
+  | Visa.Imm _ -> ()
+  | Visa.Reg v -> check_scalar_read ~wscalars ~bound ~written v
+  | Visa.Mem (Operand.Elem (b, idxs)) -> check_elem ~pvar ~warrays b idxs
+  | Visa.Mem _ -> ()
+
+let check_instr ~pvar ~warrays ~wscalars ~bound ~written (i : Visa.instr) =
+  let elem = function
+    | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
+    | Operand.Scalar _ | Operand.Const _ -> ()
+  in
+  match i with
+  | Visa.Vload { elems; _ } | Visa.Vstore { elems; _ } -> List.iter elem elems
+  | Visa.Vgather { srcs; _ } ->
+      List.iter (check_vsrc ~pvar ~warrays ~wscalars ~bound ~written) srcs
+  | Visa.Vbroadcast { src; _ } ->
+      check_vsrc ~pvar ~warrays ~wscalars ~bound ~written src
+  | Visa.Vunpack { dsts; _ } ->
+      List.iter
+        (function
+          | Some (Visa.To_reg v) -> written := add !written v
+          | Some (Visa.To_mem op) -> elem op
+          | None -> ())
+        dsts
+  | Visa.Vload_scalars { sources; _ } ->
+      List.iter (check_scalar_read ~wscalars ~bound ~written) sources
+  | Visa.Vstore_scalars { targets; _ } ->
+      List.iter (fun v -> written := add !written v) targets
+  | Visa.Sstmt s -> check_stmt ~pvar ~warrays ~wscalars ~bound ~written s
+  | Visa.Vpermute _ | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _
+  | Visa.Vreload _ ->
+      ()
+
+let rec check_vector_items ~pvar ~warrays ~wscalars ~bound ~written items =
+  List.iter
+    (function
+      | Visa.Block instrs ->
+          List.iter (check_instr ~pvar ~warrays ~wscalars ~bound ~written) instrs
+      | Visa.Loop l ->
+          let inner = ref !written in
+          check_vector_items ~pvar ~warrays ~wscalars
+            ~bound:(l.Visa.index :: bound) ~written:inner l.Visa.body;
+          if trip_at_least_once ~lo:l.Visa.lo ~hi:l.Visa.hi then written := !inner)
+    items
+
+(* -- entry points --------------------------------------------------- *)
+
+let scalar_parallel_safe (prog : Program.t) =
+  match prog.Program.body with
+  | [ Program.Loop l ] -> begin
+      let acc = { warrays = []; wscalars = [] } in
+      collect_scalar_items acc l.Program.body;
+      match
+        check_scalar_items ~pvar:l.Program.index ~warrays:acc.warrays
+          ~wscalars:acc.wscalars ~bound:[ l.Program.index ] ~written:(ref [])
+          l.Program.body
+      with
+      | () -> true
+      | exception Unsafe -> false
+    end
+  | _ -> false
+
+let vector_parallel_safe (prog : Visa.program) =
+  match prog.Visa.body with
+  | [ Visa.Loop l ] -> begin
+      let acc = { warrays = []; wscalars = [] } in
+      collect_vector_items acc l.Visa.body;
+      match
+        check_vector_items ~pvar:l.Visa.index ~warrays:acc.warrays
+          ~wscalars:acc.wscalars ~bound:[ l.Visa.index ] ~written:(ref [])
+          l.Visa.body
+      with
+      | () -> true
+      | exception Unsafe -> false
+    end
+  | _ -> false

@@ -1,0 +1,23 @@
+(** Static chunk-independence analysis for domain-parallel execution.
+
+    The multicore model runs the partitioned chunks of the first
+    top-level loop sequentially on shared memory; {!Engine} may run
+    them on concurrent OCaml domains only when no chunk can observe
+    another chunk's writes.  These checks are syntactic, conservative
+    and sound: arrays written by the loop must be accessed only
+    through a leading subscript equal to the partitioned index
+    (disjoint rows per iteration), scalars written by the loop must be
+    written before read within each iteration (privatizable
+    temporaries — a [s = s + ...] recurrence is rejected), and the
+    body must be the partitioned loop alone. *)
+
+open Slp_ir
+
+val scalar_parallel_safe : Program.t -> bool
+(** May the scalar program's per-core legs run concurrently (with
+    privatized scalar slots) and still produce bit-identical memory,
+    counters and cycles? *)
+
+val vector_parallel_safe : Visa.program -> bool
+(** Same question for a lowered vector program ([setup] is ignored:
+    it always runs before the parallel leg). *)

@@ -149,6 +149,6 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Progr
 (* The compiled engine is the production path; the interpreter above
    stays as the reference oracle (the fuzz suite runs both and asserts
    identical results). *)
-let run ?cores ?seed ?memory ?profile ~machine prog =
-  let r = Engine.run_scalar ?cores ?seed ?memory ?profile ~machine prog in
+let run ?cores ?seed ?memory ?profile ?pool ~machine prog =
+  let r = Engine.run_scalar ?cores ?seed ?memory ?profile ?pool ~machine prog in
   { counters = r.Engine.counters; memory = r.Engine.memory }

@@ -21,6 +21,7 @@ val run :
   ?seed:int ->
   ?memory:Memory.t ->
   ?profile:Slp_obs.Profile.t ->
+  ?pool:Dpool.t ->
   machine:Slp_machine.Machine.t ->
   Program.t ->
   result

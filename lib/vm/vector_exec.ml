@@ -8,8 +8,12 @@ type state = {
   cache : Cache.t;
   counters : Counters.t;
   machine : M.t;
-  vregs : (int, float array) Hashtbl.t;
+  vregs : float array array;  (* dense register file; [unwritten] marks unset *)
 }
+
+(* Physically unique sentinel for registers never written; a real
+   register value always has at least one lane. *)
+let unwritten : float array = [||]
 
 let charge st c = st.counters.Counters.cycles <- st.counters.Counters.cycles +. c
 
@@ -29,9 +33,10 @@ let read_scalar st ~index_env v =
   | exception Not_found -> Memory.scalar st.memory v
 
 let vreg st r =
-  match Hashtbl.find_opt st.vregs r with
-  | Some lanes -> lanes
-  | None -> invalid_arg (Printf.sprintf "Vector_exec: v%d read before write" r)
+  let lanes = if r < Array.length st.vregs then st.vregs.(r) else unwritten in
+  if lanes == unwritten then
+    invalid_arg (Printf.sprintf "Vector_exec: v%d read before write" r)
+  else lanes
 
 let exec_instr st ~index_env instr =
   let costs = st.machine.M.costs in
@@ -47,7 +52,7 @@ let exec_instr st ~index_env instr =
         (float_of_int costs.M.load_issue
         +. Cache.access st.cache ~addr:addr0 ~bytes:(bytes * List.length elems)
              ~write:false);
-      Hashtbl.replace st.vregs dst values
+      st.vregs.(dst) <- values
   | Visa.Vstore { src; elems } ->
       let lanes = vreg st src in
       let locs = List.map (elem_location st ~index_env) elems in
@@ -80,7 +85,7 @@ let exec_instr st ~index_env instr =
       in
       st.counters.Counters.inserts <- st.counters.Counters.inserts + List.length srcs;
       charge st (float_of_int (List.length srcs * costs.M.insert));
-      Hashtbl.replace st.vregs dst values
+      st.vregs.(dst) <- values
   | Visa.Vunpack { src; dsts } ->
       let lanes = vreg st src in
       List.iteri
@@ -117,17 +122,17 @@ let exec_instr st ~index_env instr =
       in
       st.counters.Counters.broadcasts <- st.counters.Counters.broadcasts + 1;
       charge st (float_of_int costs.M.broadcast);
-      Hashtbl.replace st.vregs dst (Array.make lanes value)
+      st.vregs.(dst) <- (Array.make lanes value)
   | Visa.Vpermute { dst; src; sel } ->
       let lanes = vreg st src in
       st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
       charge st (float_of_int costs.M.permute);
-      Hashtbl.replace st.vregs dst (Array.map (fun i -> lanes.(i)) sel)
+      st.vregs.(dst) <- (Array.map (fun i -> lanes.(i)) sel)
   | Visa.Vshuffle2 { dst; a; b; sel } ->
       let la = vreg st a and lb = vreg st b in
       st.counters.Counters.permutes <- st.counters.Counters.permutes + 1;
       charge st (float_of_int costs.M.permute);
-      Hashtbl.replace st.vregs dst
+      st.vregs.(dst) <-
         (Array.map (fun (src, lane) -> if src = 0 then la.(lane) else lb.(lane)) sel)
   | Visa.Vbin { dst; op; a; b } ->
       let la = vreg st a and lb = vreg st b in
@@ -135,7 +140,7 @@ let exec_instr st ~index_env instr =
       charge st
         (float_of_int
            (match op with Types.Div -> costs.M.divide | _ -> costs.M.vector_op));
-      Hashtbl.replace st.vregs dst
+      st.vregs.(dst) <-
         (Array.init (Array.length la) (fun i -> Types.eval_binop op la.(i) lb.(i)))
   | Visa.Vun { dst; op; a } ->
       let la = vreg st a in
@@ -145,7 +150,7 @@ let exec_instr st ~index_env instr =
            (match op with
            | Types.Sqrt -> costs.M.square_root
            | Types.Neg | Types.Abs -> costs.M.vector_op));
-      Hashtbl.replace st.vregs dst (Array.map (Types.eval_unop op) la)
+      st.vregs.(dst) <- (Array.map (Types.eval_unop op) la)
   | Visa.Vspill { src; slot } ->
       let lanes = vreg st src in
       Memory.spill_store st.memory ~slot lanes;
@@ -163,7 +168,7 @@ let exec_instr st ~index_env instr =
         +. Cache.access st.cache
              ~addr:(Memory.spill_addr st.memory ~slot)
              ~bytes:(8 * Array.length lanes) ~write:false);
-      Hashtbl.replace st.vregs dst lanes
+      st.vregs.(dst) <- lanes
   | Visa.Vload_scalars { dst; sources } ->
       let values =
         Array.of_list (List.map (fun v -> Memory.scalar st.memory v) sources)
@@ -174,7 +179,7 @@ let exec_instr st ~index_env instr =
         +. Cache.access st.cache
              ~addr:(Memory.scalar_addr st.memory (List.hd sources))
              ~bytes:(8 * List.length sources) ~write:false);
-      Hashtbl.replace st.vregs dst values
+      st.vregs.(dst) <- values
   | Visa.Vstore_scalars { src; targets } ->
       let lanes = vreg st src in
       List.iteri (fun i v -> Memory.set_scalar st.memory v lanes.(i)) targets;
@@ -220,13 +225,16 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
         Memory.init_arrays m ~seed;
         m
   in
+  let nvregs = max 1 (Engine.program_vregs prog) in
+  Memory.reserve_spills memory ~slots:(Engine.program_spill_slots prog)
+    ~max_lanes:(Engine.program_lane_stride prog);
   let setup_state =
     {
       memory;
       cache = Cache.create machine;
       counters = Counters.create ();
       machine;
-      vregs = Hashtbl.create 32;
+      vregs = Array.make nvregs unwritten;
     }
   in
   (* Setup (layout replication) runs once.  Replication loops are data
@@ -304,7 +312,7 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
                 cache = Cache.create ~contention machine;
                 counters = Counters.create ();
                 machine;
-                vregs = Hashtbl.create 32;
+                vregs = Array.make nvregs unwritten;
               }
             in
             List.iter
@@ -327,8 +335,8 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
 (* The compiled engine is the production path; the interpreter above
    stays as the reference oracle (the fuzz suite runs both and asserts
    identical results). *)
-let run ?cores ?seed ?memory ?profile ?origins ~machine prog =
+let run ?cores ?seed ?memory ?profile ?origins ?pool ~machine prog =
   let r =
-    Engine.run_vector ?cores ?seed ?memory ?profile ?origins ~machine prog
+    Engine.run_vector ?cores ?seed ?memory ?profile ?origins ?pool ~machine prog
   in
   { counters = r.Engine.counters; memory = r.Engine.memory }

@@ -16,6 +16,7 @@ val run :
   ?memory:Memory.t ->
   ?profile:Slp_obs.Profile.t ->
   ?origins:Slp_obs.Profile.key array list ->
+  ?pool:Dpool.t ->
   machine:Slp_machine.Machine.t ->
   Visa.program ->
   result

@@ -252,6 +252,160 @@ let test_chunk_ranges () =
       Alcotest.(check int) "chunk start is step aligned" 0 ((lo - 1) mod 3))
     (Scalar_exec.chunk_ranges ~lo:1 ~hi:28 ~step:3 ~cores:4)
 
+(* Property: for any loop bounds, [chunk_ranges] yields exactly
+   [cores] step-aligned chunks whose in-order traversal visits exactly
+   the indices of the whole loop, each once (disjointness, ordering
+   and exact cover in one comparison). *)
+let chunk_ranges_prop =
+  QCheck.Test.make ~name:"chunk_ranges partitions [lo,hi) exactly" ~count:500
+    QCheck.(
+      quad (int_range (-50) 50) (int_range 0 300) (int_range 1 9) (int_range 1 16))
+    (fun (lo, span, step, cores) ->
+      let hi = lo + span in
+      let ranges = Scalar_exec.chunk_ranges ~lo ~hi ~step ~cores in
+      let visit (clo, chi) =
+        let acc = ref [] in
+        let i = ref clo in
+        while !i < chi do
+          acc := !i :: !acc;
+          i := !i + step
+        done;
+        List.rev !acc
+      in
+      let whole = visit (lo, hi) in
+      let chunked = List.concat_map visit ranges in
+      if List.length ranges <> cores then
+        QCheck.Test.fail_reportf "expected %d chunks, got %d" cores
+          (List.length ranges);
+      List.iter
+        (fun (clo, _) ->
+          if (clo - lo) mod step <> 0 then
+            QCheck.Test.fail_reportf "chunk start %d not step-aligned (lo=%d step=%d)"
+              clo lo step)
+        ranges;
+      if chunked <> whole then
+        QCheck.Test.fail_reportf
+          "chunked traversal differs (lo=%d hi=%d step=%d cores=%d): %d vs %d indices"
+          lo hi step cores (List.length chunked) (List.length whole);
+      true)
+
+(* The Figure 21 experiment on real domains must be indistinguishable
+   from the sequential simulation: same NAS kernels, 1/2/4/8 simulated
+   cores, both machine models, comparing every counter bit-for-bit and
+   the memory image bitwise.  The pool spawns three worker domains
+   explicitly so the test exercises genuine cross-domain execution
+   even on a single-processor host. *)
+let counters_biteq (a : Counters.t) (b : Counters.t) =
+  a.Counters.scalar_ops = b.Counters.scalar_ops
+  && a.Counters.vector_ops = b.Counters.vector_ops
+  && a.Counters.scalar_loads = b.Counters.scalar_loads
+  && a.Counters.scalar_stores = b.Counters.scalar_stores
+  && a.Counters.vector_loads = b.Counters.vector_loads
+  && a.Counters.vector_stores = b.Counters.vector_stores
+  && a.Counters.pack_loads = b.Counters.pack_loads
+  && a.Counters.pack_stores = b.Counters.pack_stores
+  && a.Counters.inserts = b.Counters.inserts
+  && a.Counters.extracts = b.Counters.extracts
+  && a.Counters.permutes = b.Counters.permutes
+  && a.Counters.broadcasts = b.Counters.broadcasts
+  && Int64.equal (Int64.bits_of_float a.Counters.cycles)
+       (Int64.bits_of_float b.Counters.cycles)
+  && Int64.equal (Int64.bits_of_float a.Counters.setup_cycles)
+       (Int64.bits_of_float b.Counters.setup_cycles)
+
+let memory_biteq env a b =
+  List.for_all
+    (fun (name, _) ->
+      let va = Memory.array_values a name and vb = Memory.array_values b name in
+      Float.Array.length va = Float.Array.length vb
+      && begin
+           let ok = ref true in
+           Float.Array.iteri
+             (fun i x ->
+               if
+                 not
+                   (Int64.equal (Int64.bits_of_float x)
+                      (Int64.bits_of_float (Float.Array.get vb i)))
+               then ok := false)
+             va;
+           !ok
+         end)
+    (Env.arrays env)
+
+let test_fig21_domains_bitidentical () =
+  let module Pipeline = Slp_pipeline.Pipeline in
+  let module Suite = Slp_benchmarks.Suite in
+  let pool = Slp_vm.Dpool.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Slp_vm.Dpool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun (mach : Machine.t) ->
+          List.iter
+            (fun (b : Suite.t) ->
+              let c =
+                Pipeline.compile ~unroll:b.Suite.unroll ~verify:false
+                  ~scheme:Pipeline.Global ~machine:mach (Suite.program b)
+              in
+              let vprog =
+                match c.Pipeline.vector with
+                | Some v -> v
+                | None -> Alcotest.failf "%s: no vector program" b.Suite.name
+              in
+              let mem env =
+                let m =
+                  Memory.create ~scalar_layout:c.Pipeline.scalar_offsets ~env ()
+                in
+                Memory.init_arrays m ~seed:42;
+                m
+              in
+              List.iter
+                (fun cores ->
+                  let ctx what =
+                    Printf.sprintf "%s %s %dc %s" mach.Machine.name b.Suite.name
+                      cores what
+                  in
+                  (* Vectorized program. *)
+                  let seq =
+                    Vector_exec.run ~cores ~seed:42 ~memory:(mem vprog.Visa.env)
+                      ~machine:mach vprog
+                  in
+                  let par =
+                    Vector_exec.run ~cores ~seed:42 ~memory:(mem vprog.Visa.env)
+                      ~pool ~machine:mach vprog
+                  in
+                  Alcotest.(check bool)
+                    (ctx "vector counters bit-identical")
+                    true
+                    (counters_biteq seq.Vector_exec.counters par.Vector_exec.counters);
+                  Alcotest.(check bool)
+                    (ctx "vector memory bit-identical")
+                    true
+                    (memory_biteq vprog.Visa.env seq.Vector_exec.memory
+                       par.Vector_exec.memory);
+                  (* Scalar reference program. *)
+                  let sseq =
+                    Scalar_exec.run ~cores ~seed:42 ~machine:mach
+                      c.Pipeline.reference
+                  in
+                  let spar =
+                    Scalar_exec.run ~cores ~seed:42 ~pool ~machine:mach
+                      c.Pipeline.reference
+                  in
+                  Alcotest.(check bool)
+                    (ctx "scalar counters bit-identical")
+                    true
+                    (counters_biteq sseq.Scalar_exec.counters
+                       spar.Scalar_exec.counters);
+                  Alcotest.(check bool)
+                    (ctx "scalar memory bit-identical")
+                    true
+                    (memory_biteq c.Pipeline.reference.Program.env
+                       sseq.Scalar_exec.memory spar.Scalar_exec.memory))
+                [ 1; 2; 4; 8 ])
+            Suite.nas)
+        [ Machine.intel_dunnington; Machine.amd_phenom_ii ])
+
 let test_multicore_work_conservation () =
   let prog =
     Slp_frontend.Parser.parse ~name:"mc"
@@ -297,6 +451,9 @@ let () =
       ( "multicore",
         [
           Alcotest.test_case "chunk ranges" `Quick test_chunk_ranges;
+          Seeded.to_alcotest chunk_ranges_prop;
           Alcotest.test_case "work conservation" `Quick test_multicore_work_conservation;
+          Alcotest.test_case "fig21 domains bit-identical" `Quick
+            test_fig21_domains_bitidentical;
         ] );
     ]
