@@ -60,6 +60,15 @@ let unroll =
 let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the prepared IR.")
 let dump_plan = Arg.(value & flag & info [ "dump-plan" ] ~doc:"Print groups and schedules.")
 let dump_vector = Arg.(value & flag & info [ "dump-vector" ] ~doc:"Print the vector program.")
+
+let dump_deps =
+  Arg.(
+    value & flag
+    & info [ "deps" ]
+        ~doc:
+          "Print the dependence graph of the prepared IR as JSON: one edge \
+           per statement pair and array with kind, carrier, distance and \
+           direction vector, plus recognized scalar reductions.")
 let run = Arg.(value & flag & info [ "run" ] ~doc:"Simulate and report counters.")
 
 let stats =
@@ -167,9 +176,9 @@ let write_bailout_report path bailouts =
 
 (* Exit status: 0 success, 2 input or compile error, 3 compiled in
    resilient mode but degraded to scalar. *)
-let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector run
-    stats trace_file remarks profile profile_json cores seed resilient
-    bailout_report max_errors max_steps =
+let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
+    dump_deps run stats trace_file remarks profile profile_json cores seed
+    resilient bailout_report max_errors max_steps =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
   in
@@ -243,6 +252,11 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector ru
       if dump_ir then
         Format.printf "-- prepared IR --@.%a@." Slp_ir.Program.pp
           compiled.Pipeline.reference;
+      if dump_deps then
+        print_endline
+          (Slp_obs.Json.to_string
+             (Slp_depend.Depend.to_json
+                (Slp_depend.Depend.of_program compiled.Pipeline.reference)));
       (match (dump_plan, compiled.Pipeline.plan) with
       | true, Some plan ->
           List.iter
@@ -308,8 +322,8 @@ let cmd =
     (Cmd.info "slpc" ~version:"1.0" ~doc)
     Term.(
       const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
-      $ dump_plan $ dump_vector $ run $ stats $ trace_file $ remarks $ profile
-      $ profile_json $ cores $ seed $ resilient $ bailout_report $ max_errors
-      $ max_steps)
+      $ dump_plan $ dump_vector $ dump_deps $ run $ stats $ trace_file
+      $ remarks $ profile $ profile_json $ cores $ seed $ resilient
+      $ bailout_report $ max_errors $ max_steps)
 
 let () = exit (Cmd.eval' cmd)

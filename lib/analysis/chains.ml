@@ -35,12 +35,17 @@ let compute block =
           (scalar_uses s)
       in
       Hashtbl.replace use_def_tbl id ud;
-      (* extend def-use of each reaching definition we read *)
+      (* extend def-use of each reaching definition we read — buckets
+         accumulate reversed (cons) and are normalised once at the
+         end; a statement reading the same definition through several
+         operands appends consecutively, so a head check is a complete
+         dedup and the whole computation stays linear. *)
       List.iter
         (fun (_, d) ->
-          let existing = Option.value (Hashtbl.find_opt def_use_tbl d) ~default:[] in
-          if not (List.mem id existing) then
-            Hashtbl.replace def_use_tbl d (existing @ [ id ]))
+          match Hashtbl.find_opt def_use_tbl d with
+          | Some (last :: _) when last = id -> ()
+          | Some existing -> Hashtbl.replace def_use_tbl d (id :: existing)
+          | None -> Hashtbl.replace def_use_tbl d [ id ])
         ud;
       (* then update the reaching definition *)
       match scalar_def s with
@@ -49,6 +54,8 @@ let compute block =
           defs_in_order := (v, id) :: !defs_in_order
       | None -> ())
     block.Block.stmts;
+  (* restore program order in every bucket *)
+  Hashtbl.filter_map_inplace (fun _ uses -> Some (List.rev uses)) def_use_tbl;
   { def_use_tbl; use_def_tbl; defs_in_order = List.rev !defs_in_order }
 
 let def_use t id = Option.value (Hashtbl.find_opt t.def_use_tbl id) ~default:[]

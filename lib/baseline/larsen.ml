@@ -267,7 +267,7 @@ let schedule ~env:_ ~config (block : Block.t) (grouping : Grouping.result) =
 let plan_block ?params ~env ~config ~query ~nest (block : Block.t) =
   let grouping = group ~env ~config block in
   if grouping.Grouping.groups = [] then
-    { Driver.block = block; nest; grouping; schedule = None; estimate = None }
+    { Driver.block = block; nest; deps = Block.dep_pairs block; grouping; schedule = None; estimate = None }
   else begin
     let sched = schedule ~env ~config block grouping in
     if not (Schedule.is_valid block sched) then
@@ -275,7 +275,7 @@ let plan_block ?params ~env ~config ~query ~nest (block : Block.t) =
         "Larsen.plan_block: invalid schedule for %s" block.Block.label;
     let estimate = Cost.estimate ?params ~query block sched in
     if estimate.Cost.vector_cost < estimate.Cost.scalar_cost then
-      { Driver.block = block; nest; grouping; schedule = Some sched; estimate = Some estimate }
+      { Driver.block = block; nest; deps = Block.dep_pairs block; grouping; schedule = Some sched; estimate = Some estimate }
     else
-      { Driver.block = block; nest; grouping; schedule = None; estimate = Some estimate }
+      { Driver.block = block; nest; deps = Block.dep_pairs block; grouping; schedule = None; estimate = Some estimate }
   end

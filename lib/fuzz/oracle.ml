@@ -129,6 +129,19 @@ let run ?(schemes = Pipeline.all_schemes) ?(machines = default_machines) ?(seed 
       let fail ~scheme ~machine ~stage message =
         failures := { scheme; machine; stage; message } :: !failures
       in
+      (* Dynamic dependence soundness: replay the program's memory
+         accesses against the static analyzer's verdicts.  Scheme- and
+         machine-independent (addresses are control-flow-data-free), so
+         one trace per case suffices. *)
+      (match Slp_depend.Dtrace.check prog with
+      | { Slp_depend.Dtrace.violations = []; _ } -> ()
+      | { Slp_depend.Dtrace.violations; _ } ->
+          List.iter
+            (fun msg -> fail ~scheme:"-" ~machine:"-" ~stage:"dep-soundness" msg)
+            violations
+      | exception exn ->
+          fail ~scheme:"-" ~machine:"-" ~stage:"dep-soundness"
+            (Printexc.to_string exn));
       List.iter
         (fun (machine : Machine.t) ->
           let mname = machine.Machine.name in

@@ -296,6 +296,7 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
       Obs.span obs "verify" (fun () ->
           let diags = ref (Verify.check_ir ~stage:D.Prepared_ir prepared) in
           let add ds = diags := !diags @ ds in
+          add (Verify.check_deps ~stage:D.Prepared_ir prepared);
           (match plan with
           | Some p ->
               if p.Driver.program != prepared then

@@ -5,6 +5,7 @@ module Remark = Slp_obs.Remark
 type block_plan = {
   block : Block.t;
   nest : string list;
+  deps : (int * int) list;
   grouping : Grouping.result;
   schedule : Schedule.t option;
   estimate : Cost.estimate option;
@@ -27,26 +28,28 @@ let cost_remark obs ~block ~id message =
 
 (* One grouping/scheduling/estimation attempt. *)
 let attempt ?(obs = Obs.none) ~options ~schedule_options ?grouping_fuel
-    ?schedule_fuel ?params ~env ~config ~query ~nest block =
+    ?schedule_fuel ?params ~deps ~env ~config ~query ~nest block =
   let label = block.Block.label in
   let grouping =
     Obs.span obs
       ~args:[ ("block", label) ]
       ("grouping:" ^ label)
-      (fun () -> Grouping.run ~options ?fuel:grouping_fuel ~obs ~env ~config block)
+      (fun () ->
+        Grouping.run ~options ?fuel:grouping_fuel ~obs ~dep_pairs:deps ~env
+          ~config block)
   in
   if grouping.Grouping.groups = [] then
-    { block; nest; grouping; schedule = None; estimate = None }
+    { block; nest; deps; grouping; schedule = None; estimate = None }
   else begin
     let schedule =
       Obs.span obs
         ~args:[ ("block", label) ]
         ("schedule:" ^ label)
         (fun () ->
-          Schedule.run ~options:schedule_options ?fuel:schedule_fuel ~obs ~env
-            ~config block grouping)
+          Schedule.run ~options:schedule_options ?fuel:schedule_fuel ~obs
+            ~dep_pairs:deps ~env ~config block grouping)
     in
-    if not (Schedule.is_valid block schedule) then
+    if not (Schedule.is_valid ~dep_pairs:deps block schedule) then
       Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
         Slp_util.Slp_error.Schedule_failed
         "Driver.optimize_block: invalid schedule for %s" label;
@@ -60,22 +63,25 @@ let attempt ?(obs = Obs.none) ~options ~schedule_options ?grouping_fuel
       cost_remark obs ~block ~id:"COST-VECTORIZE"
         (Printf.sprintf "vector cost %.1f beats scalar cost %.1f"
            estimate.Cost.vector_cost estimate.Cost.scalar_cost);
-      { block; nest; grouping; schedule = Some schedule; estimate = Some estimate }
+      { block; nest; deps; grouping; schedule = Some schedule; estimate = Some estimate }
     end
     else begin
       cost_remark obs ~block ~id:"COST-REJECT"
         (Printf.sprintf "vector cost %.1f does not beat scalar cost %.1f"
            estimate.Cost.vector_cost estimate.Cost.scalar_cost);
-      { block; nest; grouping; schedule = None; estimate = Some estimate }
+      { block; nest; deps; grouping; schedule = None; estimate = Some estimate }
     end
   end
 
 let optimize_block ?(obs = Obs.none) ?(options = Grouping.default_options)
     ?(schedule_options = Schedule.default_options) ?grouping_fuel ?schedule_fuel
-    ?params ~env ~config ~query ~nest block =
+    ?params ?deps ~env ~config ~query ~nest block =
+  let deps =
+    match deps with Some d -> d | None -> Block.dep_pairs block
+  in
   let first =
     attempt ~obs ~options ~schedule_options ?grouping_fuel ?schedule_fuel
-      ?params ~env ~config ~query ~nest block
+      ?params ~deps ~env ~config ~query ~nest block
   in
   match first.schedule with
   | Some _ -> first
@@ -90,8 +96,8 @@ let optimize_block ?(obs = Obs.none) ?(options = Grouping.default_options)
       let second =
         attempt ~obs
           ~options:{ options with Grouping.exclude_scattered = true }
-          ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~env ~config
-          ~query ~nest block
+          ~schedule_options ?grouping_fuel ?schedule_fuel ?params ~deps ~env
+          ~config ~query ~nest block
       in
       if second.schedule <> None then second else first
   | None -> first
@@ -109,13 +115,19 @@ let optimize_program ?obs ?options ?schedule_options ?grouping_fuel
           Cost.default_query ~env ~nest
             ~lanes:(max 2 (config.Config.datapath_bits / 64))
   in
+  (* Precise per-block dependence pairs from the integer dependence
+     solver; [Depend.blocks_with_box] follows the same traversal order
+     as [blocks_with_nest]. *)
+  let module Depend = Slp_depend.Depend in
+  let boxed = Depend.blocks_with_box prog in
   let plans =
-    List.map
-      (fun (block, nest) ->
+    List.map2
+      (fun (block, nest) (_, box) ->
         optimize_block ?obs ?options ?schedule_options ?grouping_fuel
-          ?schedule_fuel ?params ~env ~config ~query:(query_of ~nest block)
-          ~nest block)
-      (blocks_with_nest prog)
+          ?schedule_fuel ?params
+          ~deps:(Depend.block_dep_pairs ~box block)
+          ~env ~config ~query:(query_of ~nest block) ~nest block)
+      (blocks_with_nest prog) boxed
   in
   { program = prog; plans }
 

@@ -10,6 +10,11 @@ open Slp_ir
 type block_plan = {
   block : Block.t;
   nest : string list;  (** Enclosing loop indices, outermost first. *)
+  deps : (int * int) list;
+      (** The statement dependence pairs the plan was built and
+          validated against — precise solver pairs when the plan came
+          from {!optimize_program}, syntactic [Block.dep_pairs]
+          otherwise. *)
   grouping : Grouping.result;
   schedule : Schedule.t option;  (** [None]: block stays scalar. *)
   estimate : Cost.estimate option;
@@ -26,6 +31,7 @@ val optimize_block :
   ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
   ?schedule_fuel:Slp_util.Slp_error.Fuel.t ->
   ?params:Cost.params ->
+  ?deps:(int * int) list ->
   env:Env.t ->
   config:Config.t ->
   query:Cost.query ->

@@ -38,7 +38,7 @@ type result = {
    elimination-loop iteration — the candidate graph is quadratic in
    block size, and the decide loop is where a pathological block
    spends its time. *)
-let round ~options ~tick ~obs ~env ~config ~block units =
+let round ~options ~tick ~obs ~env ~config ~block ~dep_pairs units =
   (* Remark payloads need unit members; the table is only built when
      someone is listening. *)
   let members_of =
@@ -57,7 +57,7 @@ let round ~options ~tick ~obs ~env ~config ~block units =
         (Remark.make ~id ~pass:"grouping" ~block:block.Block.label ~stmts
            message)
   in
-  let deps = Units.Deps.build block units in
+  let deps = Units.Deps.build ?dep_pairs block units in
   let candidates =
     Candidate.find ~env ~config ~units ~deps
     |> List.filter (fun (c : Candidate.t) ->
@@ -214,8 +214,8 @@ let round ~options ~tick ~obs ~env ~config ~block units =
     end
   end
 
-let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env ~config
-    (block : Block.t) =
+let run ?(options = default_options) ?fuel ?(obs = Obs.none) ?dep_pairs ~env
+    ~config (block : Block.t) =
   let tick =
     match fuel with
     | None -> fun () -> ()
@@ -224,7 +224,9 @@ let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env ~config
   let initial = List.map (Units.of_stmt ~env) block.Block.stmts in
   let rec iterate units rounds decisions =
     tick ();
-    let units', made = round ~options ~tick ~obs ~env ~config ~block units in
+    let units', made =
+      round ~options ~tick ~obs ~env ~config ~block ~dep_pairs units
+    in
     if made = 0 then (units, rounds, decisions)
     else iterate units' (rounds + 1) (decisions + made)
   in

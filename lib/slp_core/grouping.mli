@@ -43,6 +43,7 @@ val run :
   ?options:options ->
   ?fuel:Slp_util.Slp_error.Fuel.t ->
   ?obs:Slp_obs.Obs.t ->
+  ?dep_pairs:(int * int) list ->
   env:Env.t ->
   config:Config.t ->
   Block.t ->
@@ -53,7 +54,10 @@ val run :
     resilient pipeline's guard against candidate-graph blowup).
     [obs] collects one remark per merge decision ([GRP-MERGE]), per
     cycle-rejected merge ([GRP-REJECT-DEP]), and per batch of
-    conflict-dropped candidates ([GRP-REJECT-CONFLICT]). *)
+    conflict-dropped candidates ([GRP-REJECT-CONFLICT]).
+    [dep_pairs] overrides the statement dependence pairs the unit DAG
+    is built from (default: the syntactic [Block.dep_pairs]); fewer
+    pairs mean more statements qualify as mergeable. *)
 
 val group_count : result -> int
 val grouped_stmt_count : result -> int

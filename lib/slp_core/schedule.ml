@@ -163,8 +163,11 @@ let analyze ~config (block : Block.t) items =
 
 (* -- main ----------------------------------------------------------- *)
 
-let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env:_ ~config
-    (block : Block.t) (grouping : Grouping.result) =
+let run ?(options = default_options) ?fuel ?(obs = Obs.none) ?dep_pairs ~env:_
+    ~config (block : Block.t) (grouping : Grouping.result) =
+  let dep_pairs =
+    match dep_pairs with Some p -> p | None -> Block.dep_pairs block
+  in
   let remark id ~stmts message =
     if Obs.remarks_on obs then
       Obs.remark obs
@@ -197,7 +200,7 @@ let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env:_ ~config
       let gp = Hashtbl.find owner p and gq = Hashtbl.find owner q in
       if gp <> gq && not (Graph.Directed.mem_edge dg gp gq) then
         Graph.Directed.add_edge dg gp gq)
-    (Block.dep_pairs block);
+    dep_pairs;
   if Graph.Directed.has_cycle dg then
     Slp_util.Slp_error.fail ~pass:Slp_util.Slp_error.Scheduling
       Slp_util.Slp_error.Schedule_failed
@@ -368,7 +371,10 @@ let run ?(options = default_options) ?fuel ?(obs = Obs.none) ~env:_ ~config
 let scheduled_stmt_ids t =
   List.concat_map (function Single s -> [ s ] | Superword ms -> ms) t.items
 
-let is_valid (block : Block.t) t =
+let is_valid ?dep_pairs (block : Block.t) t =
+  let dep_pairs =
+    match dep_pairs with Some p -> p | None -> Block.dep_pairs block
+  in
   let order_of = Hashtbl.create 32 in
   List.iteri
     (fun idx item ->
@@ -380,6 +386,13 @@ let is_valid (block : Block.t) t =
     List.for_all (fun id -> Hashtbl.mem order_of id) (Block.stmt_ids block)
     && List.length (scheduled_stmt_ids t) = Block.size block
   in
+  (* Two statements may share a superword only when no dependence pair
+     relates them — the same relation the scheduler's DAG was built
+     from, so the verdict is consistent whichever analysis supplied the
+     pairs. *)
+  let dep_tbl = Hashtbl.create 32 in
+  List.iter (fun (p, q) -> Hashtbl.replace dep_tbl (p, q) ()) dep_pairs;
+  let related a b = Hashtbl.mem dep_tbl (a, b) || Hashtbl.mem dep_tbl (b, a) in
   let independent_members =
     List.for_all
       (function
@@ -388,8 +401,7 @@ let is_valid (block : Block.t) t =
             let rec pairs = function
               | [] -> true
               | a :: rest ->
-                  List.for_all (fun b -> Block.independent block a b) rest
-                  && pairs rest
+                  List.for_all (fun b -> not (related a b)) rest && pairs rest
             in
             pairs ms)
       t.items
@@ -397,7 +409,7 @@ let is_valid (block : Block.t) t =
   let deps_forward =
     List.for_all
       (fun (p, q) -> Hashtbl.find order_of p < Hashtbl.find order_of q)
-      (Block.dep_pairs block)
+      dep_pairs
   in
   all_present && independent_members && deps_forward
 

@@ -50,6 +50,7 @@ val run :
   ?options:options ->
   ?fuel:Slp_util.Slp_error.Fuel.t ->
   ?obs:Slp_obs.Obs.t ->
+  ?dep_pairs:(int * int) list ->
   env:Env.t ->
   config:Config.t ->
   Block.t ->
@@ -62,7 +63,9 @@ val run :
     [obs] collects one remark per source pack of each emitted
     superword: [SCHED-REUSE] (live in lane order), [SCHED-PERM]
     (live, permutation needed), or [SCHED-PACK] (packed from
-    scratch). *)
+    scratch).  [dep_pairs] overrides the statement dependence pairs
+    the group DAG is built from (default: the syntactic
+    [Block.dep_pairs]). *)
 
 val analyze : config:Config.t -> Block.t -> item list -> t
 (** Replay a fixed item sequence against a fresh live superword set and
@@ -74,10 +77,12 @@ val scheduled_stmt_ids : t -> int list
 (** Statement ids in final execution order (superword members
     flattened in lane order). *)
 
-val is_valid : Block.t -> t -> bool
+val is_valid : ?dep_pairs:(int * int) list -> Block.t -> t -> bool
 (** Checks the paper's validity constraints 1 and 2: members of one
-    superword statement are pairwise independent, and every
-    statement-level dependence goes forward in the emitted sequence of
-    items. *)
+    superword statement are pairwise independent (no dependence pair
+    relates them), and every statement-level dependence goes forward in
+    the emitted sequence of items.  [dep_pairs] must be the same pairs
+    the schedule was built from (default: the syntactic
+    [Block.dep_pairs]). *)
 
 val pp : Format.formatter -> t -> unit

@@ -62,7 +62,10 @@ module Deps = struct
     graph : unit Graph.Directed.t;  (** uid-level dependence DAG *)
   }
 
-  let build (block : Block.t) units =
+  let build ?dep_pairs (block : Block.t) units =
+    let pairs =
+      match dep_pairs with Some p -> p | None -> Block.dep_pairs block
+    in
     let owner = Hashtbl.create 32 in
     List.iter
       (fun u -> List.iter (fun sid -> Hashtbl.replace owner sid u.uid) u.members)
@@ -76,7 +79,7 @@ module Deps = struct
             if not (Graph.Directed.mem_edge g up uq) then
               Graph.Directed.add_edge g up uq
         | _ -> ())
-      (Block.dep_pairs block);
+      pairs;
     { graph = g }
 
   let depends t u v = Graph.Directed.mem_edge t.graph u v

@@ -99,6 +99,7 @@ let plan_of ~env block items groups singles =
     {
       Driver.block;
       nest = [];
+      deps = Block.dep_pairs block;
       grouping;
       schedule = Some { Schedule.items; stats };
       estimate = None;

@@ -70,7 +70,7 @@ let check_partition ~report (block : Block.t) (g : Grouping.result) =
              "grouping references a statement not in block %s" block.Block.label))
     counts
 
-let check_superword ~report ~env ~config ~nest (block : Block.t) ms =
+let check_superword ~report ~env ~config ~nest ~deps (block : Block.t) ms =
   let where = where_of_super ms in
   match List.map (fun m -> (m, Block.find block m)) ms with
   | exception Not_found ->
@@ -87,13 +87,17 @@ let check_superword ~report ~env ~config ~nest (block : Block.t) ms =
           (D.error ~rule:r_width ~stage:D.Grouping ~where
              "superword width %d outside [2, %d] for a %d-bit datapath"
              (List.length ms) budget config.Config.datapath_bits);
-      (* Pairwise independence (paper §4.1 constraints 1-2). *)
+      (* Pairwise independence (paper §4.1 constraints 1-2), judged
+         against the dependence pairs the plan was built from. *)
+      let related a b =
+        List.exists (fun (p, q) -> (p = a && q = b) || (p = b && q = a)) deps
+      in
       let rec indep = function
         | [] -> ()
         | a :: rest ->
             List.iter
               (fun b ->
-                if not (Block.independent block a b) then
+                if related a b then
                   report
                     (D.error ~rule:r_intra_dep ~stage:D.Grouping ~where
                        "members S%d and S%d are dependent" a b))
@@ -145,7 +149,7 @@ let check_superword ~report ~env ~config ~nest (block : Block.t) ms =
         walk 0 (List.map Stmt.positions stmts)
       end
 
-let check_schedule ~report (block : Block.t) (sched : Schedule.t) =
+let check_schedule ~report ~deps (block : Block.t) (sched : Schedule.t) =
   let order_of = Hashtbl.create 32 in
   List.iteri
     (fun idx item ->
@@ -174,7 +178,7 @@ let check_schedule ~report (block : Block.t) (sched : Schedule.t) =
                    ~where:(Printf.sprintf "S%d -> S%d" p q)
                    "dependence runs backward in the schedule (item %d after %d)" ip iq)
         | _ -> ())
-      (Block.dep_pairs block);
+      deps;
     (* Reaching scalar definitions must be untouched by the reorder: a
        second, independent witness computed through Analysis.Chains.
        An identity order cannot change anything — skip the recompute. *)
@@ -208,9 +212,10 @@ let check_block_plan ~env ~config (p : Driver.block_plan) =
         (function
           | Schedule.Single _ -> ()
           | Schedule.Superword ms ->
-              check_superword ~report ~env ~config ~nest:p.Driver.nest p.Driver.block ms)
+              check_superword ~report ~env ~config ~nest:p.Driver.nest
+                ~deps:p.Driver.deps p.Driver.block ms)
         sched.Schedule.items;
-      check_schedule ~report p.Driver.block sched);
+      check_schedule ~report ~deps:p.Driver.deps p.Driver.block sched);
   List.rev !diags
 
 let check ~config (plan : Driver.program_plan) =

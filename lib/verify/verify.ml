@@ -38,3 +38,4 @@ let raise_if_errors ~what r =
 let check_ir = Ir_verify.check
 let check_plan = Plan_verify.check
 let check_visa = Visa_verify.check
+let check_deps = Dep_verify.check

@@ -40,3 +40,6 @@ val check_visa :
   Slp_vm.Visa.program ->
   Diagnostic.t list
 (** {!Visa_verify.check}. *)
+
+val check_deps : ?stage:Diagnostic.stage -> Slp_ir.Program.t -> Diagnostic.t list
+(** {!Dep_verify.check} — DEP01–DEP05 over the dependence graph. *)

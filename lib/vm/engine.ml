@@ -34,6 +34,7 @@
 open Slp_ir
 module M = Slp_machine.Machine
 module Profile = Slp_obs.Profile
+module Depend = Slp_depend.Depend
 module FA = Float.Array
 
 type result = { counters : Counters.t; memory : Memory.t }
@@ -1174,21 +1175,39 @@ let fresh_state ?contention ~machine ~nframe ~nvregs ~stride ~nslots ~sdata () =
    domains: compiled closures are state-pure (all mutable scratch
    lives in the per-core [state]) and the simulated cycle/cache
    accounting is address-driven, so concurrent execution produces
-   bit-identical counters to the sequential legs.  Shared [Memory]
-   array data is written concurrently only by the data-parallel chunks
-   themselves (row-disjoint by {!Parcheck}'s subscript rule), and the
-   scalar slot store is privatized per core: each domain runs on its
-   own copy of [sdata], and the last core whose chunk is non-empty
-   writes its copy back — exactly the values the sequential legs leave
-   behind, because the safety check guarantees each chunk's results
-   are independent of incoming scalar values. *)
-let exec_cores ?pool ~fresh ~sdata ~items ~main_idx ~main_loop ~ranges ~into () =
+   bit-identical counters to the sequential legs.
+
+   Privatization is verdict-driven, not pool-driven: whenever
+   {!Parcheck} proves the program [Parallel] each core — pooled or
+   sequential — runs on its own copy of [sdata], so the sequential
+   chunked leg and the domain leg share one semantics and stay
+   bit-identical.  Shared [Memory] array data is written concurrently
+   only by the data-parallel chunks themselves (disjoint by the
+   dependence analysis).  Non-reduction scalar slots merge by blitting
+   the non-empty cores' copies in core order (last wins — the values
+   the sequential legs leave behind, because the privatization check
+   guarantees each chunk writes them before reading).  Recognized
+   reduction slots start each core at the operator's identity and
+   merge as [entry ⊕ partial_0 ⊕ partial_1 ⊕ …] over the non-empty
+   cores in core order — the defined semantics of chunked execution
+   for both legs (empty chunks are skipped so they cannot perturb
+   signed zeros). *)
+let exec_cores ?pool ~privatize ~reductions ~fresh ~sdata ~items ~main_idx
+    ~main_loop ~ranges ~into () =
   let ranges = Array.of_list ranges in
   let cores = Array.length ranges in
-  let privatize = pool <> None in
+  assert (pool = None || privatize);
+  let entries = List.map (fun (slot, _) -> FA.get sdata slot) reductions in
   let sts =
     Array.init cores (fun _ ->
-        fresh ~sdata:(if privatize then FA.copy sdata else sdata) ())
+        if privatize then begin
+          let sd = FA.copy sdata in
+          List.iter
+            (fun (slot, op) -> FA.set sd slot (Depend.identity_of op))
+            reductions;
+          fresh ~sdata:sd ()
+        end
+        else fresh ~sdata ())
   in
   let run_core core =
     let st = sts.(core) in
@@ -1205,12 +1224,24 @@ let exec_cores ?pool ~fresh ~sdata ~items ~main_idx ~main_loop ~ranges ~into () 
       for core = 0 to cores - 1 do
         run_core core
       done);
-  if privatize then
+  if privatize then begin
     Array.iteri
       (fun core (st : state) ->
         let clo, chi = ranges.(core) in
         if clo < chi then FA.blit st.sdata 0 sdata 0 (FA.length sdata))
       sts;
+    List.iter2
+      (fun (slot, op) entry ->
+        let acc = ref entry in
+        Array.iteri
+          (fun core (st : state) ->
+            let clo, chi = ranges.(core) in
+            if clo < chi then
+              acc := Types.eval_binop op !acc (FA.get st.sdata slot))
+          sts;
+        FA.set sdata slot !acc)
+      reductions entries
+  end;
   let max_cycles = ref 0.0 in
   Array.iter
     (fun st ->
@@ -1218,6 +1249,65 @@ let exec_cores ?pool ~fresh ~sdata ~items ~main_idx ~main_loop ~ranges ~into () 
       Counters.merge_into ~into st.counters)
     sts;
   !max_cycles
+
+(* The same privatize/merge semantics packaged for the reference
+   interpreters, which run their cores strictly sequentially against
+   [Memory]'s live backing store instead of per-state [sdata] copies:
+   [p_enter core] restores the entry snapshot and seeds reduction
+   identities, [p_exit core] snapshots the core's partial, [p_finish]
+   merges — non-empty cores blitted in core order, then reduction
+   slots folded from the entry value.  With a [Serial] verdict all
+   three are no-ops and the cores accumulate on shared state as
+   before.  Callers must pre-register every scalar name the program
+   mentions before constructing the privatizer (the backing store is
+   replaced when a slot is first created). *)
+type privatizer = {
+  p_enter : int -> unit;
+  p_exit : int -> unit;
+  p_finish : unit -> unit;
+}
+
+let make_privatizer ~memory ~ranges ~(verdict : Depend.verdict) =
+  match verdict with
+  | Depend.Serial _ ->
+      { p_enter = ignore; p_exit = ignore; p_finish = (fun () -> ()) }
+  | Depend.Parallel { reductions } ->
+      let red =
+        List.map (fun (v, op) -> (Memory.scalar_slot memory v, op)) reductions
+      in
+      let sdata = Memory.scalar_values memory in
+      let len = FA.length sdata in
+      let entry = FA.copy sdata in
+      let entries = List.map (fun (slot, _) -> FA.get entry slot) red in
+      let ranges = Array.of_list ranges in
+      let partials = Array.make (max 1 (Array.length ranges)) entry in
+      {
+        p_enter =
+          (fun _core ->
+            FA.blit entry 0 sdata 0 len;
+            List.iter
+              (fun (slot, op) -> FA.set sdata slot (Depend.identity_of op))
+              red);
+        p_exit = (fun core -> partials.(core) <- FA.copy sdata);
+        p_finish =
+          (fun () ->
+            Array.iteri
+              (fun core p ->
+                let clo, chi = ranges.(core) in
+                if clo < chi then FA.blit p 0 sdata 0 len)
+              partials;
+            List.iter2
+              (fun (slot, op) e ->
+                let acc = ref e in
+                Array.iteri
+                  (fun core p ->
+                    let clo, chi = ranges.(core) in
+                    if clo < chi then
+                      acc := Types.eval_binop op !acc (FA.get p slot))
+                  partials;
+                FA.set sdata slot !acc)
+              red entries);
+      }
 
 (* Domain execution is only taken when nothing global is observed per
    access: profiling bins into one shared profile and fault injection
@@ -1277,14 +1367,22 @@ let run_scalar ?(cores = 1) ?(seed = 42) ?memory ?profile ?pool ~machine
           | None -> raise Not_found
         in
         let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let verdict = Parcheck.analyze_scalar prog in
+        let privatize, reductions =
+          match verdict with
+          | Parcheck.Parallel { reductions } ->
+              (true, List.map (fun (v, op) -> (Memory.scalar_slot memory v, op)) reductions)
+          | Parcheck.Serial _ -> (false, [])
+        in
+        assert (Memory.scalar_values memory == ctx.sdata);
         let pool =
           match use_pool pool ~profile with
-          | Some p when Parcheck.scalar_parallel_safe prog -> Some p
+          | Some p when privatize -> Some p
           | _ -> None
         in
         let all = Counters.create () in
         all.Counters.cycles <-
-          exec_cores ?pool
+          exec_cores ?pool ~privatize ~reductions
             ~fresh:(fun ~sdata () -> fresh ~contention ~sdata ())
             ~sdata:ctx.sdata ~items ~main_idx ~main_loop ~ranges ~into:all ();
         { counters = all; memory }
@@ -1390,14 +1488,22 @@ let run_vector ?(cores = 1) ?(seed = 42) ?memory ?profile ?origins ?pool
           | None -> raise Not_found
         in
         let ranges = chunk_ranges ~lo ~hi ~step:main_loop.c_step ~cores in
+        let verdict = Parcheck.analyze_vector prog in
+        let privatize, reductions =
+          match verdict with
+          | Parcheck.Parallel { reductions } ->
+              (true, List.map (fun (v, op) -> (Memory.scalar_slot memory v, op)) reductions)
+          | Parcheck.Serial _ -> (false, [])
+        in
+        assert (Memory.scalar_values memory == ctx.sdata);
         let pool =
           match use_pool pool ~profile with
-          | Some p when Parcheck.vector_parallel_safe prog -> Some p
+          | Some p when privatize -> Some p
           | _ -> None
         in
         let all = setup_state.counters in
         all.Counters.cycles <-
-          exec_cores ?pool
+          exec_cores ?pool ~privatize ~reductions
             ~fresh:(fun ~sdata () -> fresh ~contention ~sdata ())
             ~sdata:ctx.sdata ~items:body ~main_idx ~main_loop ~ranges ~into:all ();
         { counters = all; memory }

@@ -51,6 +51,42 @@ val run_vector :
 val chunk_ranges : lo:int -> hi:int -> step:int -> cores:int -> (int * int) list
 (** Split [lo, hi) into [cores] contiguous step-aligned ranges. *)
 
+val scalar_prog_names : string list -> Program.item list -> string list
+(** Every scalar name a scalar program mentions, appended to the
+    accumulator.  The interpreters use this to pre-register slots
+    before snapshotting [Memory.scalar_values] — the backing store is
+    replaced when a slot is first created, so privatized copies must
+    be taken after all names exist. *)
+
+val vector_prog_names : string list -> Visa.item list -> string list
+(** Same for the instructions of a vector program fragment (call once
+    on [setup] and once on [body]). *)
+
+type privatizer = {
+  p_enter : int -> unit;
+  p_exit : int -> unit;
+  p_finish : unit -> unit;
+}
+(** Scalar-store privatization + reduction merge for the reference
+    interpreters' sequential chunked legs — the same semantics the
+    engine's [exec_cores] applies, so interpreter and engine stay
+    bit-identical.  [p_enter core] restores the entry snapshot of
+    [Memory.scalar_values] and seeds recognised reduction slots with
+    their operator identities; [p_exit core] snapshots the core's
+    partials; [p_finish] blits non-empty cores' partials back in core
+    order and folds each reduction slot as
+    [entry ⊕ partial_0 ⊕ partial_1 ⊕ …] over non-empty cores.  All
+    no-ops for a [Serial] verdict. *)
+
+val make_privatizer :
+  memory:Memory.t ->
+  ranges:(int * int) list ->
+  verdict:Slp_depend.Depend.verdict ->
+  privatizer
+(** Pre-register every scalar name the program mentions (see
+    {!scalar_prog_names}) before calling — the snapshot is taken
+    against the live backing store. *)
+
 val program_vregs : Visa.program -> int
 (** One more than the highest register number the program mentions
     (0 for a register-free program) — sizes a dense register file. *)

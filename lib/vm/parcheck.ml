@@ -1,91 +1,44 @@
-(* Static chunk-independence analysis for the domain-parallel leg.
+(* Chunk-independence analysis for the domain-parallel leg.
 
    The multicore simulation partitions the first top-level loop into
-   per-core chunks and — sequentially — runs them one after another on
-   shared memory.  Executing the chunks on concurrent domains is only
-   observationally identical when no chunk can see another chunk's
-   writes:
+   per-core chunks; executing them on concurrent domains must be
+   observationally identical to the sequential chunked run.  The
+   scalar side delegates wholesale to {!Depend.scalar_parallel_verdict}:
+   dependence-based chunk independence (no cross-iteration conflict on
+   the partitioned index — offset subscripts and stride patterns are
+   admitted when the solver proves the footprints disjoint), plus
+   scalar reduction recognition; recognised reductions run on per-core
+   partial accumulators merged in core order, which {!Engine} also
+   makes the semantics of the sequential chunked leg so domain runs
+   stay bit-identical.
 
-   - every array the loop writes must be accessed (read or written)
-     only through a leading subscript that is exactly the partitioned
-     index, so distinct iterations touch provably disjoint rows;
-   - every scalar variable the loop writes must be written before it
-     is read within a single iteration of the partitioned loop
-     (privatizable temporaries like an FFT butterfly's [tr]/[ti]); a
-     read-modify-write recurrence such as [rdot = rdot + ...] is a
-     genuine serial dependence and rejects the program;
-   - the body must consist of the partitioned loop alone, so core 0
-     carries no extra items racing against the other cores' chunks.
+   The vector (Visa) side applies the same rules to lowered programs:
+   array accesses are collected from every instruction with their
+   iteration boxes and tested pairwise with the cross-instance solver;
+   reductions are recognised only from scalar [Sstmt] update chains
+   and disqualified by any other instruction touching the scalar;
+   remaining written scalars must be written before read within one
+   iteration of the partitioned loop (privatizable temporaries).
 
-   Scalars that pass the check are run out of per-core private copies
-   of the scalar store (see [Engine]); arrays stay shared because the
-   subscript rule makes the chunks' footprints disjoint.
-
-   The analysis is purely syntactic and conservative: [false] never
-   breaks anything (the engine just keeps its sequential legs), and
-   [true] is sound because control flow in the kernel language is
-   data-independent — loop bounds are affine in the enclosing indices,
-   so every chunk executes a fixed iteration sequence regardless of
-   the float data. *)
+   Soundness rests on control flow being data-independent: loop
+   bounds are affine in the enclosing indices, so every chunk executes
+   a fixed access sequence regardless of the float data.  [Serial]
+   never breaks anything — the engine keeps its sequential legs. *)
 
 open Slp_ir
+open Slp_depend
 
-type acc = {
-  mutable warrays : string list;  (* arrays written anywhere in the loop *)
-  mutable wscalars : string list;  (* scalars written anywhere in the loop *)
-}
+type verdict = Depend.verdict =
+  | Serial of string
+  | Parallel of { reductions : (string * Types.binop) list }
+
+let analyze_scalar = Depend.scalar_parallel_verdict
+
+(* -- Visa side ------------------------------------------------------ *)
+
+exception Unsafe of string
 
 let add xs x = if List.mem x xs then xs else x :: xs
-
-(* -- collection: everything the partitioned loop writes ------------ *)
-
-let collect_stmt acc (s : Stmt.t) =
-  match s.Stmt.lhs with
-  | Operand.Scalar v -> acc.wscalars <- add acc.wscalars v
-  | Operand.Elem (b, _) -> acc.warrays <- add acc.warrays b
-  | Operand.Const _ -> ()
-
-let rec collect_scalar_items acc items =
-  List.iter
-    (function
-      | Program.Stmts blk -> List.iter (collect_stmt acc) blk.Block.stmts
-      | Program.Loop l -> collect_scalar_items acc l.Program.body)
-    items
-
-let collect_instr acc (i : Visa.instr) =
-  match i with
-  | Visa.Vstore { elems; _ } ->
-      List.iter
-        (function
-          | Operand.Elem (b, _) -> acc.warrays <- add acc.warrays b
-          | Operand.Scalar _ | Operand.Const _ -> ())
-        elems
-  | Visa.Vunpack { dsts; _ } ->
-      List.iter
-        (function
-          | Some (Visa.To_reg v) -> acc.wscalars <- add acc.wscalars v
-          | Some (Visa.To_mem (Operand.Elem (b, _))) ->
-              acc.warrays <- add acc.warrays b
-          | Some (Visa.To_mem _) | None -> ())
-        dsts
-  | Visa.Vstore_scalars { targets; _ } ->
-      List.iter (fun v -> acc.wscalars <- add acc.wscalars v) targets
-  | Visa.Sstmt s -> collect_stmt acc s
-  | Visa.Vload _ | Visa.Vgather _ | Visa.Vbroadcast _ | Visa.Vpermute _
-  | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _
-  | Visa.Vload_scalars _ ->
-      ()
-
-let rec collect_vector_items acc items =
-  List.iter
-    (function
-      | Visa.Block instrs -> List.iter (collect_instr acc) instrs
-      | Visa.Loop l -> collect_vector_items acc l.Visa.body)
-    items
-
-(* -- the check ------------------------------------------------------ *)
-
-exception Unsafe
 
 (* A loop whose bounds are compile-time constants provably executes at
    least once; only then may its writes count as definite for code
@@ -95,120 +48,202 @@ let trip_at_least_once ~lo ~hi =
   | Some lo, Some hi -> hi > lo
   | _ -> false
 
-let check_elem ~pvar ~warrays b idxs =
-  if List.mem b warrays then
-    match idxs with
-    | ix :: _ when Affine.equal ix (Affine.var pvar) -> ()
-    | _ -> raise Unsafe
-
-(* Reading a loop-written scalar is safe only once this iteration of
-   the partitioned loop has definitely written it. *)
-let check_scalar_read ~wscalars ~bound ~written v =
-  if (not (List.mem v bound)) && List.mem v wscalars && not (List.mem v !written)
-  then raise Unsafe
-
-let check_operand_read ~pvar ~warrays ~wscalars ~bound ~written op =
-  match op with
-  | Operand.Const _ -> ()
-  | Operand.Scalar v -> check_scalar_read ~wscalars ~bound ~written v
-  | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
-
-let check_stmt ~pvar ~warrays ~wscalars ~bound ~written (s : Stmt.t) =
-  List.iter
-    (check_operand_read ~pvar ~warrays ~wscalars ~bound ~written)
-    (Expr.leaves s.Stmt.rhs);
-  match s.Stmt.lhs with
-  | Operand.Scalar v -> written := add !written v
-  | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
-  | Operand.Const _ -> ()
-
-let rec check_scalar_items ~pvar ~warrays ~wscalars ~bound ~written items =
-  List.iter
-    (function
-      | Program.Stmts blk ->
-          List.iter (check_stmt ~pvar ~warrays ~wscalars ~bound ~written)
-            blk.Block.stmts
-      | Program.Loop l ->
-          let inner = ref !written in
-          check_scalar_items ~pvar ~warrays ~wscalars
-            ~bound:(l.Program.index :: bound) ~written:inner l.Program.body;
-          if trip_at_least_once ~lo:l.Program.lo ~hi:l.Program.hi then
-            written := !inner)
-    items
-
-let check_vsrc ~pvar ~warrays ~wscalars ~bound ~written = function
-  | Visa.Imm _ -> ()
-  | Visa.Reg v -> check_scalar_read ~wscalars ~bound ~written v
-  | Visa.Mem (Operand.Elem (b, idxs)) -> check_elem ~pvar ~warrays b idxs
-  | Visa.Mem _ -> ()
-
-let check_instr ~pvar ~warrays ~wscalars ~bound ~written (i : Visa.instr) =
-  let elem = function
-    | Operand.Elem (b, idxs) -> check_elem ~pvar ~warrays b idxs
-    | Operand.Scalar _ | Operand.Const _ -> ()
+(* Array accesses of one instruction, as (elem, write) pairs. *)
+let instr_elems (i : Visa.instr) =
+  let of_op ~write = function
+    | Operand.Elem (b, idxs) -> [ (b, idxs, write) ]
+    | Operand.Scalar _ | Operand.Const _ -> []
+  in
+  let of_src = function
+    | Visa.Mem op -> of_op ~write:false op
+    | Visa.Imm _ | Visa.Reg _ -> []
   in
   match i with
-  | Visa.Vload { elems; _ } | Visa.Vstore { elems; _ } -> List.iter elem elems
+  | Visa.Vload { elems; _ } -> List.concat_map (of_op ~write:false) elems
+  | Visa.Vstore { elems; _ } -> List.concat_map (of_op ~write:true) elems
+  | Visa.Vgather { srcs; _ } -> List.concat_map of_src srcs
+  | Visa.Vbroadcast { src; _ } -> of_src src
+  | Visa.Vunpack { dsts; _ } ->
+      List.concat_map
+        (function
+          | Some (Visa.To_mem op) -> of_op ~write:true op
+          | Some (Visa.To_reg _) | None -> [])
+        dsts
+  | Visa.Sstmt s ->
+      of_op ~write:true s.Stmt.lhs
+      @ List.concat_map (of_op ~write:false) (Expr.leaves s.Stmt.rhs)
+  | Visa.Vload_scalars _ | Visa.Vstore_scalars _ | Visa.Vpermute _
+  | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _
+    ->
+      []
+
+(* Scalar names an instruction touches outside Sstmt statements —
+   these disqualify a reduction candidate (its accumulator may only
+   live in its own update chain). *)
+let instr_scalar_touches (i : Visa.instr) =
+  let of_src = function Visa.Reg v -> [ v ] | Visa.Imm _ | Visa.Mem _ -> [] in
+  match i with
+  | Visa.Vgather { srcs; _ } -> List.concat_map of_src srcs
+  | Visa.Vbroadcast { src; _ } -> of_src src
+  | Visa.Vunpack { dsts; _ } ->
+      List.filter_map
+        (function Some (Visa.To_reg v) -> Some v | _ -> None)
+        dsts
+  | Visa.Vload_scalars { sources; _ } -> sources
+  | Visa.Vstore_scalars { targets; _ } -> targets
+  | Visa.Sstmt _ | Visa.Vload _ | Visa.Vstore _ | Visa.Vpermute _
+  | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _
+    ->
+      []
+
+let collect_vector ~box0 items =
+  let accesses = ref [] in
+  let sstmts = ref [] in
+  let foreign = ref [] in
+  let wscalars = ref [] in
+  let rec go ~box items =
+    List.iter
+      (function
+        | Visa.Block instrs ->
+            List.iter
+              (fun (i : Visa.instr) ->
+                List.iter
+                  (fun (base, idxs, write) ->
+                    accesses :=
+                      { Depend.stmt = 0; base; idxs; write; box } :: !accesses)
+                  (instr_elems i);
+                foreign := instr_scalar_touches i @ !foreign;
+                match i with
+                | Visa.Sstmt s ->
+                    sstmts := s :: !sstmts;
+                    (match s.Stmt.lhs with
+                    | Operand.Scalar v -> wscalars := add !wscalars v
+                    | Operand.Const _ | Operand.Elem _ -> ())
+                | Visa.Vunpack { dsts; _ } ->
+                    List.iter
+                      (function
+                        | Some (Visa.To_reg v) -> wscalars := add !wscalars v
+                        | _ -> ())
+                      dsts
+                | Visa.Vstore_scalars { targets; _ } ->
+                    List.iter (fun v -> wscalars := add !wscalars v) targets
+                | _ -> ())
+              instrs
+        | Visa.Loop l ->
+            go
+              ~box:
+                (Depend.Box.add box l.Visa.index
+                   (Depend.Box.of_bounds ~lo:l.Visa.lo ~hi:l.Visa.hi
+                      ~step:l.Visa.step))
+              l.Visa.body)
+      items
+  in
+  go ~box:box0 items;
+  (List.rev !accesses, List.rev !sstmts, !foreign, !wscalars)
+
+(* Written-before-read replay over the Visa tree for the scalars that
+   are neither reductions nor proven safe otherwise. *)
+let check_scalar_read ~wscalars ~exempt ~bound ~written v =
+  if
+    (not (List.mem v bound))
+    && List.mem v wscalars
+    && (not (List.mem v exempt))
+    && not (List.mem v !written)
+  then raise (Unsafe ("par-scalar:" ^ v))
+
+let check_vsrc ~wscalars ~exempt ~bound ~written = function
+  | Visa.Reg v -> check_scalar_read ~wscalars ~exempt ~bound ~written v
+  | Visa.Imm _ | Visa.Mem _ -> ()
+
+let check_instr ~wscalars ~exempt ~bound ~written (i : Visa.instr) =
+  match i with
   | Visa.Vgather { srcs; _ } ->
-      List.iter (check_vsrc ~pvar ~warrays ~wscalars ~bound ~written) srcs
+      List.iter (check_vsrc ~wscalars ~exempt ~bound ~written) srcs
   | Visa.Vbroadcast { src; _ } ->
-      check_vsrc ~pvar ~warrays ~wscalars ~bound ~written src
+      check_vsrc ~wscalars ~exempt ~bound ~written src
   | Visa.Vunpack { dsts; _ } ->
       List.iter
         (function
           | Some (Visa.To_reg v) -> written := add !written v
-          | Some (Visa.To_mem op) -> elem op
-          | None -> ())
+          | Some (Visa.To_mem _) | None -> ())
         dsts
   | Visa.Vload_scalars { sources; _ } ->
-      List.iter (check_scalar_read ~wscalars ~bound ~written) sources
+      List.iter (check_scalar_read ~wscalars ~exempt ~bound ~written) sources
   | Visa.Vstore_scalars { targets; _ } ->
       List.iter (fun v -> written := add !written v) targets
-  | Visa.Sstmt s -> check_stmt ~pvar ~warrays ~wscalars ~bound ~written s
-  | Visa.Vpermute _ | Visa.Vshuffle2 _ | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _
-  | Visa.Vreload _ ->
+  | Visa.Sstmt s -> (
+      List.iter
+        (function
+          | Operand.Scalar v ->
+              check_scalar_read ~wscalars ~exempt ~bound ~written v
+          | Operand.Const _ | Operand.Elem _ -> ())
+        (Expr.leaves s.Stmt.rhs);
+      match s.Stmt.lhs with
+      | Operand.Scalar v -> written := add !written v
+      | Operand.Const _ | Operand.Elem _ -> ())
+  | Visa.Vload _ | Visa.Vstore _ | Visa.Vpermute _ | Visa.Vshuffle2 _
+  | Visa.Vbin _ | Visa.Vun _ | Visa.Vspill _ | Visa.Vreload _ ->
       ()
 
-let rec check_vector_items ~pvar ~warrays ~wscalars ~bound ~written items =
+let rec check_vector_items ~wscalars ~exempt ~bound ~written items =
   List.iter
     (function
       | Visa.Block instrs ->
-          List.iter (check_instr ~pvar ~warrays ~wscalars ~bound ~written) instrs
+          List.iter (check_instr ~wscalars ~exempt ~bound ~written) instrs
       | Visa.Loop l ->
           let inner = ref !written in
-          check_vector_items ~pvar ~warrays ~wscalars
-            ~bound:(l.Visa.index :: bound) ~written:inner l.Visa.body;
-          if trip_at_least_once ~lo:l.Visa.lo ~hi:l.Visa.hi then written := !inner)
+          check_vector_items ~wscalars ~exempt ~bound:(l.Visa.index :: bound)
+            ~written:inner l.Visa.body;
+          if trip_at_least_once ~lo:l.Visa.lo ~hi:l.Visa.hi then
+            written := !inner)
     items
 
-(* -- entry points --------------------------------------------------- *)
-
-let scalar_parallel_safe (prog : Program.t) =
-  match prog.Program.body with
-  | [ Program.Loop l ] -> begin
-      let acc = { warrays = []; wscalars = [] } in
-      collect_scalar_items acc l.Program.body;
-      match
-        check_scalar_items ~pvar:l.Program.index ~warrays:acc.warrays
-          ~wscalars:acc.wscalars ~bound:[ l.Program.index ] ~written:(ref [])
-          l.Program.body
-      with
-      | () -> true
-      | exception Unsafe -> false
-    end
-  | _ -> false
-
-let vector_parallel_safe (prog : Visa.program) =
+let analyze_vector (prog : Visa.program) =
   match prog.Visa.body with
   | [ Visa.Loop l ] -> begin
-      let acc = { warrays = []; wscalars = [] } in
-      collect_vector_items acc l.Visa.body;
+      let pvar = l.Visa.index in
+      let box0 =
+        Depend.Box.add Depend.Box.empty pvar
+          (Depend.Box.of_bounds ~lo:l.Visa.lo ~hi:l.Visa.hi ~step:l.Visa.step)
+      in
+      let accesses, sstmts, foreign, wscalars = collect_vector ~box0 l.Visa.body in
+      let warrays =
+        List.filter_map
+          (fun (a : Depend.access) ->
+            if a.Depend.write then Some a.Depend.base else None)
+          accesses
+        |> List.sort_uniq String.compare
+      in
       match
-        check_vector_items ~pvar:l.Visa.index ~warrays:acc.warrays
-          ~wscalars:acc.wscalars ~bound:[ l.Visa.index ] ~written:(ref [])
-          l.Visa.body
+        List.iter
+          (fun (a : Depend.access) ->
+            if List.mem a.Depend.base warrays then
+              List.iter
+                (fun (b : Depend.access) ->
+                  if
+                    String.equal a.Depend.base b.Depend.base
+                    && (a.Depend.write || b.Depend.write)
+                    && Depend.cross_instance_conflict ~pvar a b
+                  then raise (Unsafe ("par-array-dep:" ^ a.Depend.base)))
+                accesses)
+          accesses;
+        let reductions =
+          List.filter
+            (fun (s, _) -> not (List.mem s foreign))
+            (Depend.reductions_of_stmts sstmts)
+        in
+        let exempt = List.map fst reductions in
+        check_vector_items ~wscalars ~exempt ~bound:[ pvar ] ~written:(ref [])
+          l.Visa.body;
+        reductions
       with
-      | () -> true
-      | exception Unsafe -> false
+      | reductions -> Parallel { reductions }
+      | exception Unsafe reason -> Serial reason
     end
-  | _ -> false
+  | _ -> Serial "par-shape"
+
+(* -- boolean entry points (legacy) ---------------------------------- *)
+
+let parallel = function Parallel _ -> true | Serial _ -> false
+let scalar_parallel_safe prog = parallel (analyze_scalar prog)
+let vector_parallel_safe prog = parallel (analyze_vector prog)

@@ -1,23 +1,37 @@
-(** Static chunk-independence analysis for domain-parallel execution.
+(** Chunk-independence analysis for domain-parallel execution.
 
     The multicore model runs the partitioned chunks of the first
     top-level loop sequentially on shared memory; {!Engine} may run
     them on concurrent OCaml domains only when no chunk can observe
-    another chunk's writes.  These checks are syntactic, conservative
-    and sound: arrays written by the loop must be accessed only
-    through a leading subscript equal to the partitioned index
-    (disjoint rows per iteration), scalars written by the loop must be
-    written before read within each iteration (privatizable
-    temporaries — a [s = s + ...] recurrence is rejected), and the
-    body must be the partitioned loop alone. *)
+    another chunk's writes.  The analysis is dependence-based (see
+    {!Depend}): array chunk independence is proved by the
+    cross-instance solver (no loop-carried conflict on the partitioned
+    index), recognised scalar reductions ([s = s ⊕ e],
+    ⊕ ∈ {+, *, min, max}) run on per-core partial accumulators merged
+    in core order, and remaining written scalars must be privatizable
+    (written before read within each iteration).  [Serial] carries a
+    stable reason code and never breaks anything — the engine keeps
+    its sequential legs. *)
 
 open Slp_ir
+open Slp_depend
+
+type verdict = Depend.verdict =
+  | Serial of string
+      (** reason code: ["par-shape"], ["par-array-dep:<arr>"],
+          ["par-scalar:<name>"], ["par-nonassoc:<name>"] *)
+  | Parallel of { reductions : (string * Types.binop) list }
+
+val analyze_scalar : Program.t -> verdict
+(** Alias of {!Depend.scalar_parallel_verdict}. *)
+
+val analyze_vector : Visa.program -> verdict
+(** Same rules over a lowered vector program ([setup] is ignored: it
+    always runs before the parallel leg).  Reductions are recognised
+    only from scalar [Sstmt] update chains; any other instruction
+    touching the scalar disqualifies it. *)
 
 val scalar_parallel_safe : Program.t -> bool
-(** May the scalar program's per-core legs run concurrently (with
-    privatized scalar slots) and still produce bit-identical memory,
-    counters and cycles? *)
+(** [analyze_scalar p <> Serial _]. *)
 
 val vector_parallel_safe : Visa.program -> bool
-(** Same question for a lowered vector program ([setup] is ignored:
-    it always runs before the parallel leg). *)

@@ -120,12 +120,23 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Progr
         let lo = Affine.eval main_loop.Program.lo (fun _ -> raise Not_found) in
         let hi = Affine.eval main_loop.Program.hi (fun _ -> raise Not_found) in
         let ranges = chunk_ranges ~lo ~hi ~step:main_loop.Program.step ~cores in
+        (* same chunk semantics as the engine: with a [Parallel]
+           verdict each core runs on a privatized scalar store and
+           recognised reductions merge from per-core partials *)
+        List.iter
+          (fun v -> ignore (Memory.scalar_slot memory v))
+          (Engine.scalar_prog_names [] prog.Program.body);
+        let priv =
+          Engine.make_privatizer ~memory ~ranges
+            ~verdict:(Parcheck.analyze_scalar prog)
+        in
         let all = Counters.create () in
         let max_cycles = ref 0.0 in
         List.iteri
           (fun core (clo, chi) ->
             let cache = Cache.create ~contention machine in
             let counters = Counters.create () in
+            priv.Engine.p_enter core;
             List.iter
               (fun item ->
                 match item with
@@ -138,10 +149,12 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Progr
                       exec_items ~memory ~cache ~counters ~machine ~bindings:[]
                         ~override:None [ item ])
               prog.Program.body;
+            priv.Engine.p_exit core;
             max_cycles := Float.max !max_cycles counters.Counters.cycles;
             counters.Counters.cycles <- 0.0;
             Counters.merge_into ~into:all counters)
           ranges;
+        priv.Engine.p_finish ();
         all.Counters.cycles <- !max_cycles;
         { counters = all; memory }
   end

@@ -302,6 +302,19 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
         let lo = Affine.eval main_loop.Visa.lo (fun _ -> raise Not_found) in
         let hi = Affine.eval main_loop.Visa.hi (fun _ -> raise Not_found) in
         let ranges = Scalar_exec.chunk_ranges ~lo ~hi ~step:main_loop.Visa.step ~cores in
+        (* same chunk semantics as the engine: with a [Parallel]
+           verdict each core runs on a privatized scalar store and
+           recognised reductions merge from per-core partials; the
+           entry snapshot is taken after setup has run *)
+        List.iter
+          (fun v -> ignore (Memory.scalar_slot memory v))
+          (Engine.vector_prog_names
+             (Engine.vector_prog_names [] prog.Visa.setup)
+             prog.Visa.body);
+        let priv =
+          Engine.make_privatizer ~memory ~ranges
+            ~verdict:(Parcheck.analyze_vector prog)
+        in
         let all = setup_state.counters in
         let max_cycles = ref 0.0 in
         List.iteri
@@ -315,6 +328,7 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
                 vregs = Array.make nvregs unwritten;
               }
             in
+            priv.Engine.p_enter core;
             List.iter
               (fun item ->
                 match item with
@@ -324,10 +338,12 @@ let rec run_interpreter ?(cores = 1) ?(seed = 42) ?memory ~machine (prog : Visa.
                 | Visa.Loop _ | Visa.Block _ ->
                     if core = 0 then exec_items st ~bindings:[] ~override:None [ item ])
               prog.Visa.body;
+            priv.Engine.p_exit core;
             max_cycles := Float.max !max_cycles st.counters.Counters.cycles;
             st.counters.Counters.cycles <- 0.0;
             Counters.merge_into ~into:all st.counters)
           ranges;
+        priv.Engine.p_finish ();
         all.Counters.cycles <- !max_cycles;
         { counters = all; memory }
   end

@@ -99,6 +99,34 @@ let test_chains () =
   Alcotest.(check (option int)) "before the redefinition" (Some 1)
     (Chains.reaching_def c ~var:"x" ~before:3)
 
+let test_chains_linear () =
+  (* Smoke test for the linear-time accumulation in Chains.compute: one
+     def with ~1000 uses used to cost O(n^2) list appends.  We only
+     assert correctness (count and ascending order); the wall-clock
+     guard is that the whole suite stays quick. *)
+  let n = 1000 in
+  let stmts =
+    (Operand.Scalar "s", Expr.Infix.(cst 1.0 + cst 1.0))
+    :: List.init n (fun k ->
+           (Operand.Scalar (Printf.sprintf "t%d" k), Expr.Infix.(sc "s" * cst 2.0)))
+  in
+  let c = Chains.compute (Block.of_rhs stmts) in
+  let uses = Chains.def_use c 1 in
+  Alcotest.(check int) "all uses recorded" n (List.length uses);
+  Alcotest.(check (list int)) "program order" (List.init n (fun k -> k + 2)) uses;
+  (* A long serial chain exercises the use-def side the same way. *)
+  let chain =
+    (Operand.Scalar "c0", Expr.Infix.(cst 1.0 + cst 1.0))
+    :: List.init n (fun k ->
+           ( Operand.Scalar (Printf.sprintf "c%d" (k + 1)),
+             Expr.Infix.(sc (Printf.sprintf "c%d" k) + cst 1.0) ))
+  in
+  let c = Chains.compute (Block.of_rhs chain) in
+  Alcotest.(check (list (pair string int)))
+    "tail of the chain"
+    [ (Printf.sprintf "c%d" (n - 1), n) ]
+    (Chains.use_def c (n + 1))
+
 (* -- liveness ------------------------------------------------------------------ *)
 
 let test_liveness () =
@@ -147,6 +175,10 @@ let () =
           Alcotest.test_case "verdicts" `Quick test_alignment_verdicts;
           Alcotest.test_case "contiguous packs" `Quick test_contiguous_pack;
         ] );
-      ("chains", [ Alcotest.test_case "def-use / use-def" `Quick test_chains ]);
+      ( "chains",
+        [
+          Alcotest.test_case "def-use / use-def" `Quick test_chains;
+          Alcotest.test_case "1k-statement linearity" `Quick test_chains_linear;
+        ] );
       ("liveness", [ Alcotest.test_case "demand analysis" `Quick test_liveness ]);
     ]

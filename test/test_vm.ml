@@ -421,6 +421,56 @@ let test_multicore_work_conservation () =
   Alcotest.(check bool) "results identical" true
     (Memory.same_contents r1.Scalar_exec.memory r4.Scalar_exec.memory)
 
+(* -- parcheck verdicts -------------------------------------------------------- *)
+
+let parse_mc = Slp_frontend.Parser.parse
+
+let check_verdict name src expected =
+  let prog = parse_mc ~name src in
+  let show = function
+    | Slp_vm.Parcheck.Serial reason -> "serial:" ^ reason
+    | Slp_vm.Parcheck.Parallel { reductions } ->
+        "parallel:"
+        ^ String.concat ","
+            (List.map
+               (fun (v, op) ->
+                 v
+                 ^
+                 match op with
+                 | Types.Add -> "+"
+                 | Types.Mul -> "*"
+                 | Types.Min -> "min"
+                 | Types.Max -> "max"
+                 | Types.Sub -> "-"
+                 | Types.Div -> "/")
+               reductions)
+  in
+  Alcotest.(check string)
+    name expected
+    (show (Slp_vm.Parcheck.analyze_scalar prog))
+
+let test_parcheck_admits () =
+  check_verdict "parity-disjoint offsets on one array"
+    "f64 A[128];\nfor i = 0 to 32 {\n  A[2*i] = A[2*i+1];\n}" "parallel:";
+  check_verdict "offset read of another array"
+    "f64 A[128];\nf64 B[128];\nfor i = 0 to 64 {\n  A[i] = B[i+3];\n}"
+    "parallel:";
+  check_verdict "sum reduction"
+    "f64 s;\nf64 A[64];\nfor i = 0 to 64 {\n  s = s + A[i];\n}" "parallel:s+";
+  check_verdict "max reduction"
+    "f64 m;\nf64 A[64];\nfor i = 0 to 64 {\n  m = max(m, A[i]);\n}"
+    "parallel:mmax"
+
+let test_parcheck_rejects () =
+  check_verdict "loop-carried distance 1"
+    "f64 A[128];\nfor i = 0 to 64 {\n  A[i+1] = A[i];\n}" "serial:par-array-dep:A";
+  check_verdict "non-associative self-update"
+    "f64 s;\nf64 A[64];\nfor i = 0 to 64 {\n  s = A[i] - s;\n}"
+    "serial:par-nonassoc:s";
+  check_verdict "statements outside the loop"
+    "f64 x;\nf64 A[64];\nx = 1.0;\nfor i = 0 to 64 {\n  A[i] = x;\n}"
+    "serial:par-shape"
+
 let () =
   Alcotest.run "vm"
     [
@@ -455,5 +505,10 @@ let () =
           Alcotest.test_case "work conservation" `Quick test_multicore_work_conservation;
           Alcotest.test_case "fig21 domains bit-identical" `Quick
             test_fig21_domains_bitidentical;
+        ] );
+      ( "parcheck",
+        [
+          Alcotest.test_case "admitted kernels" `Quick test_parcheck_admits;
+          Alcotest.test_case "rejected kernels" `Quick test_parcheck_rejects;
         ] );
     ]
