@@ -47,6 +47,18 @@ let compile_suite ~verify () =
            ~machine:intel (Suite.program b)))
     Suite.all
 
+(* The bench guard for the exact scheme: every suite kernel compiled
+   under Optimal at the default solver budget.  The smoke guard holds
+   this under a fixed wall budget so a bounding or memoization
+   regression in the solver cannot silently blow up compile time. *)
+let optimal_compile_suite () =
+  List.iter
+    (fun (b : Suite.t) ->
+      ignore
+        (Pipeline.compile ~unroll:b.Suite.unroll ~verify:false
+           ~scheme:Pipeline.Optimal ~machine:intel (Suite.program b)))
+    Suite.all
+
 (* The bench guard for the observability hooks: full-suite Global
    compile+run with the obs bundle disabled vs fully enabled.  The
    disabled entry is the one the ≤2% budget applies to — it measures
@@ -184,6 +196,9 @@ let all_tests =
        must stay a small fraction of compile time (see EXPERIMENTS.md). *)
     t "verify_overhead_suite_off" (compile_suite ~verify:false);
     t "verify_overhead_suite_on" (compile_suite ~verify:true);
+    (* Exact-solver compile-time guard: the whole suite under Optimal
+       must stay under the fixed smoke budget (see bench/smoke.sh). *)
+    t "optimal_compile_suite" optimal_compile_suite;
     (* Observability overhead guard: _off is compile+run with the
        dormant hooks (must stay within ~2% of the pre-obs baseline);
        _on is the same work with trace+remarks+profiler all enabled. *)

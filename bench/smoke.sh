@@ -12,6 +12,7 @@ dune exec bench/main.exe -- \
   fig16_slp_milc fig16_global_milc phase_vm_scalar_soplex \
   verify_overhead_suite_off verify_overhead_suite_on \
   obs_overhead_suite_off obs_overhead_suite_on \
+  optimal_compile_suite \
   suite_wall_clock fig21_sequential_4core fig21_domains_4core
 
 # Guard: the domain-parallel Figure 21 workload (NAS kernels, 4
@@ -29,4 +30,19 @@ awk -F'"' '
       exit 1
     }
     printf "fig21 guard ok: sequential %.0f ns/run, domains %.0f ns/run\n", seq, dom
+  }' BENCH_vm.json
+
+# Guard: the exact pack solver's full-suite compile (16 kernels under
+# the Optimal scheme, default 20k-node budget) must stay under a fixed
+# 2s wall budget.  Today it sits well under 0.5s; crossing the budget
+# means the bounding, memoization, or canonical enumeration regressed.
+awk -F'"' '
+  $2 == "optimal_compile_suite" { v = $3; sub(/^[: ]+/, "", v); opt = v + 0 }
+  END {
+    if (opt <= 0) { print "optimal guard: optimal_compile_suite missing from BENCH_vm.json"; exit 1 }
+    if (opt > 2e9) {
+      printf "optimal guard FAILED: suite compile %.0f ns/run exceeds the 2s budget\n", opt
+      exit 1
+    }
+    printf "optimal guard ok: suite compile under Optimal %.0f ns/run (budget 2s)\n", opt
   }' BENCH_vm.json

@@ -10,8 +10,14 @@
                                  write the JSON bailout report
      experiments --max-steps N   per-pass step budget (with --resilient)
      experiments --metrics FILE  also write per-kernel metrics JSON
-                                 (all five schemes + Global profiler
-                                 attribution) *)
+                                 (all six schemes + Global profiler
+                                 attribution)
+     experiments --gap-report FILE
+                                 write the heuristic-gap JSON report
+                                 (optimal vs every heuristic, suite +
+                                 fuzz corpus)
+     experiments --gap-fuzz N    fuzz-corpus sample size for the gap
+                                 report (default 1000) *)
 
 module E = Slp_harness.Experiments
 module Runner = Slp_harness.Runner
@@ -39,6 +45,8 @@ let () =
   let resilient = ref false in
   let report_path = ref None in
   let metrics_path = ref None in
+  let gap_path = ref None in
+  let gap_fuzz = ref None in
   let steps = ref None in
   let rec scan acc = function
     | [] -> List.rev acc
@@ -56,6 +64,24 @@ let () =
         scan acc rest
     | "--metrics" :: [] ->
         prerr_endline "--metrics requires a FILE argument";
+        exit 2
+    | "--gap-report" :: path :: rest ->
+        gap_path := Some path;
+        scan acc rest
+    | "--gap-report" :: [] ->
+        prerr_endline "--gap-report requires a FILE argument";
+        exit 2
+    | "--gap-fuzz" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some v ->
+            gap_fuzz := Some v;
+            scan acc rest
+        | None ->
+            prerr_endline "--gap-fuzz requires an integer argument";
+            exit 2
+      end
+    | "--gap-fuzz" :: [] ->
+        prerr_endline "--gap-fuzz requires an integer argument";
         exit 2
     | "--max-steps" :: n :: rest -> begin
         match int_of_string_opt n with
@@ -87,10 +113,12 @@ let () =
       | None -> Runner.set_resilient true);
       Runner.clear_bailouts ()
     end;
-    (* [--metrics] with no report ids writes just the metrics file;
-       naming reports (or naming none without [--metrics]) renders them
-       as before. *)
-    let run_reports = args <> [] || !metrics_path = None in
+    (* [--metrics]/[--gap-report] with no report ids write just their
+       files; naming reports (or naming none without either flag)
+       renders them as before. *)
+    let run_reports =
+      args <> [] || (!metrics_path = None && !gap_path = None)
+    in
     if run_reports then
       List.iter
         (fun (id, f) ->
@@ -102,6 +130,22 @@ let () =
         output_string oc (E.metrics_json ());
         output_char oc '\n';
         close_out oc
+    | None -> ());
+    (match !gap_path with
+    | Some path ->
+        let module Gap = Slp_harness.Gap in
+        let entries, suite_seconds = Gap.suite_report () in
+        let fuzz = Gap.fuzz_sample ?cases:!gap_fuzz () in
+        let oc = open_out path in
+        output_string oc (Slp_obs.Json.to_string (Gap.to_json ~entries ~suite_seconds ~fuzz));
+        output_char oc '\n';
+        close_out oc;
+        List.iter print_endline (Gap.summary_lines entries);
+        Printf.printf
+          "gap fuzz: %d case(s), %d bailed, %d dominance violation(s); report \
+           written to %s\n"
+          fuzz.Gap.f_cases fuzz.Gap.f_bailed fuzz.Gap.f_violations path;
+        if fuzz.Gap.f_violations > 0 then exit 4
     | None -> ());
     let bailouts = if !resilient then Runner.bailouts () else [] in
     (match !report_path with

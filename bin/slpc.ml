@@ -15,6 +15,7 @@ let scheme_conv =
     | "slp" -> Ok Pipeline.Slp
     | "global" -> Ok Pipeline.Global
     | "global-layout" | "layout" -> Ok Pipeline.Global_layout
+    | "optimal" -> Ok Pipeline.Optimal
     | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
   in
   let print ppf s = Format.pp_print_string ppf (Pipeline.scheme_name s) in
@@ -37,7 +38,9 @@ let scheme =
     value
     & opt scheme_conv Pipeline.Global
     & info [ "s"; "scheme" ] ~docv:"SCHEME"
-        ~doc:"Optimization scheme: scalar, native, slp, global, global-layout.")
+        ~doc:
+          "Optimization scheme: scalar, native, slp, global, global-layout, \
+           optimal.")
 
 let machine =
   Arg.(
@@ -161,6 +164,17 @@ let max_steps =
           "Per-pass step budget for grouping and scheduling; exhaustion is a \
            BAIL11 bailout (scalar degradation under --resilient).")
 
+let solver_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-steps" ] ~docv:"N"
+        ~doc:
+          "Per-block search budget of the exact pack solver (scheme \
+           $(b,optimal) only).  Exhaustion is advisory: the block falls back \
+           to the holistic heuristic under BAIL15 and the exit status stays \
+           0.")
+
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -178,7 +192,7 @@ let write_bailout_report path bailouts =
    resilient mode but degraded to scalar. *)
 let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
     dump_deps run stats trace_file remarks profile profile_json cores seed
-    resilient bailout_report max_errors max_steps =
+    resilient bailout_report max_errors max_steps solver_steps =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
   in
@@ -204,8 +218,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
       let compiled, bailouts =
         if resilient then begin
           let r =
-            Pipeline.compile_resilient ?unroll ?max_steps ~verify ~obs ~scheme
-              ~machine prog
+            Pipeline.compile_resilient ?unroll ?max_steps ?solver_steps ~verify
+              ~obs ~scheme ~machine prog
           in
           List.iter
             (fun (b : Pipeline.bailout) ->
@@ -220,7 +234,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
         end
         else
           match
-            Pipeline.compile ?unroll ?max_steps ~verify ~obs ~scheme ~machine prog
+            Pipeline.compile ?unroll ?max_steps ?solver_steps ~verify ~obs
+              ~scheme ~machine prog
           with
           | c -> (c, None)
           | exception Slp_verify.Verify.Verification_failed (what, report) ->
@@ -237,6 +252,14 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
       Printf.printf "scheme: %s on %s (%d-bit SIMD), unroll x%d\n"
         (Pipeline.scheme_name scheme) machine.Machine.name machine.Machine.simd_bits
         compiled.Pipeline.unroll_factor;
+      (* Advisory solver bailouts (scheme optimal): reported, but they
+         neither degrade the compile nor change the exit status. *)
+      List.iter
+        (fun (e : Slp_util.Slp_error.t) ->
+          Printf.eprintf "%s: solver bail [%s]: %s\n" name
+            (Slp_util.Slp_error.code_name e.Slp_util.Slp_error.code)
+            e.Slp_util.Slp_error.message)
+        compiled.Pipeline.solver_bails;
       (match compiled.Pipeline.verify_report with
       | Some r ->
           let warnings = Slp_verify.Verify.warnings r in
@@ -324,6 +347,6 @@ let cmd =
       const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
       $ dump_plan $ dump_vector $ dump_deps $ run $ stats $ trace_file
       $ remarks $ profile $ profile_json $ cores $ seed $ resilient
-      $ bailout_report $ max_errors $ max_steps)
+      $ bailout_report $ max_errors $ max_steps $ solver_steps)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,10 +19,22 @@ let scheme_conv =
     | "slp" -> Ok Pipeline.Slp
     | "global" -> Ok Pipeline.Global
     | "global-layout" | "layout" -> Ok Pipeline.Global_layout
+    | "optimal" -> Ok Pipeline.Optimal
     | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
   in
   let print ppf s = Format.pp_print_string ppf (Pipeline.scheme_name s) in
   Arg.conv (parse, print)
+
+(* The command-line token for a scheme — what reproducer headers must
+   echo so that replaying preserves the restriction (notably
+   [--scheme optimal], whose solver is part of the tested surface). *)
+let scheme_arg = function
+  | Pipeline.Scalar -> "scalar"
+  | Pipeline.Native -> "native"
+  | Pipeline.Slp -> "slp"
+  | Pipeline.Global -> "global"
+  | Pipeline.Global_layout -> "global-layout"
+  | Pipeline.Optimal -> "optimal"
 
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -51,7 +63,7 @@ let scheme =
     & info [ "scheme" ] ~docv:"SCHEME"
         ~doc:
           "Restrict the oracle to one scheme (scalar, native, slp, global, \
-           global-layout); default: all five.")
+           global-layout, optimal); default: all six.")
 
 let replay =
   Arg.(
@@ -89,11 +101,14 @@ let config_of ~seed ~count ~max_stmts ~scheme =
     gen_options = { Fuzz.Gen.default_options with Fuzz.Gen.max_stmts };
   }
 
-let write_repro path (r : Fuzz.Harness.failure_report) =
+let write_repro ?scheme path (r : Fuzz.Harness.failure_report) =
   ensure_repro_dir path;
   let oc = open_out path in
-  Printf.fprintf oc "# slpfuzz reproducer: --seed %d --index %d\n" r.Fuzz.Harness.seed
-    r.Fuzz.Harness.case_index;
+  Printf.fprintf oc "# slpfuzz reproducer: --seed %d --index %d%s\n"
+    r.Fuzz.Harness.seed r.Fuzz.Harness.case_index
+    (match scheme with
+    | Some s -> " --scheme " ^ scheme_arg s
+    | None -> "");
   List.iter
     (fun f -> Printf.fprintf oc "# %s\n" (Format.asprintf "%a" Fuzz.Oracle.pp_failure f))
     r.Fuzz.Harness.failures;
@@ -155,13 +170,15 @@ let main seed count index max_stmts scheme replay repro progress =
             let program = Fuzz.Harness.case_program { config with Fuzz.Harness.count = i + 1 } i in
             Format.printf "case %d:@.%s@." i (Slp_ir.Program.to_source program);
             let outcome =
-              Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes program
+              Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes
+                ?solver_steps:config.Fuzz.Harness.solver_steps program
             in
             let reports =
               if Fuzz.Oracle.failed outcome then begin
                 let still_fails p =
                   Fuzz.Oracle.failed
-                    (Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes p)
+                    (Fuzz.Oracle.run ~schemes:config.Fuzz.Harness.schemes
+                       ?solver_steps:config.Fuzz.Harness.solver_steps p)
                 in
                 let shrunk = Fuzz.Shrink.run ~still_fails program in
                 [
@@ -202,7 +219,7 @@ let main seed count index max_stmts scheme replay repro progress =
           List.iter
             (fun r -> Format.printf "%a@." Fuzz.Harness.pp_report r)
             reports;
-          write_repro repro first;
+          write_repro ?scheme repro first;
           Printf.printf "first reproducer written to %s\n" repro);
       if stats.Fuzz.Harness.reports = [] then 0 else 1
 

@@ -10,22 +10,24 @@ module Vector_exec = Slp_vm.Vector_exec
 type point =
   | Stage of string
   | Fuel
+  | Solver_fuel
   | Vm_memory of int
   | Vm_cache of int
 
 let point_name = function
   | Stage s -> "stage:" ^ s
   | Fuel -> "fuel"
+  | Solver_fuel -> "solver-fuel"
   | Vm_memory n -> Printf.sprintf "vm-memory:%d" n
   | Vm_cache n -> Printf.sprintf "vm-cache:%d" n
 
-(* Every compile-stage hook, the step budget, and one-shot VM faults a
-   few accesses into execution.  The access counts are arbitrary small
-   primes — any point inside the run exercises the same recovery
-   path. *)
+(* Every compile-stage hook, the step budget, the exact pack solver's
+   budget, and one-shot VM faults a few accesses into execution.  The
+   access counts are arbitrary small primes — any point inside the run
+   exercises the same recovery path. *)
 let all_points =
   List.map (fun s -> Stage s) P.stage_hook_points
-  @ [ Fuel; Vm_memory 5; Vm_cache 13 ]
+  @ [ Fuel; Solver_fuel; Vm_memory 5; Vm_cache 13 ]
 
 let pass_of_stage = function
   | "prepare" -> E.Transform
@@ -47,6 +49,7 @@ let expected_code = function
   | Stage "verify" -> E.Verify_rejected
   | Stage _ -> E.Injected
   | Fuel -> E.Fuel_exhausted
+  | Solver_fuel -> E.Optimal_bailed
   | Vm_memory _ -> E.Vm_trap
   | Vm_cache _ -> E.Injected
 
@@ -96,6 +99,12 @@ let run_case ?(scheme = P.Global_layout) ~machine ~point (prog : Program.t) =
     | Stage target ->
         P.compile_resilient ~on_stage:(injector ~target) ~scheme ~machine prog
     | Fuel -> P.compile_resilient ~max_steps:0 ~scheme ~machine prog
+    | Solver_fuel ->
+        (* A zero solver budget starves the exact scheme's search on
+           every block.  The expected recovery is *advisory*: each
+           block bails to the holistic heuristic under BAIL15 and the
+           compile itself still succeeds (not degraded). *)
+        P.compile_resilient ~solver_steps:0 ~scheme:P.Optimal ~machine prog
     | Vm_memory _ | Vm_cache _ ->
         (* VM faults are armed around execution only: the layout
            scheme's measured probe runs vector code during compile,
@@ -109,7 +118,7 @@ let run_case ?(scheme = P.Global_layout) ~machine ~point (prog : Program.t) =
     match point with
     | Vm_memory n -> Trap.with_fault ~fault:Trap.Memory_fault ~after:n f
     | Vm_cache n -> Trap.with_fault ~fault:Trap.Cache_fault ~after:n f
-    | Stage _ | Fuel -> f ()
+    | Stage _ | Fuel | Solver_fuel -> f ()
   in
   let final_memory =
     match armed (fun () -> exec_with_memory ~seed r.P.result) with
@@ -123,7 +132,8 @@ let run_case ?(scheme = P.Global_layout) ~machine ~point (prog : Program.t) =
   in
   let scalar_identical = Memory.same_contents oracle final_memory in
   let errors =
-    List.map (fun (b : P.bailout) -> b.P.error) r.P.bailouts @ List.rev !exec_errors
+    List.map (fun (b : P.bailout) -> b.P.error) r.P.bailouts
+    @ r.P.result.P.solver_bails @ List.rev !exec_errors
   in
   let codes = List.map (fun (e : E.t) -> E.code_name e.E.code) errors in
   let expected = E.code_name (expected_code point) in
@@ -131,6 +141,10 @@ let run_case ?(scheme = P.Global_layout) ~machine ~point (prog : Program.t) =
   let recovered =
     match point with
     | Stage _ | Fuel -> r.P.degraded && code_seen
+    | Solver_fuel ->
+        (* Advisory bail: the compile must NOT degrade, yet every
+           block with statements reports BAIL15. *)
+        (not r.P.degraded) && code_seen
     | Vm_memory _ | Vm_cache _ ->
         (* A one-shot fault set past the program's total access count
            never fires; nothing needed recovering, so only the

@@ -11,12 +11,17 @@
 type point =
   | Stage of string  (** A {!Slp_pipeline.Pipeline.stage_hook_points} name. *)
   | Fuel  (** Compile under a zero step budget. *)
+  | Solver_fuel
+      (** Compile the [Optimal] scheme under a zero solver budget:
+          every block must bail to the heuristic under BAIL15 while
+          the compile itself stays non-degraded. *)
   | Vm_memory of int  (** One-shot memory trap after [n] accesses. *)
   | Vm_cache of int  (** One-shot cache-model fault after [n] accesses. *)
 
 val point_name : point -> string
 val all_points : point list
-(** Every stage hook point plus [Fuel], [Vm_memory 5], [Vm_cache 13]. *)
+(** Every stage hook point plus [Fuel], [Solver_fuel], [Vm_memory 5],
+    [Vm_cache 13]. *)
 
 val expected_code : point -> Slp_util.Slp_error.code
 (** The reason code a fault at this point must be reported under. *)

@@ -9,6 +9,7 @@ type config = {
   schemes : Pipeline.scheme list;
   machines : Slp_machine.Machine.t list;
   shrink_checks : int;
+  solver_steps : int option;
 }
 
 let default_config =
@@ -19,6 +20,11 @@ let default_config =
     schemes = Pipeline.all_schemes;
     machines = Oracle.default_machines;
     shrink_checks = 400;
+    (* A fifth of the default budget: generated kernels are small, so
+       the exact search still proves optimality on almost all of them,
+       while a pathological draw bails instead of stalling the
+       campaign. *)
+    solver_steps = Some 4_000;
   }
 
 type failure_report = {
@@ -79,7 +85,8 @@ let run ?(on_case = fun _ _ -> ()) config =
     let program = case_program config index in
     on_case index program;
     let outcome =
-      Oracle.run ~schemes:config.schemes ~machines:config.machines program
+      Oracle.run ~schemes:config.schemes ~machines:config.machines
+        ?solver_steps:config.solver_steps program
     in
     List.iter
       (fun d ->
@@ -91,7 +98,9 @@ let run ?(on_case = fun _ _ -> ()) config =
       outcome.Oracle.drifts;
     if Oracle.failed outcome then begin
       let still_fails p =
-        Oracle.failed (Oracle.run ~schemes:config.schemes ~machines:config.machines p)
+        Oracle.failed
+          (Oracle.run ~schemes:config.schemes ~machines:config.machines
+             ?solver_steps:config.solver_steps p)
       in
       let shrunk = Shrink.run ~max_checks:config.shrink_checks ~still_fails program in
       reports :=

@@ -15,10 +15,14 @@ type config = {
   schemes : Pipeline.scheme list;
   machines : Slp_machine.Machine.t list;
   shrink_checks : int;  (** Predicate-evaluation budget per shrink. *)
+  solver_steps : int option;
+      (** Cap on the [Optimal] scheme's per-block exact search;
+          [None] leaves the pipeline default. *)
 }
 
 val default_config : config
-(** Seed 42, 300 cases, all five schemes, both machines. *)
+(** Seed 42, 300 cases, all six schemes, both machines, solver fuel
+    capped at 4000 nodes per block. *)
 
 type failure_report = {
   case_index : int;

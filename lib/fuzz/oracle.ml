@@ -116,7 +116,7 @@ let predicted_cost (plan : Slp_core.Driver.program_plan) =
     0.0 plan.Slp_core.Driver.plans
 
 let run ?(schemes = Pipeline.all_schemes) ?(machines = default_machines) ?(seed = 42)
-    ?(mutate = fun v -> v) (prog : Program.t) =
+    ?solver_steps ?(mutate = fun v -> v) (prog : Program.t) =
   match Program.validate prog with
   | Error msg ->
       {
@@ -156,7 +156,10 @@ let run ?(schemes = Pipeline.all_schemes) ?(machines = default_machines) ?(seed 
           List.iter
             (fun scheme ->
               let sname = Pipeline.scheme_name scheme in
-              match Pipeline.compile ~verify:true ~scheme ~machine prog with
+              match
+                Pipeline.compile ~verify:true ?solver_steps ~scheme ~machine
+                  prog
+              with
               | exception Slp_verify.Verify.Verification_failed (what, report) ->
                   fail ~scheme:sname ~machine:mname ~stage:"verify"
                     (Format.asprintf "%s:@ %a" what Slp_verify.Verify.pp_report report)

@@ -54,12 +54,18 @@ val run :
   ?schemes:Pipeline.scheme list ->
   ?machines:Slp_machine.Machine.t list ->
   ?seed:int ->
+  ?solver_steps:int ->
   ?mutate:(Slp_vm.Visa.program -> Slp_vm.Visa.program) ->
   Program.t ->
   outcome
 (** [mutate] (identity by default) is applied to each compiled vector
     program before execution — the hook used to inject deliberate
-    miscompiles when testing the shrinker against the real oracle. *)
+    miscompiles when testing the shrinker against the real oracle.
+
+    [solver_steps] caps the [Optimal] scheme's per-block exact search
+    (a fuzz campaign cannot afford a pathological kernel holding the
+    full default budget); exhaustion is an advisory bail to the
+    heuristic, which the oracle still checks end-to-end. *)
 
 val failed : outcome -> bool
 val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,311 @@
+(* The heuristic-gap report: how close each heuristic scheme comes to
+   the exact optimum of the modeled cost.
+
+   The [Optimal] scheme (lib/slp_core/optimal.ml) solves pack
+   selection exactly, so the difference between a heuristic's modeled
+   cost and the optimal modeled cost is the true price of that
+   heuristic's approximations.  The report measures it two ways: on
+   the 16 suite kernels x both evaluation machines (with measured
+   cycles alongside the modeled costs), and on a drawn fuzz corpus
+   where only modeled costs are compared (execution would dominate the
+   runtime without sharpening the question). *)
+
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+module Counters = Slp_vm.Counters
+module Cost = Slp_core.Cost
+module Driver = Slp_core.Driver
+module Optimal = Slp_core.Optimal
+module Block = Slp_ir.Block
+module J = Slp_obs.Json
+
+(* Every scheme the optimum is compared against. *)
+let heuristics =
+  [
+    Pipeline.Scalar;
+    Pipeline.Native;
+    Pipeline.Slp;
+    Pipeline.Global;
+    Pipeline.Global_layout;
+  ]
+
+type scheme_gap = {
+  g_scheme : string;
+  g_cost : float;
+  g_cycles : float;
+  g_gap : float;  (** [g_cost - optimal cost]; >= 0 when comparable. *)
+  g_comparable : bool;
+}
+
+type entry = {
+  e_kernel : string;
+  e_suite : string;
+  e_machine : string;
+  e_optimal_cost : float;
+  e_optimal_cycles : float;
+  e_compile_seconds : float;  (** Optimal-scheme compile time. *)
+  e_solver_bails : int;
+  e_schemes : scheme_gap list;
+}
+
+(* An uncommitted (or absent) plan prices at the exact scalar cost of
+   the prepared program — the same fallback [Optimal.modeled_cost]
+   uses per block, so costs are comparable across schemes. *)
+let scalar_modeled_cost ~params prog =
+  List.fold_left
+    (fun acc ((block : Block.t), _) ->
+      List.fold_left
+        (fun a s -> a +. Cost.scalar_stmt_cost params s)
+        acc block.Block.stmts)
+    0.0
+    (Driver.blocks_with_nest prog)
+
+let modeled_cost ~params (c : Pipeline.compiled) =
+  match c.Pipeline.plan with
+  | Some plan -> Optimal.modeled_cost ~params plan
+  | None -> scalar_modeled_cost ~params c.Pipeline.reference
+
+(* The layout stage rewrites array placement, which the block-local
+   cost model cannot see; a layout-transformed compile is only
+   cost-comparable when the stage was skipped. *)
+let comparable (c : Pipeline.compiled) =
+  c.Pipeline.replica_count = 0 && c.Pipeline.scalar_offsets = []
+
+let cycles_of c =
+  Counters.total_cycles (Pipeline.execute ~check:false c).Pipeline.counters
+
+let suite_entry ?solver_steps ~machine (b : Suite.t) =
+  let prog = Suite.program b in
+  let params = Pipeline.params_of_machine machine in
+  let compile scheme =
+    Pipeline.compile ~unroll:b.Suite.unroll ~verify:false ?solver_steps ~scheme
+      ~machine prog
+  in
+  let opt = compile Pipeline.Optimal in
+  let opt_cost = modeled_cost ~params opt in
+  let schemes =
+    List.map
+      (fun scheme ->
+        let c = compile scheme in
+        let cost = modeled_cost ~params c in
+        {
+          g_scheme = Pipeline.scheme_name scheme;
+          g_cost = cost;
+          g_cycles = cycles_of c;
+          g_gap = cost -. opt_cost;
+          g_comparable =
+            (match scheme with
+            | Pipeline.Global_layout -> comparable c
+            | _ -> true);
+        })
+      heuristics
+  in
+  {
+    e_kernel = b.Suite.name;
+    e_suite = Suite.suite_name b.Suite.suite;
+    e_machine = machine.Machine.name;
+    e_optimal_cost = opt_cost;
+    e_optimal_cycles = cycles_of opt;
+    e_compile_seconds = opt.Pipeline.compile_seconds;
+    e_solver_bails = List.length opt.Pipeline.solver_bails;
+    e_schemes = schemes;
+  }
+
+let default_machines = [ Machine.intel_dunnington; Machine.amd_phenom_ii ]
+
+let suite_report ?solver_steps ?(machines = default_machines) () =
+  let entries =
+    List.concat_map
+      (fun (b : Suite.t) ->
+        List.map (fun machine -> suite_entry ?solver_steps ~machine b) machines)
+      Suite.all
+  in
+  let seconds =
+    List.fold_left (fun acc e -> acc +. e.e_compile_seconds) 0.0 entries
+  in
+  (entries, seconds)
+
+(* -- fuzz-corpus sample ------------------------------------------------ *)
+
+type fuzz_scheme_stat = {
+  f_scheme : string;
+  f_improved : int;  (** Cases where the optimum strictly beats the scheme. *)
+  f_total_gap : float;
+  f_max_gap : float;
+}
+
+type fuzz_summary = {
+  f_cases : int;
+  f_seed : int;
+  f_solver_steps : int;
+  f_bailed : int;  (** Cases where at least one block hit the solver budget. *)
+  f_violations : int;  (** Comparable cases where a heuristic beat "optimal". *)
+  f_stats : fuzz_scheme_stat list;
+}
+
+let fuzz_heuristics =
+  [ Pipeline.Native; Pipeline.Slp; Pipeline.Global; Pipeline.Global_layout ]
+
+let default_fuzz_cases = 1000
+let default_fuzz_solver_steps = 4_000
+
+(* Modeled costs only, single machine: the corpus exists to expose
+   heuristic/optimal cost gaps (and would flag any dominance
+   violation), not to re-run the differential execution oracle the
+   fuzzer already applies. *)
+let fuzz_sample ?(cases = default_fuzz_cases) ?(seed = 2024)
+    ?(solver_steps = default_fuzz_solver_steps) () =
+  let machine = Machine.intel_dunnington in
+  let params = Pipeline.params_of_machine machine in
+  let rng = Slp_util.Prng.create seed in
+  let bailed = ref 0 and violations = ref 0 in
+  let improved = Hashtbl.create 7
+  and total_gap = Hashtbl.create 7
+  and max_gap = Hashtbl.create 7 in
+  let bump tbl name f =
+    Hashtbl.replace tbl name (f (Option.value ~default:0.0 (Hashtbl.find_opt tbl name)))
+  in
+  for i = 0 to cases - 1 do
+    let prog =
+      Slp_fuzz.Gen.program
+        ~name:(Printf.sprintf "gap%04d" i)
+        (Slp_util.Prng.create (Slp_util.Prng.int rng 1_000_000_000))
+    in
+    let compile scheme =
+      Pipeline.compile ~verify:false ~solver_steps ~scheme ~machine prog
+    in
+    let opt = compile Pipeline.Optimal in
+    let opt_cost = modeled_cost ~params opt in
+    if opt.Pipeline.solver_bails <> [] then incr bailed;
+    List.iter
+      (fun scheme ->
+        let name = Pipeline.scheme_name scheme in
+        let c = compile scheme in
+        let cost = modeled_cost ~params c in
+        let gap = cost -. opt_cost in
+        let is_comparable =
+          match scheme with
+          | Pipeline.Global_layout -> comparable c
+          | _ -> true
+        in
+        if is_comparable then begin
+          if gap < -1e-6 then incr violations;
+          if gap > 1e-9 then bump improved name (fun v -> v +. 1.0);
+          bump total_gap name (fun v -> v +. Float.max 0.0 gap);
+          bump max_gap name (fun v -> Float.max v gap)
+        end)
+      fuzz_heuristics
+  done;
+  let get tbl name = Option.value ~default:0.0 (Hashtbl.find_opt tbl name) in
+  {
+    f_cases = cases;
+    f_seed = seed;
+    f_solver_steps = solver_steps;
+    f_bailed = !bailed;
+    f_violations = !violations;
+    f_stats =
+      List.map
+        (fun scheme ->
+          let name = Pipeline.scheme_name scheme in
+          {
+            f_scheme = name;
+            f_improved = int_of_float (get improved name);
+            f_total_gap = get total_gap name;
+            f_max_gap = get max_gap name;
+          })
+        fuzz_heuristics;
+  }
+
+(* -- JSON -------------------------------------------------------------- *)
+
+let entry_json e =
+  J.Obj
+    [
+      ("kernel", J.Str e.e_kernel);
+      ("suite", J.Str e.e_suite);
+      ("machine", J.Str e.e_machine);
+      ( "optimal",
+        J.Obj
+          [
+            ("modeled_cost", J.Num e.e_optimal_cost);
+            ("cycles", J.Num e.e_optimal_cycles);
+            ("compile_seconds", J.Num e.e_compile_seconds);
+            ("solver_bails", J.Num (float_of_int e.e_solver_bails));
+          ] );
+      ( "schemes",
+        J.Obj
+          (List.map
+             (fun g ->
+               ( g.g_scheme,
+                 J.Obj
+                   [
+                     ("modeled_cost", J.Num g.g_cost);
+                     ("cycles", J.Num g.g_cycles);
+                     ("gap", J.Num g.g_gap);
+                     ("comparable", J.Bool g.g_comparable);
+                   ] ))
+             e.e_schemes) );
+    ]
+
+let fuzz_json f =
+  J.Obj
+    [
+      ("cases", J.Num (float_of_int f.f_cases));
+      ("seed", J.Num (float_of_int f.f_seed));
+      ("solver_steps", J.Num (float_of_int f.f_solver_steps));
+      ("bailed_cases", J.Num (float_of_int f.f_bailed));
+      ("dominance_violations", J.Num (float_of_int f.f_violations));
+      ( "schemes",
+        J.Obj
+          (List.map
+             (fun s ->
+               ( s.f_scheme,
+                 J.Obj
+                   [
+                     ("improved_cases", J.Num (float_of_int s.f_improved));
+                     ("total_gap", J.Num s.f_total_gap);
+                     ("max_gap", J.Num s.f_max_gap);
+                   ] ))
+             f.f_stats) );
+    ]
+
+let to_json ~entries ~suite_seconds ~fuzz =
+  J.Obj
+    [
+      ("suite_compile_seconds", J.Num suite_seconds);
+      ("kernels", J.Arr (List.map entry_json entries));
+      ("fuzz", fuzz_json fuzz);
+    ]
+
+let report_json ?fuzz_cases ?fuzz_seed ?solver_steps () =
+  let entries, suite_seconds = suite_report () in
+  let fuzz = fuzz_sample ?cases:fuzz_cases ?seed:fuzz_seed ?solver_steps () in
+  J.to_string (to_json ~entries ~suite_seconds ~fuzz)
+
+(* One human line per machine for the experiments CLI. *)
+let summary_lines entries =
+  List.map
+    (fun machine ->
+      let on_machine =
+        List.filter (fun e -> e.e_machine = machine.Machine.name) entries
+      in
+      let tight =
+        List.length
+          (List.filter
+             (fun e ->
+               List.for_all
+                 (fun g ->
+                   (not g.g_comparable)
+                   || g.g_scheme = "Scalar"
+                   || g.g_gap <= 1e-9)
+                 e.e_schemes)
+             on_machine)
+      in
+      let bails =
+        List.fold_left (fun acc e -> acc + e.e_solver_bails) 0 on_machine
+      in
+      Printf.sprintf
+        "%s: every heuristic already optimal on %d/%d kernels; %d solver bail(s)"
+        machine.Machine.name tight (List.length on_machine) bails)
+    default_machines

@@ -10,7 +10,7 @@ module Obs = Slp_obs.Obs
 module Remark = Slp_obs.Remark
 module Clock = Slp_obs.Clock
 
-type scheme = Scalar | Native | Slp | Global | Global_layout
+type scheme = Scalar | Native | Slp | Global | Global_layout | Optimal
 
 let scheme_name = function
   | Scalar -> "Scalar"
@@ -18,8 +18,9 @@ let scheme_name = function
   | Slp -> "SLP"
   | Global -> "Global"
   | Global_layout -> "Global+Layout"
+  | Optimal -> "Optimal"
 
-let all_schemes = [ Scalar; Native; Slp; Global; Global_layout ]
+let all_schemes = [ Scalar; Native; Slp; Global; Global_layout; Optimal ]
 
 type compiled = {
   scheme : scheme;
@@ -35,6 +36,7 @@ type compiled = {
   verify_report : Slp_verify.Verify.report option;
   verify_seconds : float;
   origins : Slp_obs.Profile.key array list;
+  solver_bails : E.t list;
 }
 
 (* The gate should predict the simulator: derive its per-instruction
@@ -106,8 +108,8 @@ let plan_with f ~config ~params (prog : Program.t) =
 let stage_hook_points = [ "prepare"; "plan"; "layout"; "lower"; "regalloc"; "verify" ]
 
 let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
-    ?(verify = true) ?on_stage ?max_steps ?(obs = Obs.none) ~scheme ~machine
-    (prog : Program.t) =
+    ?(verify = true) ?on_stage ?max_steps ?solver_steps ?(obs = Obs.none)
+    ~scheme ~machine (prog : Program.t) =
   let stage name = match on_stage with Some f -> f name | None -> () in
   (* Independent per-pass step budgets from the single user-facing
      knob; [None] means unbounded (the historical behavior). *)
@@ -127,6 +129,10 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
   in
   let t0 = Clock.now () in
   let lower_o = Slp_codegen.Lower.lower_with_origins ~obs ~machine in
+  (* Advisory bailouts of the exact pack solver: the compile still
+     succeeds (the affected blocks carry the heuristic's plan), but the
+     BAIL15 records surface on the result for reporting. *)
+  let solver_bails = ref [] in
   let vector, plan, scalar_offsets, replica_count, origins =
     match scheme with
     | Scalar -> (None, None, [], 0, [])
@@ -167,6 +173,54 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
                 ?schedule_options ?grouping_fuel ?schedule_fuel ~params
                 ~query_of:(fun ~nest block -> query_of ~nest block)
                 ~config prepared)
+        in
+        stage "lower";
+        let vec, origins =
+          Obs.span obs "lower" (fun () -> lower_o ~reuse:register_reuse plan)
+        in
+        (Some vec, Some plan, [], 0, origins)
+    | Optimal ->
+        let query_of = query_for ~config prepared in
+        stage "plan";
+        let plan =
+          Obs.span obs "plan" (fun () ->
+              (* Committed schedules of the baseline heuristics ride
+                 along as incumbents, so the exact scheme can never end
+                 up worse than either on the modeled cost — even when a
+                 block's search bails on fuel. *)
+              let seed_plan f =
+                match plan_with f ~config ~params prepared with
+                | p -> Some p
+                | exception _ -> None
+              in
+              let native =
+                seed_plan (fun ~params ~env ~config ~query ~nest b ->
+                    Slp_baseline.Native.plan_block ~params ~env ~config ~query
+                      ~nest b)
+              in
+              let larsen =
+                seed_plan (fun ~params ~env ~config ~query ~nest b ->
+                    Slp_baseline.Larsen.plan_block ~params ~env ~config ~query
+                      ~nest b)
+              in
+              let seeds_of i =
+                List.filter_map
+                  (fun plan ->
+                    Option.bind plan (fun (p : Driver.program_plan) ->
+                        Option.bind
+                          (List.nth_opt p.Driver.plans i)
+                          (fun bp -> bp.Driver.schedule)))
+                  [ native; larsen ]
+              in
+              let plan, bails, _stats =
+                Slp_core.Optimal.optimize_program ~obs ~params ~seeds_of
+                  ?solver_steps ?grouping_fuel ?schedule_fuel
+                  ~query_of:(fun ~nest block -> query_of ~nest block)
+                  ~config prepared
+              in
+              solver_bails :=
+                List.map (fun (b : Slp_core.Optimal.bail) -> b.Slp_core.Optimal.error) bails;
+              plan)
         in
         stage "lower";
         let vec, origins =
@@ -332,6 +386,7 @@ let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
     verify_report;
     verify_seconds;
     origins;
+    solver_bails = !solver_bails;
   }
 
 type exec_result = { counters : Slp_vm.Counters.t; correct : bool }
@@ -446,18 +501,19 @@ let identity_compiled ~machine (prog : Program.t) =
     verify_report = None;
     verify_seconds = 0.0;
     origins = [];
+    solver_bails = [];
   }
 
 let compile_resilient ?unroll ?grouping_options ?schedule_options ?register_reuse
-    ?verify ?on_stage ?(max_steps = 2_000_000) ?obs ~scheme ~machine
-    (prog : Program.t) =
+    ?verify ?on_stage ?(max_steps = 2_000_000) ?solver_steps ?obs ~scheme
+    ~machine (prog : Program.t) =
   let bail exn =
     { kernel = prog.Program.name; scheme; machine = machine.M.name;
       error = error_of_exn exn }
   in
   match
     compile ?unroll ?grouping_options ?schedule_options ?register_reuse ?verify
-      ?on_stage ~max_steps ?obs ~scheme ~machine prog
+      ?on_stage ~max_steps ?solver_steps ?obs ~scheme ~machine prog
   with
   | c -> { result = c; degraded = false; bailouts = [] }
   | exception exn -> begin

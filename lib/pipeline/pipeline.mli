@@ -1,12 +1,15 @@
 (** End-to-end compilation pipelines — the five schemes compared in the
-    paper's evaluation.
+    paper's evaluation, plus the exact oracle scheme.
 
     - [Scalar]: no SLP optimization (the normalisation baseline);
     - [Native]: the conservative contiguous-only vectorizer;
     - [Slp]: Larsen & Amarasinghe PLDI 2000;
     - [Global]: the paper's superword statement generation (stage 1);
     - [Global_layout]: stage 1 plus the data layout optimization
-      (stage 2).
+      (stage 2);
+    - [Optimal]: exact goSLP-style pack selection by branch-and-bound
+      ({!Slp_core.Optimal}) — never worse than any heuristic on the
+      modeled cost, used as the test oracle.
 
     Every scheme shares the same pre-processing (constant folding +
     loop unrolling), code generator, and simulator, so measured
@@ -16,7 +19,7 @@
 
 open Slp_ir
 
-type scheme = Scalar | Native | Slp | Global | Global_layout
+type scheme = Scalar | Native | Slp | Global | Global_layout | Optimal
 
 val scheme_name : scheme -> string
 val all_schemes : scheme list
@@ -46,7 +49,22 @@ type compiled = {
           pack that produced instruction [i] (spills and reloads
           inherit the origin of the instruction that forced them).
           Empty for [Scalar]. *)
+  solver_bails : Slp_util.Slp_error.t list;
+      (** Advisory [BAIL15-optimal] records from the [Optimal] scheme:
+          one per block whose exact search ran out of solver fuel and
+          fell back to the holistic heuristic.  The compile itself
+          still succeeds (the result is not degraded), so these never
+          appear in {!resilient.bailouts}.  Empty for every other
+          scheme. *)
 }
+
+val params_of_machine : Slp_machine.Machine.t -> Slp_core.Cost.params
+(** The cost-model parameters the compile derives from a machine model
+    (memory operations priced at an L1 hit).  Exposed so reports and
+    tests can price plans exactly as the pipeline's gate does. *)
+
+val config_of_machine : Slp_machine.Machine.t -> Slp_core.Config.t
+(** Datapath width and register count of a machine model. *)
 
 val stage_hook_points : string list
 (** The names passed to [compile ~on_stage], in pipeline order:
@@ -62,6 +80,7 @@ val compile :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?solver_steps:int ->
   ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->
@@ -85,6 +104,12 @@ val compile :
     independent step budgets; exhaustion raises
     {!Slp_util.Slp_error.Error} with code [Fuel_exhausted].  Omitted:
     unbounded.
+
+    [solver_steps] bounds the per-block exact search of the [Optimal]
+    scheme (default {!Slp_core.Optimal.default_solver_steps});
+    exhaustion does not fail the compile — the block falls back to the
+    holistic heuristic and a [BAIL15] record lands in
+    [compiled.solver_bails].
 
     [obs] (default {!Slp_obs.Obs.none}, a no-op) attaches the
     observability bundle: every stage of {!stage_hook_points} (plus
@@ -170,6 +195,7 @@ val compile_resilient :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?solver_steps:int ->
   ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
   machine:Slp_machine.Machine.t ->

@@ -58,6 +58,16 @@ type estimate = {
 val estimate :
   ?params:params -> query:query -> Block.t -> Schedule.t -> estimate
 
+val weighted_ops : params -> base:float -> Expr.t -> float
+(** Sum of per-operator weights of an expression, with [base] for the
+    ordinary operators (divisions and square roots keep their own
+    weights).  Exposed for the exact solver's admissible bounds. *)
+
+val scalar_stmt_cost : params -> Stmt.t -> float
+(** Exact cost of one statement executed scalar: weighted operators
+    plus element loads and the store (when the target is an array
+    element). *)
+
 val profitable : ?params:params -> query:query -> Block.t -> Schedule.t -> bool
 (** [vector_cost < scalar_cost]; equality counts as unprofitable (a
     transformation must pay for its risk). *)

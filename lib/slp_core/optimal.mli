@@ -1,0 +1,110 @@
+(** Exact pack selection (goSLP-style), the sixth scheme and the test
+    oracle for every heuristic.
+
+    Pack selection is formulated as 0-1 optimisation — one binary
+    variable per legal pack, partition/independence/lane-budget
+    conflict constraints, objective from {!Cost} — and solved exactly
+    by the branch-and-bound core in {!Slp_util.Bnb}: canonical
+    enumeration of set partitions, admissible per-element lower
+    bounds, and a relaxation memoised on the uncovered-set signature.
+    The search is metered by {!Slp_util.Slp_error.Fuel}; on blowup it
+    bails to the holistic heuristic under [BAIL15-optimal] instead of
+    hanging. *)
+
+open Slp_ir
+
+val default_solver_steps : int
+(** Per-block node/extension budget of the exact search. *)
+
+type stats = {
+  nodes : int;
+  leaves : int;
+  memo_hits : int;
+  pruned : int;
+  proven : bool;  (** Search completed: the result is the exact optimum. *)
+  bailed : bool;  (** Fuel ran out: the result is the best incumbent. *)
+}
+
+type bail = { label : string; budget : int; error : Slp_util.Slp_error.t }
+(** Advisory record of a per-block solver bailout (the compile still
+    succeeds with the heuristic's plan). *)
+
+type attempt = {
+  a_grouping : Grouping.result;
+  a_schedule : Schedule.t;
+  a_estimate : Cost.estimate;
+}
+
+val compatible :
+  env:Env.t -> deps:(int * int) list -> Stmt.t -> Stmt.t -> bool
+(** May the two statements share a pack: isomorphic, same element
+    type, no dependence in either direction.  Lane budget and joint
+    acyclicity are enforced separately. *)
+
+val grouping_of_parts : int list list -> Grouping.result
+(** A {!Grouping.result} from partition parts (statement-id lists):
+    parts of two or more become groups, the rest singles. *)
+
+val evaluate :
+  ?params:Cost.params ->
+  query:Cost.query ->
+  deps:(int * int) list ->
+  env:Env.t ->
+  config:Config.t ->
+  Block.t ->
+  Grouping.result ->
+  attempt option
+(** The shared objective evaluator: schedule the partition with
+    {!Schedule.run} and price it with {!Cost.estimate}.  [None] when
+    the partition admits no dependence-respecting schedule. *)
+
+val modeled_cost : ?params:Cost.params -> Driver.program_plan -> float
+(** Scheme-fair total: committed blocks at their estimated vector
+    cost, all other blocks at the exact scalar cost of their
+    statements — comparable across schemes because the scalar
+    fallback is priced identically everywhere. *)
+
+val enumerate_partitions :
+  env:Env.t ->
+  config:Config.t ->
+  deps:(int * int) list ->
+  Block.t ->
+  int list list list
+(** Every partition of the block into legal packs and singles (as
+    statement-id part lists).  Exponential — test use only, on blocks
+    of at most a handful of statements. *)
+
+val plan_block :
+  ?obs:Slp_obs.Obs.t ->
+  ?params:Cost.params ->
+  ?seeds:Schedule.t list ->
+  ?solver_steps:int ->
+  ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
+  ?schedule_fuel:Slp_util.Slp_error.Fuel.t ->
+  deps:(int * int) list ->
+  env:Env.t ->
+  config:Config.t ->
+  query:Cost.query ->
+  nest:string list ->
+  Block.t ->
+  Driver.block_plan * bail option * stats
+(** Exactly optimise one block.  [seeds] are committed schedules from
+    other schemes; they participate as incumbents, so the result is
+    never worse than any seed on the modeled cost — the dominance
+    guarantee the differential tests rely on. *)
+
+val optimize_program :
+  ?obs:Slp_obs.Obs.t ->
+  ?params:Cost.params ->
+  ?seeds_of:(int -> Schedule.t list) ->
+  ?solver_steps:int ->
+  ?grouping_fuel:Slp_util.Slp_error.Fuel.t ->
+  ?schedule_fuel:Slp_util.Slp_error.Fuel.t ->
+  ?query_of:(nest:string list -> Block.t -> Cost.query) ->
+  config:Config.t ->
+  Program.t ->
+  Driver.program_plan * bail list * stats list
+(** Per-block exact optimisation over the precise dependence facts of
+    {!Slp_depend.Depend}, in {!Driver.blocks_with_nest} order.
+    [seeds_of] maps a block's index in that order to its seed
+    schedules. *)

@@ -17,6 +17,9 @@ type t = {
   mem_dest : bool;  (** Store target is an array element. *)
 }
 
+val stmt_elem_ty : env:Env.t -> Stmt.t -> Types.scalar_ty
+(** Element type of a statement's store target. *)
+
 val of_stmt : env:Env.t -> Stmt.t -> t
 (** A singleton unit; [uid] = statement id. *)
 

@@ -39,6 +39,7 @@ type code =
   | Vm_trap
   | Internal
   | Injected
+  | Optimal_bailed
 
 let code_id = function
   | Parse_error -> "BAIL01"
@@ -55,6 +56,7 @@ let code_id = function
   | Vm_trap -> "BAIL12"
   | Internal -> "BAIL13"
   | Injected -> "BAIL14"
+  | Optimal_bailed -> "BAIL15"
 
 let code_mnemonic = function
   | Parse_error -> "parse"
@@ -71,6 +73,7 @@ let code_mnemonic = function
   | Vm_trap -> "trap"
   | Internal -> "internal"
   | Injected -> "injected"
+  | Optimal_bailed -> "optimal"
 
 let code_name c = code_id c ^ "-" ^ code_mnemonic c
 
@@ -90,6 +93,8 @@ let catalogue =
     (Vm_trap, "the VM trapped: out-of-bounds or unknown storage access");
     (Internal, "an unclassified internal failure");
     (Injected, "a deliberately injected fault (testing only)");
+    ( Optimal_bailed,
+      "the exact pack solver ran out of budget and fell back to the heuristic" );
   ]
 
 type span = { line : int; col : int }

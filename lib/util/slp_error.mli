@@ -1,5 +1,5 @@
 (** Structured compile-path errors: every bailout carries the pass it
-    came from, a stable reason code ([BAIL01]..[BAIL14]), an optional
+    came from, a stable reason code ([BAIL01]..[BAIL15]), an optional
     source span, and whether the pipeline can recover by degrading the
     kernel to scalar code.
 
@@ -41,6 +41,7 @@ type code =
   | Vm_trap  (** BAIL12 *)
   | Internal  (** BAIL13 *)
   | Injected  (** BAIL14 *)
+  | Optimal_bailed  (** BAIL15 *)
 
 val code_id : code -> string
 (** ["BAIL05"]. *)

@@ -36,10 +36,11 @@ let test_expected_codes () =
   check (F.Stage "regalloc") E.Regalloc_failed;
   check (F.Stage "verify") E.Verify_rejected;
   check F.Fuel E.Fuel_exhausted;
+  check F.Solver_fuel E.Optimal_bailed;
   check (F.Vm_memory 5) E.Vm_trap;
   check (F.Vm_cache 13) E.Injected;
   Alcotest.(check int)
-    "every stage hook has a point" (List.length Pipeline.stage_hook_points + 3)
+    "every stage hook has a point" (List.length Pipeline.stage_hook_points + 4)
     (List.length F.all_points)
 
 let test_single_case () =
@@ -68,6 +69,16 @@ let test_matrix () =
           Alcotest.(check bool)
             (Printf.sprintf "%s at %s degraded" o.F.kernel (F.point_name o.F.point))
             true o.F.degraded
+      | F.Solver_fuel ->
+          (* Advisory bail: BAIL15 must surface without degrading. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %s stayed non-degraded" o.F.kernel
+               (F.point_name o.F.point))
+            false o.F.degraded;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %s reported BAIL15" o.F.kernel
+               (F.point_name o.F.point))
+            true o.F.code_seen
       | F.Vm_memory _ | F.Vm_cache _ ->
           Alcotest.(check bool)
             (Printf.sprintf "%s at %s reported" o.F.kernel (F.point_name o.F.point))

@@ -1,0 +1,250 @@
+(* The exact pack-selection scheme (lib/slp_core/optimal.ml) as a test
+   oracle, and its own correctness obligations:
+
+   - exactness: on tiny generated blocks (<= 6 statements) the
+     branch-and-bound result equals the exhaustive minimum over every
+     legal packing, priced by the shared evaluator;
+   - dominance: on all 16 suite kernels x both machines, the Optimal
+     scheme's modeled cost never exceeds any heuristic's, and its
+     compiled output is memory-identical to the scalar reference;
+   - bounded failure: a combinatorial blowup kernel exhausts the
+     solver budget, bails to the holistic heuristic under the
+     advisory BAIL15 — without degrading the compile — and still
+     dominates the heuristic it fell back to. *)
+
+open Slp_ir
+module E = Slp_util.Slp_error
+module Prng = Slp_util.Prng
+module Optimal = Slp_core.Optimal
+module Cost = Slp_core.Cost
+module Config = Slp_core.Config
+module Driver = Slp_core.Driver
+module Depend = Slp_depend.Depend
+module Pipeline = Slp_pipeline.Pipeline
+module Machine = Slp_machine.Machine
+module Suite = Slp_benchmarks.Suite
+module Gen = Slp_fuzz.Gen
+
+let intel = Machine.intel_dunnington
+let amd = Machine.amd_phenom_ii
+
+(* The same scheme-fair block pricing [Optimal.modeled_cost] applies
+   to whole plans: committed -> estimated vector cost, otherwise the
+   exact scalar cost of the block's statements. *)
+let block_cost params (bp : Driver.block_plan) =
+  match (bp.Driver.schedule, bp.Driver.estimate) with
+  | Some _, Some e -> e.Cost.vector_cost
+  | _ ->
+      List.fold_left
+        (fun a s -> a +. Cost.scalar_stmt_cost params s)
+        0.0 bp.Driver.block.Block.stmts
+
+(* -- exactness against brute force --------------------------------- *)
+
+(* Seeded property: draw small kernels, and for every block of at most
+   6 statements compare the solver's result against the minimum over
+   ALL legal packings from [enumerate_partitions], both priced by the
+   one shared evaluator.  The solver must also report the search as
+   proven (no bail at an effectively unbounded budget). *)
+let test_bruteforce_exactness () =
+  let config = Config.make ~datapath_bits:128 () in
+  let params = Cost.default_params in
+  let options =
+    { Gen.default_options with Gen.max_stmts = 5; allow_prologue = false }
+  in
+  let master = Seeded.prng ~salt:31 () in
+  let checked = ref 0 in
+  for k = 0 to 39 do
+    let prng = Prng.split master in
+    let prog = Gen.program ~options ~name:(Printf.sprintf "bf%d" k) prng in
+    let env = prog.Program.env in
+    List.iter2
+      (fun ((block : Block.t), nest) (_, box) ->
+        if List.length block.Block.stmts <= 6 then begin
+          let deps = Depend.block_dep_pairs ~box block in
+          let query = Cost.default_query ~env ~nest ~lanes:2 in
+          let plan, bail, stats =
+            Optimal.plan_block ~solver_steps:10_000_000 ~deps ~env ~config
+              ~query ~nest block
+          in
+          let name fmt =
+            Printf.ksprintf
+              (fun s -> Printf.sprintf "case %d %s: %s" k block.Block.label s)
+              fmt
+          in
+          Alcotest.(check bool)
+            (name "search proven")
+            true
+            (bail = None && stats.Optimal.proven);
+          let scalar =
+            List.fold_left
+              (fun a s -> a +. Cost.scalar_stmt_cost params s)
+              0.0 block.Block.stmts
+          in
+          let best =
+            List.fold_left
+              (fun best parts ->
+                match
+                  Optimal.evaluate ~query ~deps ~env ~config block
+                    (Optimal.grouping_of_parts parts)
+                with
+                | Some a ->
+                    Float.min best a.Optimal.a_estimate.Cost.vector_cost
+                | None -> best)
+              scalar
+              (Optimal.enumerate_partitions ~env ~config ~deps block)
+          in
+          incr checked;
+          Alcotest.(check (float 1e-6))
+            (name "solver equals exhaustive minimum")
+            best (block_cost params plan)
+        end)
+      (Driver.blocks_with_nest prog)
+      (Depend.blocks_with_box prog)
+  done;
+  Alcotest.(check bool) "property exercised some blocks" true (!checked > 0)
+
+(* -- dominance over every heuristic on the suite -------------------- *)
+
+let heuristics =
+  [ Pipeline.Native; Pipeline.Slp; Pipeline.Global; Pipeline.Global_layout ]
+
+let test_suite_dominance () =
+  List.iter
+    (fun (machine : Machine.t) ->
+      let params = Pipeline.params_of_machine machine in
+      List.iter
+        (fun (b : Suite.t) ->
+          let prog = Suite.program b in
+          let compile scheme =
+            Pipeline.compile ~unroll:b.Suite.unroll ~scheme ~machine prog
+          in
+          let opt = compile Pipeline.Optimal in
+          let opt_cost =
+            match opt.Pipeline.plan with
+            | Some plan -> Optimal.modeled_cost ~params plan
+            | None -> Alcotest.failf "%s: Optimal produced no plan" b.Suite.name
+          in
+          let r = Pipeline.execute opt in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s: memory identical to scalar" b.Suite.name
+               machine.Machine.name)
+            true r.Pipeline.correct;
+          List.iter
+            (fun scheme ->
+              let c = compile scheme in
+              (* A layout-transformed compile re-prices memory through
+                 replication, which the block-local model cannot see;
+                 costs are only comparable when the stage was skipped. *)
+              let comparable =
+                match scheme with
+                | Pipeline.Global_layout ->
+                    c.Pipeline.replica_count = 0
+                    && c.Pipeline.scalar_offsets = []
+                | _ -> true
+              in
+              match c.Pipeline.plan with
+              | Some plan when comparable ->
+                  let cost = Optimal.modeled_cost ~params plan in
+                  if cost +. 1e-6 < opt_cost then
+                    Alcotest.failf "%s on %s: %s cost %.3f beats optimal %.3f"
+                      b.Suite.name machine.Machine.name
+                      (Pipeline.scheme_name scheme)
+                      cost opt_cost
+              | Some _ | None -> ())
+            heuristics)
+        Suite.all)
+    [ intel; amd ]
+
+(* -- budget exhaustion bails, advisory-only ------------------------- *)
+
+(* 12 mutually isomorphic, mutually independent statements, unrolled
+   x2 by the pipeline: at 2 lanes the pairing space alone is ~23!!
+   nodes, so a 100-node budget is guaranteed to run dry. *)
+let blowup_program () =
+  let env = Env.create () in
+  List.iter
+    (fun a -> Env.declare_array env a Types.F64 [ 64 ])
+    [ "A"; "B"; "C" ];
+  let open Expr.Infix in
+  let at k = (12 @* i "i") @+ k in
+  let stmts =
+    List.init 12 (fun k ->
+        (Operand.Elem ("A", [ at k ]), arr "B" [ at k ] + arr "C" [ at k ]))
+  in
+  Program.make ~name:"blowup" ~env
+    [
+      Program.loop "i" ~lo:(Affine.const 0) ~hi:(Affine.const 4)
+        [ Program.Stmts (Block.of_rhs ~label:"body" stmts) ];
+    ]
+
+let test_blowup_bails () =
+  let prog = blowup_program () in
+  let c =
+    Pipeline.compile ~solver_steps:100 ~scheme:Pipeline.Optimal ~machine:intel
+      prog
+  in
+  Alcotest.(check bool)
+    "solver ran out of budget" true
+    (c.Pipeline.solver_bails <> []);
+  List.iter
+    (fun (e : E.t) ->
+      Alcotest.(check string) "advisory code is BAIL15" "BAIL15"
+        (E.code_id e.E.code))
+    c.Pipeline.solver_bails;
+  (* Seeds keep the dominance guarantee even on a bail. *)
+  let params = Pipeline.params_of_machine intel in
+  let g = Pipeline.compile ~scheme:Pipeline.Global ~machine:intel prog in
+  (match (c.Pipeline.plan, g.Pipeline.plan) with
+  | Some po, Some pg ->
+      Alcotest.(check bool)
+        "bailed result still dominates the heuristic" true
+        (Optimal.modeled_cost ~params po
+        <= Optimal.modeled_cost ~params pg +. 1e-6)
+  | _ -> Alcotest.fail "plans missing")
+
+let test_blowup_resilient_not_degraded () =
+  let prog = blowup_program () in
+  let r =
+    Pipeline.compile_resilient ~solver_steps:100 ~scheme:Pipeline.Optimal
+      ~machine:intel prog
+  in
+  Alcotest.(check bool) "not degraded" true (not r.Pipeline.degraded);
+  Alcotest.(check int) "no resilient bailouts" 0 (List.length r.Pipeline.bailouts);
+  Alcotest.(check bool)
+    "BAIL15 advisory surfaced" true
+    (r.Pipeline.result.Pipeline.solver_bails <> []);
+  let x = Pipeline.execute r.Pipeline.result in
+  Alcotest.(check bool) "memory identical after bail" true x.Pipeline.correct
+
+(* At a generous budget the same kernel must not bail at all on its
+   unvectorizable twin: singles-only blocks are solved instantly. *)
+let test_small_budget_scales () =
+  let prog = blowup_program () in
+  let c =
+    Pipeline.compile ~solver_steps:Optimal.default_solver_steps
+      ~scheme:Pipeline.Optimal ~machine:intel prog
+  in
+  (* Whether or not the default budget proves this block, the compile
+     must succeed with a plan and verified lowering. *)
+  Alcotest.(check bool) "plan produced" true (c.Pipeline.plan <> None);
+  let x = Pipeline.execute c in
+  Alcotest.(check bool) "memory identical" true x.Pipeline.correct
+
+let () =
+  Alcotest.run "optimal"
+    [
+      ( "optimal",
+        [
+          Alcotest.test_case "brute-force exactness (<=6 stmts)" `Slow
+            test_bruteforce_exactness;
+          Alcotest.test_case "dominates every heuristic on the suite" `Slow
+            test_suite_dominance;
+          Alcotest.test_case "blowup kernel bails under BAIL15" `Quick
+            test_blowup_bails;
+          Alcotest.test_case "bail is advisory: resilient not degraded" `Quick
+            test_blowup_resilient_not_degraded;
+          Alcotest.test_case "default budget still compiles and verifies"
+            `Quick test_small_budget_scales;
+        ] );
+    ]
