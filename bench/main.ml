@@ -107,6 +107,53 @@ let suite_wall_clock () =
       ignore (Pipeline.execute ~check:false c))
     Suite.all
 
+(* Compile-service throughput: the first four suite kernels submitted
+   through a live pool.  The cold entry clears the content-addressed
+   cache every run (compile + execute + store); the warm entry answers
+   every job from the cache.  The smoke guard holds warm at >= 5x
+   cold — the memoization dividend the service exists for. *)
+let serve_state =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ()) "slp-serve-bench"
+     in
+     let cache = Slp_serve.Cache.create ~dir in
+     let pool = Slp_serve.Pool.create ~cache () in
+     at_exit (fun () -> Slp_serve.Pool.shutdown pool);
+     let specs =
+       List.filteri (fun i _ -> i < 4) Suite.all
+       |> List.map (fun b ->
+              let prog = Suite.program b in
+              {
+                (Slp_serve.Proto.default_spec
+                   ~kernel:(Slp_ir.Program.to_source prog)
+                   ~name:prog.Slp_ir.Program.name)
+                with
+                Slp_serve.Proto.scheme = Pipeline.Global;
+              })
+     in
+     (* Pre-warm so the warm entry never measures a first compile. *)
+     List.iter
+       (fun spec ->
+         ignore
+           (Slp_serve.Pool.run_sync pool ~op:Slp_serve.Proto.Execute ~spec ()))
+       specs;
+     (pool, cache, specs))
+
+let serve_jobs () =
+  let pool, _, specs = Lazy.force serve_state in
+  List.iter
+    (fun spec ->
+      ignore (Slp_serve.Pool.run_sync pool ~op:Slp_serve.Proto.Execute ~spec ()))
+    specs
+
+let serve_throughput_cold () =
+  let _, cache, _ = Lazy.force serve_state in
+  Slp_serve.Cache.clear cache;
+  serve_jobs ()
+
+let serve_throughput_warm () = serve_jobs ()
+
 (* The Figure 15 block, used by the phase and ablation benchmarks. *)
 let fig15 () =
   let open Slp_ir in
@@ -189,6 +236,10 @@ let all_tests =
         fig21_nas_4core ~pool:(Slp_harness.Runner.domain_pool ()) ());
     (* Suite-wide wall clock: all 16 kernels, Global, compile+execute. *)
     t "suite_wall_clock" suite_wall_clock;
+    (* Compile-service throughput: cold recompiles, warm answers from
+       the content-addressed cache (see bench/smoke.sh guard). *)
+    t "serve_throughput_cold" serve_throughput_cold;
+    t "serve_throughput_warm" serve_throughput_warm;
     (* Compilation overhead (the paper's +27% claim). *)
     t "compile_overhead_slp" (compile_only ~scheme:Pipeline.Slp "cactusADM");
     t "compile_overhead_global" (compile_only ~scheme:Pipeline.Global "cactusADM");

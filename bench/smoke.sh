@@ -13,7 +13,8 @@ dune exec bench/main.exe -- \
   verify_overhead_suite_off verify_overhead_suite_on \
   obs_overhead_suite_off obs_overhead_suite_on \
   optimal_compile_suite \
-  suite_wall_clock fig21_sequential_4core fig21_domains_4core
+  suite_wall_clock fig21_sequential_4core fig21_domains_4core \
+  serve_throughput_cold serve_throughput_warm
 
 # Guard: the domain-parallel Figure 21 workload (NAS kernels, 4
 # simulated cores, real OCaml domains) must not be slower than its
@@ -45,4 +46,21 @@ awk -F'"' '
       exit 1
     }
     printf "optimal guard ok: suite compile under Optimal %.0f ns/run (budget 2s)\n", opt
+  }' BENCH_vm.json
+
+# Guard: the compile service's content-addressed cache must pay for
+# itself — answering four suite kernels from the warm cache must be at
+# least 5x faster than the cold path (clear + compile + execute +
+# store).  A shrinking ratio means cache reads got slow or the cold
+# path stopped doing real work.
+awk -F'"' '
+  $2 == "serve_throughput_cold" { v = $3; sub(/^[: ]+/, "", v); cold = v + 0 }
+  $2 == "serve_throughput_warm" { v = $3; sub(/^[: ]+/, "", v); warm = v + 0 }
+  END {
+    if (cold <= 0 || warm <= 0) { print "serve guard: throughput entries missing from BENCH_vm.json"; exit 1 }
+    if (cold < warm * 5) {
+      printf "serve guard FAILED: cold %.0f ns/run is under 5x warm %.0f ns/run\n", cold, warm
+      exit 1
+    }
+    printf "serve guard ok: cold %.0f ns/run, warm %.0f ns/run (%.1fx)\n", cold, warm, cold / warm
   }' BENCH_vm.json

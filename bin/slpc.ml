@@ -155,6 +155,16 @@ let max_errors =
     & info [ "max-errors" ] ~docv:"N"
         ~doc:"Report up to $(docv) frontend diagnostics before giving up.")
 
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Per-job wall-clock deadline, enforced cooperatively at stage \
+           boundaries and step-budget ticks; a breach is a BAIL16 bailout \
+           (exit 2, or scalar degradation under --resilient).")
+
 let max_steps =
   Arg.(
     value
@@ -192,9 +202,15 @@ let write_bailout_report path bailouts =
    resilient mode but degraded to scalar. *)
 let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
     dump_deps run stats trace_file remarks profile profile_json cores seed
-    resilient bailout_report max_errors max_steps solver_steps =
+    resilient bailout_report max_errors timeout max_steps solver_steps =
   let machine =
     match simd with Some bits -> Machine.with_simd_bits machine bits | None -> machine
+  in
+  let deadline =
+    Option.map
+      (fun seconds ->
+        Slp_util.Slp_error.Deadline.create ~clock:Slp_obs.Clock.now ~seconds)
+      timeout
   in
   let name = Filename.remove_extension (Filename.basename file) in
   let obs =
@@ -218,8 +234,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
       let compiled, bailouts =
         if resilient then begin
           let r =
-            Pipeline.compile_resilient ?unroll ?max_steps ?solver_steps ~verify
-              ~obs ~scheme ~machine prog
+            Pipeline.compile_resilient ?unroll ?max_steps ?solver_steps
+              ?deadline ~verify ~obs ~scheme ~machine prog
           in
           List.iter
             (fun (b : Pipeline.bailout) ->
@@ -234,8 +250,8 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
         end
         else
           match
-            Pipeline.compile ?unroll ?max_steps ?solver_steps ~verify ~obs
-              ~scheme ~machine prog
+            Pipeline.compile ?unroll ?max_steps ?solver_steps ?deadline ~verify
+              ~obs ~scheme ~machine prog
           with
           | c -> (c, None)
           | exception Slp_verify.Verify.Verification_failed (what, report) ->
@@ -244,6 +260,21 @@ let main file scheme machine simd unroll verify dump_ir dump_plan dump_vector
               exit 2
           | exception Slp_util.Slp_error.Error e ->
               Printf.eprintf "%s: error: %s\n" name (Slp_util.Slp_error.to_string e);
+              (* A structured failure still produces a machine-readable
+                 report when one was asked for — BAIL16 deadline
+                 breaches land here in non-resilient mode. *)
+              Option.iter
+                (fun path ->
+                  write_bailout_report path
+                    [
+                      {
+                        Pipeline.kernel = name;
+                        scheme;
+                        machine = machine.Machine.name;
+                        error = e;
+                      };
+                    ])
+                bailout_report;
               exit 2
       in
       Option.iter
@@ -347,6 +378,6 @@ let cmd =
       const main $ file $ scheme $ machine $ simd $ unroll $ verify $ dump_ir
       $ dump_plan $ dump_vector $ dump_deps $ run $ stats $ trace_file
       $ remarks $ profile $ profile_json $ cores $ seed $ resilient
-      $ bailout_report $ max_errors $ max_steps $ solver_steps)
+      $ bailout_report $ max_errors $ timeout $ max_steps $ solver_steps)
 
 let () = exit (Cmd.eval' cmd)

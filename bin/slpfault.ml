@@ -1,21 +1,24 @@
 (* slpfault — the seeded fault-injection harness driver.
 
-   Runs the full injection matrix (16 suite kernels x every injection
-   point x both machines) and, optionally, a fault-enabled fuzz
-   campaign, then writes the machine-readable outcome report.  Exit 0
+   Runs the full pipeline injection matrix (16 suite kernels x every
+   injection point x both machines) and, optionally, a fault-enabled
+   fuzz campaign and the service-layer fault matrix (worker death,
+   clock skip, cache corruption, client disconnect against a live
+   pool), then writes the machine-readable outcome reports.  Exit 0
    when every case recovered with the expected reason code and
-   scalar-identical memory, 1 otherwise. *)
+   identical results, 1 otherwise. *)
 
 module F = Slp_faultinject.Faultinject
+module SF = Slp_faultinject.Servicefault
 
 let ensure_dir path =
   let dir = Filename.dirname path in
   if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 
-let write_report path outcomes =
+let write_report path json =
   ensure_dir path;
   let oc = open_out path in
-  output_string oc (F.report_json outcomes);
+  output_string oc json;
   output_char oc '\n';
   close_out oc
 
@@ -34,7 +37,23 @@ let summarize label outcomes =
     bad;
   bad = []
 
-let run matrix fuzz seed report =
+let summarize_service outcomes =
+  let bad = SF.failures outcomes in
+  Printf.printf "service: %d cases, %d failures\n" (List.length outcomes)
+    (List.length bad);
+  List.iter
+    (fun (o : SF.outcome) ->
+      Printf.printf
+        "  FAIL %s on %s at %s: status=%s attempts=%d codes=[%s] identical=%b \
+         no_lost_jobs=%b\n"
+        o.SF.kernel o.SF.machine (SF.point_name o.SF.point) o.SF.status
+        o.SF.attempts
+        (String.concat "," o.SF.codes)
+        o.SF.identical o.SF.no_lost_jobs)
+    bad;
+  bad = []
+
+let run matrix fuzz seed service both_machines report service_report =
   let outcomes = ref [] in
   let ok = ref true in
   if matrix then begin
@@ -47,8 +66,22 @@ let run matrix fuzz seed report =
     ok := summarize (Printf.sprintf "fuzz (seed %d)" seed) f && !ok;
     outcomes := !outcomes @ f
   end;
-  write_report report !outcomes;
-  Printf.printf "report: %s\n" report;
+  if matrix || fuzz > 0 then begin
+    write_report report (F.report_json !outcomes);
+    Printf.printf "report: %s\n" report
+  end;
+  if service then begin
+    let machines =
+      let module M = Slp_machine.Machine in
+      if both_machines then [ M.intel_dunnington; M.amd_phenom_ii ]
+      else [ M.intel_dunnington ]
+    in
+    let dir = Filename.concat (Filename.dirname service_report) "fault-cache" in
+    let s = SF.run_matrix ~machines ~dir () in
+    ok := summarize_service s && !ok;
+    write_report service_report (SF.report_json s);
+    Printf.printf "service report: %s\n" service_report
+  end;
   if !ok then 0 else 1
 
 open Cmdliner
@@ -65,15 +98,31 @@ let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Seed for the fuzz campaign.")
 
+let service =
+  Arg.(value & flag & info [ "service" ]
+         ~doc:"Run the service-layer fault matrix (kill-worker, clock-skip, \
+               cache-corrupt, client-drop against a live worker pool).")
+
+let both_machines =
+  Arg.(value & flag & info [ "both-machines" ]
+         ~doc:"Run the service matrix on both evaluation machines \
+               (default: Intel only).")
+
 let report =
   Arg.(value & opt string (Filename.concat "_fault" "report.json")
        & info [ "bailout-report" ] ~docv:"FILE"
            ~doc:"Where to write the JSON outcome report.")
 
+let service_report =
+  Arg.(value & opt string (Filename.concat "_serve" "fault-report.json")
+       & info [ "service-report" ] ~docv:"FILE"
+           ~doc:"Where to write the service fault matrix report.")
+
 let cmd =
   let doc = "seeded fault-injection harness for the resilient SLP pipeline" in
   Cmd.v
     (Cmd.info "slpfault" ~doc)
-    Term.(const run $ matrix $ fuzz $ seed $ report)
+    Term.(const run $ matrix $ fuzz $ seed $ service $ both_machines $ report
+          $ service_report)
 
 let () = exit (Cmd.eval' cmd)

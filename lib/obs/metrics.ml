@@ -1,0 +1,25 @@
+type t = { mutex : Mutex.t; table : (string, float) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr ?(by = 1) t name =
+  locked t (fun () ->
+      let v = Option.value ~default:0.0 (Hashtbl.find_opt t.table name) in
+      Hashtbl.replace t.table name (v +. float_of_int by))
+
+let set t name v = locked t (fun () -> Hashtbl.replace t.table name v)
+
+let get t name =
+  locked t (fun () ->
+      Option.value ~default:0.0 (Hashtbl.find_opt t.table name))
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (snapshot t))

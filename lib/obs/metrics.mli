@@ -1,0 +1,27 @@
+(** Named monotonic counters and gauges.
+
+    The compile service tracks queue depth, cache hits/misses,
+    retries, worker restarts and shed jobs; tests and the [stats]
+    protocol op read them back, and [slpd --stats-json] exports them.
+    Counters are mutex-protected — the supervisor, socket reactor and
+    worker domains all report into one registry — and reads take a
+    consistent snapshot. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at 0 first. *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to an absolute value. *)
+
+val get : t -> string -> float
+(** Current value; 0 for never-touched names. *)
+
+val snapshot : t -> (string * float) list
+(** All metrics, sorted by name. *)
+
+val to_json : t -> Json.t
+(** One object, metric names as fields. *)

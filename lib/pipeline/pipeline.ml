@@ -108,12 +108,27 @@ let plan_with f ~config ~params (prog : Program.t) =
 let stage_hook_points = [ "prepare"; "plan"; "layout"; "lower"; "regalloc"; "verify" ]
 
 let compile ?unroll ?grouping_options ?schedule_options ?(register_reuse = true)
-    ?(verify = true) ?on_stage ?max_steps ?solver_steps ?(obs = Obs.none)
-    ~scheme ~machine (prog : Program.t) =
-  let stage name = match on_stage with Some f -> f name | None -> () in
+    ?(verify = true) ?on_stage ?max_steps ?deadline ?solver_steps
+    ?(obs = Obs.none) ~scheme ~machine (prog : Program.t) =
+  let stage name =
+    (* Cooperative deadline enforcement at every stage boundary; the
+       fuel below additionally checks mid-pass. *)
+    Option.iter (fun d -> E.Deadline.check d) deadline;
+    match on_stage with Some f -> f name | None -> ()
+  in
   (* Independent per-pass step budgets from the single user-facing
-     knob; [None] means unbounded (the historical behavior). *)
-  let fuel pass = Option.map (fun budget -> E.Fuel.create ~pass ~budget) max_steps in
+     knob; [None] means unbounded (the historical behavior).  A
+     deadline with no step budget still wants mid-pass checks, so it
+     rides on an effectively-unbounded fuel. *)
+  let fuel pass =
+    match (max_steps, deadline) with
+    | None, None -> None
+    | budget, _ ->
+        Some
+          (E.Fuel.create ?deadline ~pass
+             ~budget:(Option.value budget ~default:max_int)
+             ())
+  in
   let grouping_fuel = fuel E.Grouping in
   let schedule_fuel = fuel E.Scheduling in
   let unroll_factor =
@@ -505,15 +520,15 @@ let identity_compiled ~machine (prog : Program.t) =
   }
 
 let compile_resilient ?unroll ?grouping_options ?schedule_options ?register_reuse
-    ?verify ?on_stage ?(max_steps = 2_000_000) ?solver_steps ?obs ~scheme
-    ~machine (prog : Program.t) =
+    ?verify ?on_stage ?(max_steps = 2_000_000) ?deadline ?solver_steps ?obs
+    ~scheme ~machine (prog : Program.t) =
   let bail exn =
     { kernel = prog.Program.name; scheme; machine = machine.M.name;
       error = error_of_exn exn }
   in
   match
     compile ?unroll ?grouping_options ?schedule_options ?register_reuse ?verify
-      ?on_stage ~max_steps ?solver_steps ?obs ~scheme ~machine prog
+      ?on_stage ~max_steps ?deadline ?solver_steps ?obs ~scheme ~machine prog
   with
   | c -> { result = c; degraded = false; bailouts = [] }
   | exception exn -> begin

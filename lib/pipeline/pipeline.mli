@@ -80,6 +80,7 @@ val compile :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?deadline:Slp_util.Slp_error.Deadline.t ->
   ?solver_steps:int ->
   ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
@@ -104,6 +105,13 @@ val compile :
     independent step budgets; exhaustion raises
     {!Slp_util.Slp_error.Error} with code [Fuel_exhausted].  Omitted:
     unbounded.
+
+    [deadline] enforces a per-job wall-clock budget cooperatively: it
+    is checked at every stage boundary and every few hundred fuel
+    ticks inside grouping/scheduling, raising
+    {!Slp_util.Slp_error.Error} with code [Deadline_exceeded]
+    (BAIL16).  The compile service and [slpc --timeout] build one over
+    {!Slp_obs.Clock.now}.
 
     [solver_steps] bounds the per-block exact search of the [Optimal]
     scheme (default {!Slp_core.Optimal.default_solver_steps});
@@ -195,6 +203,7 @@ val compile_resilient :
   ?verify:bool ->
   ?on_stage:(string -> unit) ->
   ?max_steps:int ->
+  ?deadline:Slp_util.Slp_error.Deadline.t ->
   ?solver_steps:int ->
   ?obs:Slp_obs.Obs.t ->
   scheme:scheme ->
@@ -202,9 +211,10 @@ val compile_resilient :
   Program.t ->
   resilient
 (** Like {!compile}, but a failing kernel degrades gracefully: the
-    kernel is recompiled under [Scalar] (without hooks, fuel, or
-    [obs]), and if even that fails the unprocessed program ships with
-    no vector code.  [max_steps] defaults to [2_000_000].  Never
+    kernel is recompiled under [Scalar] (without hooks, fuel,
+    [deadline], or [obs] — the fallback must not inherit the failure
+    trigger), and if even that fails the unprocessed program ships
+    with no vector code.  [max_steps] defaults to [2_000_000].  Never
     raises. *)
 
 val execute_resilient :

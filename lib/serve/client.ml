@@ -1,0 +1,46 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mailbox : (int, Proto.reply) Hashtbl.t;
+}
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    mailbox = Hashtbl.create 8;
+  }
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t request =
+  output_string t.oc (Proto.request_to_line request);
+  output_char t.oc '\n';
+  flush t.oc
+
+let rec wait t ~id =
+  match Hashtbl.find_opt t.mailbox id with
+  | Some reply ->
+      Hashtbl.remove t.mailbox id;
+      reply
+  | None -> (
+      let line = input_line t.ic in
+      match Proto.reply_of_line line with
+      | Result.Ok reply ->
+          if reply.Proto.id = id then reply
+          else (
+            Hashtbl.replace t.mailbox reply.Proto.id reply;
+            wait t ~id)
+      | Result.Error msg -> failwith ("slpd client: " ^ msg))
+
+let call t request =
+  send t request;
+  wait t ~id:request.Proto.id

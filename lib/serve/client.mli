@@ -1,0 +1,22 @@
+(** Blocking slpd client — used by [slpd submit]/[slpd campaign], the
+    benchmarks, and the tests.
+
+    Replies may arrive out of submission order; {!call} and {!wait}
+    match on the request id and park strays in an internal mailbox, so
+    interleaved use from one thread stays correct. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when the daemon is not listening. *)
+
+val close : t -> unit
+
+val send : t -> Proto.request -> unit
+
+val wait : t -> id:int -> Proto.reply
+(** Block until the reply for [id] arrives.  Raises [End_of_file] when
+    the daemon closes the connection first. *)
+
+val call : t -> Proto.request -> Proto.reply
+(** [send] then [wait] on the request's id. *)

@@ -1,0 +1,70 @@
+exception Worker_killed
+exception Client_gone
+
+type point =
+  | Kill_worker of int
+  | Clock_skip of float * int
+  | Corrupt_store of int
+  | Drop_client of int
+
+(* All state sits behind one mutex: points are armed from the test /
+   driver thread and consumed from worker and server domains. *)
+let mutex = Mutex.create ()
+let kill : int option ref = ref None
+let skip : (float * int) option ref = ref None
+let corrupt : int option ref = ref None
+let drop : int option ref = ref None
+let skew = ref 0.0
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let arm point =
+  locked (fun () ->
+      match point with
+      | Kill_worker n -> kill := Some n
+      | Clock_skip (s, n) -> skip := Some (s, n)
+      | Corrupt_store n -> corrupt := Some n
+      | Drop_client n -> drop := Some n)
+
+let disarm () =
+  locked (fun () ->
+      kill := None;
+      skip := None;
+      corrupt := None;
+      drop := None;
+      skew := 0.0)
+
+let now () = Slp_obs.Clock.now () +. locked (fun () -> !skew)
+
+(* Decrement a one-shot counter under the lock; true exactly once. *)
+let fires cell =
+  match !cell with
+  | None -> false
+  | Some n when n <= 1 ->
+      cell := None;
+      true
+  | Some n ->
+      cell := Some (n - 1);
+      false
+
+let stage_hook stage =
+  if stage = "prepare" then (
+    let killed =
+      locked (fun () ->
+          (match !skip with
+          | Some (s, n) when n <= 1 ->
+              skip := None;
+              skew := !skew +. s
+          | Some (s, n) -> skip := Some (s, n - 1)
+          | None -> ());
+          fires kill)
+    in
+    if killed then raise Worker_killed)
+
+let store_hook payload =
+  if locked (fun () -> fires corrupt) && Bytes.length payload > 0 then
+    Bytes.set payload 0 (Char.chr (Char.code (Bytes.get payload 0) lxor 0x55))
+
+let reply_hook () = if locked (fun () -> fires drop) then raise Client_gone

@@ -1,0 +1,126 @@
+module E = Slp_util.Slp_error
+module Fnv = Slp_util.Fnv
+module P = Slp_pipeline.Pipeline
+module Json = Slp_obs.Json
+module Env = Slp_ir.Env
+module Memory = Slp_vm.Memory
+module Scalar_exec = Slp_vm.Scalar_exec
+module Vector_exec = Slp_vm.Vector_exec
+
+(* Fold the final memory image into one digest.  Values go in as the
+   raw bit patterns of sorted arrays then sorted scalars, so two runs
+   agree iff their memories are bit-identical — the same criterion
+   [Memory.same_contents] applies, compressed to 64 bits for the wire. *)
+let memory_digest mem ~(env : Env.t) =
+  let buf = Buffer.create 1024 in
+  let add_value v =
+    Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float v))
+  in
+  let names_of l = List.sort String.compare (List.map fst l) in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf ':';
+      Float.Array.iter add_value (Memory.array_values mem name))
+    (names_of (Env.arrays env));
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      add_value (Memory.scalar mem name))
+    (names_of (Env.scalars env));
+  Fnv.to_hex (Fnv.hash64 (Buffer.contents buf))
+
+let vector_digest = function
+  | None -> "scalar"
+  | Some v -> Fnv.to_hex (Fnv.hash64 (Format.asprintf "%a" Slp_vm.Visa.pp_program v))
+
+let compile_payload ~(spec : Proto.spec) (c : P.compiled) =
+  Json.Obj
+    [
+      ("op", Json.Str "compile");
+      ("name", Json.Str spec.Proto.name);
+      ("scheme", Json.Str (Proto.scheme_to_string c.P.scheme));
+      ("machine", Json.Str (Proto.machine_to_string c.P.machine));
+      ("unroll", Json.Num (float_of_int c.P.unroll_factor));
+      ("vector", Json.Str (vector_digest c.P.vector));
+      ("spills", Json.Num (float_of_int c.P.spill_stats.Slp_codegen.Regalloc.spills));
+      ("solver_bails", Json.Num (float_of_int (List.length c.P.solver_bails)));
+    ]
+
+(* Execute by hand rather than through [Pipeline.execute] so the final
+   memory image is available for the digest; the correctness check is
+   the same [Memory.same_contents] comparison [execute ~check] runs. *)
+let execute_payload ~(spec : Proto.spec) (c : P.compiled) =
+  let seed = spec.Proto.seed and cores = spec.Proto.cores in
+  let machine = c.P.machine in
+  let scalar = Scalar_exec.run ~cores ~seed ~machine c.P.reference in
+  let counters, final_memory, correct, env =
+    match c.P.vector with
+    | None ->
+        ( scalar.Scalar_exec.counters,
+          scalar.Scalar_exec.memory,
+          true,
+          c.P.reference.Slp_ir.Program.env )
+    | Some v ->
+        let memory =
+          Memory.create ~scalar_layout:c.P.scalar_offsets ~env:v.Slp_vm.Visa.env ()
+        in
+        Memory.init_arrays memory ~seed;
+        let r = Vector_exec.run ~cores ~seed ~memory ~machine v in
+        ( r.Vector_exec.counters,
+          r.Vector_exec.memory,
+          Memory.same_contents r.Vector_exec.memory scalar.Scalar_exec.memory,
+          v.Slp_vm.Visa.env )
+  in
+  Json.Obj
+    [
+      ("op", Json.Str "execute");
+      ("name", Json.Str spec.Proto.name);
+      ("scheme", Json.Str (Proto.scheme_to_string c.P.scheme));
+      ("machine", Json.Str (Proto.machine_to_string c.P.machine));
+      ("unroll", Json.Num (float_of_int c.P.unroll_factor));
+      ("memory", Json.Str (memory_digest final_memory ~env));
+      ( "cycles",
+        Json.Str
+          (Printf.sprintf "%Lx"
+             (Int64.bits_of_float (Slp_vm.Counters.total_cycles counters))) );
+      ( "instructions",
+        Json.Num (float_of_int (Slp_vm.Counters.total_instructions counters)) );
+      ("correct", Json.Bool correct);
+    ]
+
+let payload ~op ~spec c =
+  match (op : Proto.jobop) with
+  | Proto.Compile -> compile_payload ~spec c
+  | Proto.Execute -> execute_payload ~spec c
+
+let deadline_of ?(clock = Fault.now) (spec : Proto.spec) =
+  Option.map (fun seconds -> E.Deadline.create ~clock ~seconds) spec.Proto.timeout
+
+let run ?clock ~op ~(spec : Proto.spec) prog =
+  let deadline = deadline_of ?clock spec in
+  match
+    P.compile ?unroll:spec.Proto.unroll ?max_steps:spec.Proto.max_steps
+      ?solver_steps:spec.Proto.solver_steps ?deadline
+      ~on_stage:Fault.stage_hook ~scheme:spec.Proto.scheme
+      ~machine:spec.Proto.machine prog
+  with
+  | c -> ( try Result.Ok (payload ~op ~spec c) with
+      | Fault.Worker_killed -> raise Fault.Worker_killed
+      | exn -> Result.Error (P.error_of_exn exn))
+  | exception Fault.Worker_killed -> raise Fault.Worker_killed
+  | exception exn -> Result.Error (P.error_of_exn exn)
+
+let run_degraded ~op ~(spec : Proto.spec) prog =
+  let r =
+    P.compile_resilient ?unroll:spec.Proto.unroll ?max_steps:spec.Proto.max_steps
+      ?solver_steps:spec.Proto.solver_steps ~scheme:spec.Proto.scheme
+      ~machine:spec.Proto.machine prog
+  in
+  let errors = List.map (fun b -> b.P.error) r.P.bailouts in
+  match payload ~op ~spec r.P.result with
+  | p -> (p, errors)
+  | exception exn ->
+      (* Even the scalar fallback failed to run; ship the errors alone. *)
+      (Json.Null, errors @ [ P.error_of_exn exn ])

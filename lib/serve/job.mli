@@ -1,0 +1,32 @@
+(** One job attempt, and its degraded fallback.
+
+    [run] is what a pool worker executes: a single compile (optionally
+    followed by execution) of an already-parsed kernel, under the
+    spec's wall-clock deadline and with the service fault hooks
+    installed.  Its payload is deterministic — memory contents and
+    vector code are folded into FNV digests, and nothing wall-clock
+    dependent (compile seconds, timestamps) is included — so a cached
+    payload, a retried payload, and a fresh one-shot payload for the
+    same key are bit-identical, which is exactly what the fault matrix
+    asserts. *)
+
+val run :
+  ?clock:(unit -> float) ->
+  op:Proto.jobop ->
+  spec:Proto.spec ->
+  Slp_ir.Program.t ->
+  (Slp_obs.Json.t, Slp_util.Slp_error.t) result
+(** One attempt.  [clock] (default {!Fault.now}, which folds injected
+    skew in) seeds the deadline when [spec.timeout] is set.  Pipeline
+    and deadline failures come back as structured errors;
+    {!Fault.Worker_killed} is re-raised so the supervisor can tell a
+    dead worker from a failed job. *)
+
+val run_degraded :
+  op:Proto.jobop ->
+  spec:Proto.spec ->
+  Slp_ir.Program.t ->
+  Slp_obs.Json.t * Slp_util.Slp_error.t list
+(** Quarantine fallback: [compile_resilient] scalar degradation with
+    no deadline, hooks, or faults.  Never raises; the errors are the
+    bailouts the degradation recorded. *)

@@ -1,0 +1,345 @@
+module E = Slp_util.Slp_error
+module Backoff = Slp_util.Backoff
+module Prng = Slp_util.Prng
+module Json = Slp_obs.Json
+module Metrics = Slp_obs.Metrics
+
+type config = {
+  workers : int;
+  queue_depth : int;
+  max_attempts : int;
+  backoff : Backoff.policy;
+  sleep : float -> unit;
+  seed : int;
+  default_timeout : float option;
+}
+
+let default_config =
+  {
+    workers = 2;
+    queue_depth = 64;
+    max_attempts = 3;
+    backoff = Backoff.default;
+    sleep = Unix.sleepf;
+    seed = 42;
+    default_timeout = None;
+  }
+
+type jobrec = {
+  job_id : int;
+  op : Proto.jobop;
+  spec : Proto.spec;
+  key : Ckey.t;
+  prog : Slp_ir.Program.t;
+  reply : Proto.reply -> unit;
+  mutable attempts : int;
+  mutable errors : E.t list;  (** Reverse chronological. *)
+}
+
+type event = Died of int * jobrec | Stop
+
+type t = {
+  config : config;
+  job_cache : Cache.t;
+  metrics : Metrics.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  queue : jobrec Queue.t;
+  mutable in_flight : int;  (** Queued + running, until the reply lands. *)
+  mutable paused : bool;
+  mutable stopping : bool;
+  mutable shut : bool;
+  prng : Prng.t;  (** Jitter source; guarded by [mutex]. *)
+  quarantine : (Ckey.t, string) Hashtbl.t;  (** Guarded by [mutex]. *)
+  handles : unit Domain.t option array;  (** Guarded by [mutex]. *)
+  ev_mutex : Mutex.t;
+  ev_nonempty : Condition.t;
+  events : event Queue.t;
+  mutable supervisor : unit Domain.t option;
+}
+
+let metrics t = t.metrics
+let cache t = t.job_cache
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push_event t ev =
+  Mutex.lock t.ev_mutex;
+  Queue.push ev t.events;
+  Condition.signal t.ev_nonempty;
+  Mutex.unlock t.ev_mutex
+
+let backoff_delay t ~attempt =
+  locked t (fun () -> Backoff.delay t.config.backoff ~prng:t.prng ~attempt)
+
+(* Every reply funnels through here so client-disconnect faults are
+   observed (and survived) uniformly: the job's work is already done
+   and cached by the time the callback runs, so a vanished client
+   costs nothing but the reply bytes. *)
+let guard_reply t cb reply =
+  try
+    Fault.reply_hook ();
+    cb reply
+  with _ -> Metrics.incr t.metrics "replies_dropped"
+
+(* Reply for an in-flight job: deliver, then retire it from the
+   drain accounting. *)
+let deliver t (job : jobrec) reply =
+  guard_reply t job.reply reply;
+  locked t (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      if t.in_flight = 0 then Condition.broadcast t.idle)
+
+let quarantine_and_degrade t (job : jobrec) =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.quarantine job.key) then (
+        Hashtbl.replace t.quarantine job.key job.spec.Proto.name;
+        Metrics.incr t.metrics "quarantined"));
+  let payload, fallback_errors = Job.run_degraded ~op:job.op ~spec:job.spec job.prog in
+  Metrics.incr t.metrics "jobs_degraded";
+  deliver t job
+    {
+      Proto.id = job.job_id;
+      status = Proto.Degraded;
+      cached = false;
+      quarantined = true;
+      attempts = job.attempts;
+      errors = List.rev job.errors @ fallback_errors;
+      payload;
+    }
+
+let is_quarantined t key = locked t (fun () -> Hashtbl.mem t.quarantine key)
+
+(* One attempt plus in-place retries.  [Fault.Worker_killed] escapes to
+   the worker loop — the supervisor owns that recovery. *)
+let rec run_job t (job : jobrec) =
+  if is_quarantined t job.key then quarantine_and_degrade t job
+  else
+    match Job.run ~op:job.op ~spec:job.spec job.prog with
+    | Result.Ok payload ->
+        job.attempts <- job.attempts + 1;
+        Cache.store t.job_cache job.key (Json.to_string payload);
+        Metrics.incr t.metrics "jobs_ok";
+        deliver t job
+          (Proto.ok_reply ~attempts:job.attempts ~errors:(List.rev job.errors)
+             ~id:job.job_id payload)
+    | Result.Error err ->
+        job.attempts <- job.attempts + 1;
+        job.errors <- err :: job.errors;
+        if job.attempts >= t.config.max_attempts then quarantine_and_degrade t job
+        else (
+          Metrics.incr t.metrics "retries";
+          t.config.sleep (backoff_delay t ~attempt:job.attempts);
+          run_job t job)
+
+let rec worker_loop t slot =
+  let job =
+    locked t (fun () ->
+        let rec await () =
+          if t.stopping && Queue.is_empty t.queue then None
+          else if Queue.is_empty t.queue || (t.paused && not t.stopping) then (
+            Condition.wait t.nonempty t.mutex;
+            await ())
+          else Some (Queue.pop t.queue)
+        in
+        await ())
+  in
+  match job with
+  | None -> ()
+  | Some job -> (
+      match run_job t job with
+      | () -> worker_loop t slot
+      | exception Fault.Worker_killed ->
+          (* This worker is "dead": hand the job to the supervisor and
+             let the domain terminate. *)
+          push_event t (Died (slot, job)))
+
+let spawn_worker t slot = Domain.spawn (fun () -> worker_loop t slot)
+
+let rec supervisor_loop t =
+  let ev =
+    Mutex.lock t.ev_mutex;
+    while Queue.is_empty t.events do
+      Condition.wait t.ev_nonempty t.ev_mutex
+    done;
+    let ev = Queue.pop t.events in
+    Mutex.unlock t.ev_mutex;
+    ev
+  in
+  match ev with
+  | Stop -> ()
+  | Died (slot, job) ->
+      Metrics.incr t.metrics "worker_restarts";
+      (* Join the corpse, then bring the slot back up. *)
+      (match locked t (fun () -> t.handles.(slot)) with
+      | Some d -> Domain.join d
+      | None -> ());
+      let replacement =
+        if locked t (fun () -> t.stopping) then None
+        else Some (spawn_worker t slot)
+      in
+      locked t (fun () -> t.handles.(slot) <- replacement);
+      job.attempts <- job.attempts + 1;
+      job.errors <-
+        E.make ~pass:E.Pipeline E.Internal
+          "worker died mid-job; worker restarted, job retried"
+        :: job.errors;
+      if job.attempts >= t.config.max_attempts then quarantine_and_degrade t job
+      else (
+        Metrics.incr t.metrics "retries";
+        t.config.sleep (backoff_delay t ~attempt:job.attempts);
+        locked t (fun () ->
+            Queue.push job t.queue;
+            Condition.signal t.nonempty));
+      supervisor_loop t
+
+let create ?(config = default_config) ~cache () =
+  let t =
+    {
+      config;
+      job_cache = cache;
+      metrics = Metrics.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      in_flight = 0;
+      paused = false;
+      stopping = false;
+      shut = false;
+      prng = Prng.create config.seed;
+      quarantine = Hashtbl.create 16;
+      handles = Array.make (max 1 config.workers) None;
+      ev_mutex = Mutex.create ();
+      ev_nonempty = Condition.create ();
+      events = Queue.create ();
+      supervisor = None;
+    }
+  in
+  for slot = 0 to max 1 config.workers - 1 do
+    t.handles.(slot) <- Some (spawn_worker t slot)
+  done;
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
+  t
+
+let submit t ~id ~op ~spec ~reply =
+  let spec =
+    match (spec.Proto.timeout, t.config.default_timeout) with
+    | None, Some s -> { spec with Proto.timeout = Some s }
+    | _ -> spec
+  in
+  match Ckey.of_spec ~op spec with
+  | Result.Error err ->
+      Metrics.incr t.metrics "jobs_bad";
+      guard_reply t reply
+        (Proto.error_reply ~errors:[ err ] ~message:"kernel rejected" ~id
+           Proto.Bad_request)
+  | Result.Ok (key, prog) -> (
+      match Cache.find t.job_cache key with
+      | Some stored ->
+          Metrics.incr t.metrics "jobs_cached";
+          let payload =
+            match Json.parse stored with
+            | Result.Ok j -> j
+            | Result.Error _ -> Json.Null
+          in
+          guard_reply t reply (Proto.ok_reply ~cached:true ~attempts:0 ~id payload)
+      | None ->
+          let verdict =
+            locked t (fun () ->
+                if t.stopping then `Draining
+                else if Queue.length t.queue >= t.config.queue_depth then `Shed
+                else (
+                  Queue.push
+                    {
+                      job_id = id;
+                      op;
+                      spec;
+                      key;
+                      prog;
+                      reply;
+                      attempts = 0;
+                      errors = [];
+                    }
+                    t.queue;
+                  t.in_flight <- t.in_flight + 1;
+                  Condition.signal t.nonempty;
+                  `Queued))
+          in
+          (match verdict with
+          | `Queued -> ()
+          | `Draining ->
+              Metrics.incr t.metrics "jobs_draining";
+              guard_reply t reply
+                (Proto.error_reply ~message:"service is draining" ~id
+                   Proto.Draining)
+          | `Shed ->
+              Metrics.incr t.metrics "jobs_shed";
+              guard_reply t reply
+                (Proto.error_reply ~message:"queue full, job shed" ~id
+                   Proto.Overloaded)))
+
+let run_sync t ?(id = 0) ~op ~spec () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let slot = ref None in
+  submit t ~id ~op ~spec ~reply:(fun r ->
+      Mutex.lock m;
+      slot := Some r;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while Option.is_none !slot do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Option.get !slot
+
+let pause t =
+  locked t (fun () -> t.paused <- true)
+
+let resume t =
+  locked t (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.nonempty)
+
+let quarantined t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.quarantine []
+      |> List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b))
+
+let drain t =
+  locked t (fun () ->
+      while t.in_flight > 0 do
+        Condition.wait t.idle t.mutex
+      done)
+
+let shutdown t =
+  drain t;
+  let already =
+    locked t (fun () ->
+        if t.shut then true
+        else (
+          t.shut <- true;
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          false))
+  in
+  if not already then (
+    Array.iteri
+      (fun slot handle ->
+        match handle with
+        | Some d ->
+            Domain.join d;
+            t.handles.(slot) <- None
+        | None -> ())
+      (locked t (fun () -> Array.copy t.handles));
+    push_event t Stop;
+    match t.supervisor with
+    | Some d ->
+        Domain.join d;
+        t.supervisor <- None
+    | None -> ())

@@ -1,0 +1,249 @@
+module Json = Slp_obs.Json
+module Metrics = Slp_obs.Metrics
+
+type config = { socket_path : string; accept_backlog : int }
+
+let default_config ~socket_path = { socket_path; accept_backlog = 16 }
+
+let stats_json pool =
+  let cache_stats = Cache.stats (Pool.cache pool) in
+  Json.Obj
+    [
+      ("pool", Metrics.to_json (Pool.metrics pool));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int cache_stats.Cache.hits));
+            ("misses", Json.Num (float_of_int cache_stats.Cache.misses));
+            ("stores", Json.Num (float_of_int cache_stats.Cache.stores));
+            ( "corrupt_evictions",
+              Json.Num (float_of_int cache_stats.Cache.corrupt_evictions) );
+          ] );
+      ( "quarantined",
+        Json.Arr
+          (List.map
+             (fun (key, name) ->
+               Json.Obj
+                 [ ("key", Json.Str (Ckey.to_hex key)); ("name", Json.Str name) ])
+             (Pool.quarantined pool)) );
+    ]
+
+type client = {
+  token : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** Partial input line. *)
+  out : string Queue.t;  (** Guarded by the server mutex. *)
+  mutable gone : bool;
+}
+
+type t = {
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutex : Mutex.t;  (** Guards [clients] and every client's [out]. *)
+  clients : (int, client) Hashtbl.t;
+  mutable next_token : int;
+  mutable draining : bool;
+  stop : bool Atomic.t;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+(* Runs on worker/supervisor domains: queue the line for the reactor
+   to flush.  A token that no longer resolves means the client hung up
+   first — count it, the job's result is in the cache regardless. *)
+let enqueue_reply t token line =
+  let found =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.clients token with
+        | Some c when not c.gone ->
+            Queue.push (line ^ "\n") c.out;
+            true
+        | _ -> false)
+  in
+  if found then wake t
+  else Metrics.incr (Pool.metrics t.pool) "replies_unroutable"
+
+let drop_client t (c : client) =
+  locked t (fun () ->
+      c.gone <- true;
+      Hashtbl.remove t.clients c.token);
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let handle_line t (c : client) line =
+  match Proto.request_of_line line with
+  | Result.Error (id, msg) ->
+      enqueue_reply t c.token
+        (Proto.reply_to_line (Proto.error_reply ~message:msg ~id Proto.Bad_request))
+  | Result.Ok { Proto.id; op } -> (
+      match op with
+      | Proto.Ping ->
+          enqueue_reply t c.token
+            (Proto.reply_to_line (Proto.ok_reply ~id (Json.Str "pong")))
+      | Proto.Stats ->
+          enqueue_reply t c.token
+            (Proto.reply_to_line (Proto.ok_reply ~id (stats_json t.pool)))
+      | Proto.Shutdown ->
+          enqueue_reply t c.token
+            (Proto.reply_to_line (Proto.ok_reply ~id (Json.Str "draining")));
+          Atomic.set t.stop true
+      | Proto.Job (jop, spec) ->
+          if t.draining then
+            enqueue_reply t c.token
+              (Proto.reply_to_line
+                 (Proto.error_reply ~message:"service is draining" ~id
+                    Proto.Draining))
+          else
+            let token = c.token in
+            Pool.submit t.pool ~id ~op:jop ~spec ~reply:(fun reply ->
+                enqueue_reply t token (Proto.reply_to_line reply)))
+
+let handle_readable t (c : client) =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> drop_client t c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_client t c
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+  | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      let data = Buffer.contents c.buf in
+      Buffer.clear c.buf;
+      let lines = String.split_on_char '\n' data in
+      let rec feed = function
+        | [] -> ()
+        | [ tail ] -> Buffer.add_string c.buf tail
+        | line :: rest ->
+            if String.length line > 0 then handle_line t c line;
+            feed rest
+      in
+      feed lines
+
+let handle_writable t (c : client) =
+  let next = locked t (fun () -> Queue.peek_opt c.out) in
+  match next with
+  | None -> ()
+  | Some line -> (
+      match Unix.write_substring c.fd line 0 (String.length line) with
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          drop_client t c
+      | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+      | n ->
+          locked t (fun () ->
+              ignore (Queue.pop c.out);
+              if n < String.length line then
+                (* Partial write: requeue the remainder at the front by
+                   draining into a fresh queue. *)
+                let rest = String.sub line n (String.length line - n) in
+                let tmp = Queue.copy c.out in
+                Queue.clear c.out;
+                Queue.push rest c.out;
+                Queue.transfer tmp c.out))
+
+let accept_client t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      locked t (fun () ->
+          let token = t.next_token in
+          t.next_token <- token + 1;
+          Hashtbl.replace t.clients token
+            { token; fd; buf = Buffer.create 256; out = Queue.create (); gone = false })
+
+let drain_wake_pipe t =
+  let junk = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r junk 0 (Bytes.length junk) with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+  in
+  go ()
+
+let select_once t ~timeout =
+  let clients = locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.clients []) in
+  let reads = t.listen_fd :: t.wake_r :: List.map (fun c -> c.fd) clients in
+  let writes =
+    List.filter_map
+      (fun c -> if locked t (fun () -> not (Queue.is_empty c.out)) then Some c.fd else None)
+      clients
+  in
+  match Unix.select reads writes [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, writable, _ ->
+      if List.mem t.wake_r readable then drain_wake_pipe t;
+      if List.mem t.listen_fd readable then accept_client t;
+      List.iter
+        (fun c -> if List.mem c.fd readable && not c.gone then handle_readable t c)
+        clients;
+      List.iter
+        (fun c -> if List.mem c.fd writable && not c.gone then handle_writable t c)
+        clients
+
+let pending_output t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ c acc -> acc || not (Queue.is_empty c.out)) t.clients false)
+
+let run ?config ~pool ~socket () =
+  let config = Option.value config ~default:(default_config ~socket_path:socket) in
+  let path = config.socket_path in
+  if Sys.file_exists path then Unix.unlink path;
+  (let dir = Filename.dirname path in
+   if not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd config.accept_backlog;
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  let t =
+    {
+      pool;
+      listen_fd;
+      wake_r;
+      wake_w;
+      mutex = Mutex.create ();
+      clients = Hashtbl.create 16;
+      next_token = 1;
+      draining = false;
+      stop = Atomic.make false;
+    }
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let stop_handler = Sys.Signal_handle (fun _ -> Atomic.set t.stop true; wake t) in
+  let prev_term = Sys.signal Sys.sigterm stop_handler in
+  let prev_int = Sys.signal Sys.sigint stop_handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ listen_fd; wake_r; wake_w ];
+      locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.clients [])
+      |> List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Serve until a stop trigger flips the flag... *)
+      while not (Atomic.get t.stop) do
+        select_once t ~timeout:0.5
+      done;
+      (* ...then drain: no new jobs, finish what's in flight (reply
+         callbacks run on worker domains, so the reactor need not spin
+         while we wait), flush what queued up, and tear down. *)
+      t.draining <- true;
+      Pool.drain pool;
+      let flush_rounds = ref 0 in
+      while pending_output t && !flush_rounds < 50 do
+        incr flush_rounds;
+        select_once t ~timeout:0.1
+      done;
+      Pool.shutdown pool)

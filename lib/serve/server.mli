@@ -1,0 +1,29 @@
+(** The slpd daemon loop: a [select]-based reactor on a Unix socket.
+
+    One thread owns all sockets; worker domains never touch a fd.
+    Pool replies land in per-client output queues via a callback and a
+    self-pipe wakes the reactor to flush them, so a slow or vanished
+    client can never block a worker.  Clients are addressed by a
+    generation token, not their fd, so a reply to a disconnected
+    client is counted and dropped rather than written to whoever
+    inherited the descriptor.
+
+    SIGTERM, SIGINT, and the [shutdown] op all trigger the same
+    graceful drain: stop accepting work (new jobs get [Draining]),
+    wait for every in-flight job, flush outstanding replies, then tear
+    the pool down and unlink the socket. *)
+
+type config = {
+  socket_path : string;
+  accept_backlog : int;
+}
+
+val default_config : socket_path:string -> config
+
+val stats_json : Pool.t -> Slp_obs.Json.t
+(** Pool metrics + cache stats + quarantined keys — the [stats] op's
+    payload, also printed by [slpd] on exit. *)
+
+val run : ?config:config -> pool:Pool.t -> socket:string -> unit -> unit
+(** Serve until a shutdown trigger, then drain and return.  Installs
+    SIGTERM/SIGINT handlers for the duration and ignores SIGPIPE. *)

@@ -246,7 +246,7 @@ let plan_block ?(obs = Obs.none) ?params ?(seeds = []) ?solver_steps
   let compat a b = List.mem b (partners a) in
   let units = Array.to_list (Array.map (Units.of_stmt ~env) stmts) in
   let udeps = Units.Deps.build ~dep_pairs:deps block units in
-  let fuel = E.Fuel.create ~pass:E.Grouping ~budget in
+  let fuel = E.Fuel.create ~pass:E.Grouping ~budget () in
   let tick () = E.Fuel.tick fuel in
   let single id =
     {

@@ -1,0 +1,10 @@
+type policy = { base : float; factor : float; cap : float; jitter : float }
+
+let default = { base = 0.05; factor = 2.0; cap = 2.0; jitter = 0.5 }
+
+let delay p ~prng ~attempt =
+  let attempt = max 1 attempt in
+  let d = p.base *. (p.factor ** float_of_int (attempt - 1)) in
+  let d = Float.min d p.cap in
+  let j = p.jitter *. Prng.float prng 1.0 in
+  d *. (1.0 -. j)

@@ -1,0 +1,24 @@
+(** Capped exponential retry backoff with seeded jitter.
+
+    The compile service retries jobs whose worker died or whose
+    attempt failed; naive fixed delays synchronise retries into
+    thundering herds, so each delay is [base * factor^attempt] capped
+    at [cap], with a uniformly-drawn jitter fraction subtracted.  All
+    randomness comes from an explicit {!Prng.t}: equal seeds yield
+    equal delay sequences, which is what makes the service fault
+    matrix reproducible bit-for-bit. *)
+
+type policy = {
+  base : float;  (** First-retry delay, seconds. *)
+  factor : float;  (** Growth per attempt ([>= 1]). *)
+  cap : float;  (** Upper bound on any delay, seconds. *)
+  jitter : float;  (** Fraction of the delay randomised away, [0, 1]. *)
+}
+
+val default : policy
+(** 50 ms base, doubling, capped at 2 s, half jittered. *)
+
+val delay : policy -> prng:Prng.t -> attempt:int -> float
+(** Delay before retry number [attempt] (1-based: the first retry is
+    [attempt = 1]).  Always in [(1 - jitter) * d, d] where [d] is the
+    capped exponential; deterministic in the prng state. *)

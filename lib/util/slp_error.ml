@@ -40,6 +40,7 @@ type code =
   | Internal
   | Injected
   | Optimal_bailed
+  | Deadline_exceeded
 
 let code_id = function
   | Parse_error -> "BAIL01"
@@ -57,6 +58,7 @@ let code_id = function
   | Internal -> "BAIL13"
   | Injected -> "BAIL14"
   | Optimal_bailed -> "BAIL15"
+  | Deadline_exceeded -> "BAIL16"
 
 let code_mnemonic = function
   | Parse_error -> "parse"
@@ -74,6 +76,7 @@ let code_mnemonic = function
   | Internal -> "internal"
   | Injected -> "injected"
   | Optimal_bailed -> "optimal"
+  | Deadline_exceeded -> "deadline"
 
 let code_name c = code_id c ^ "-" ^ code_mnemonic c
 
@@ -95,6 +98,8 @@ let catalogue =
     (Injected, "a deliberately injected fault (testing only)");
     ( Optimal_bailed,
       "the exact pack solver ran out of budget and fell back to the heuristic" );
+    ( Deadline_exceeded,
+      "the per-job wall-clock deadline passed before compilation finished" );
   ]
 
 type span = { line : int; col : int }
@@ -160,12 +165,56 @@ let () =
     | Error t -> Some ("Slp_error.Error: " ^ to_string t)
     | _ -> None)
 
+module Deadline = struct
+  type error = t
+
+  type t = {
+    clock : unit -> float;
+    expires : float;  (** Absolute clock reading; [infinity] never fires. *)
+    seconds : float;
+  }
+
+  let never = { clock = (fun () -> 0.0); expires = infinity; seconds = infinity }
+
+  let create ~clock ~seconds =
+    if seconds = infinity then never
+    else { clock; expires = clock () +. seconds; seconds }
+
+  let expired t = t.expires < infinity && t.clock () > t.expires
+  let remaining t = if t.expires = infinity then infinity else t.expires -. t.clock ()
+
+  let breach ?(pass = Pipeline) t : error =
+    make ~pass Deadline_exceeded
+      (Printf.sprintf "wall-clock deadline of %.3fs exceeded in %s" t.seconds
+         (pass_name pass))
+
+  let check ?pass t = if expired t then raise (Error (breach ?pass t))
+end
+
 module Fuel = struct
   type error = t
 
-  type t = { fuel_pass : pass; budget : int; mutable left : int }
+  type t = {
+    fuel_pass : pass;
+    budget : int;
+    mutable left : int;
+    deadline : Deadline.t option;
+    mutable until_clock : int;  (** Ticks left before the next deadline read. *)
+  }
 
-  let create ~pass ~budget = { fuel_pass = pass; budget; left = max 0 budget }
+  (* Reading the clock on every tick would dominate tight grouping
+     loops, so the deadline is consulted once per [clock_stride]
+     ticks — cooperative enforcement with bounded slack. *)
+  let clock_stride = 256
+
+  let create ?deadline ~pass ~budget () =
+    {
+      fuel_pass = pass;
+      budget;
+      left = max 0 budget;
+      deadline;
+      until_clock = clock_stride;
+    }
 
   let exhausted t : error =
     make ~pass:t.fuel_pass Fuel_exhausted
@@ -173,7 +222,15 @@ module Fuel = struct
          (pass_name t.fuel_pass))
 
   let tick t =
-    if t.left <= 0 then raise (Error (exhausted t)) else t.left <- t.left - 1
+    if t.left <= 0 then raise (Error (exhausted t)) else t.left <- t.left - 1;
+    match t.deadline with
+    | None -> ()
+    | Some d ->
+        t.until_clock <- t.until_clock - 1;
+        if t.until_clock <= 0 then begin
+          t.until_clock <- clock_stride;
+          Deadline.check ~pass:t.fuel_pass d
+        end
 
   let remaining t = t.left
 end

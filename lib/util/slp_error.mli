@@ -42,6 +42,7 @@ type code =
   | Internal  (** BAIL13 *)
   | Injected  (** BAIL14 *)
   | Optimal_bailed  (** BAIL15 *)
+  | Deadline_exceeded  (** BAIL16 *)
 
 val code_id : code -> string
 (** ["BAIL05"]. *)
@@ -88,14 +89,44 @@ val to_json : t -> string
 
 val json_escape : string -> string
 
+(** Per-job wall-clock deadlines, enforced cooperatively: the pipeline
+    calls {!check} at stage boundaries and {!Fuel.tick} consults the
+    clock periodically, so a runaway pass surfaces as a structured
+    [BAIL16] ({!code.Deadline_exceeded}) instead of wedging its caller.
+    The clock is injected (pass {!Slp_obs.Clock.now}, or a counter in
+    tests), keeping this module dependency-free and the enforcement
+    deterministic under a frozen clock. *)
+module Deadline : sig
+  type error = t
+  type t
+
+  val never : t
+  (** Never expires; checks are almost free. *)
+
+  val create : clock:(unit -> float) -> seconds:float -> t
+  (** Expires [seconds] after creation on [clock]'s timeline.
+      [seconds = infinity] returns {!never}. *)
+
+  val expired : t -> bool
+  val remaining : t -> float
+  (** Seconds until expiry; [infinity] for {!never}, negative when
+      already breached. *)
+
+  val check : ?pass:pass -> t -> unit
+  (** Raise {!Error} with code [Deadline_exceeded] once expired
+      ([pass] defaults to [Pipeline]). *)
+end
+
 (** Per-pass step budgets: a cheap guard against grouping-graph blowup
     and scheduler loops.  [tick] raises {!Error} with
-    {!code.Fuel_exhausted} once the budget runs dry. *)
+    {!code.Fuel_exhausted} once the budget runs dry, and — when a
+    deadline rides along — checks the wall clock every few hundred
+    ticks, raising [Deadline_exceeded] from inside long passes. *)
 module Fuel : sig
   type error = t
   type t
 
-  val create : pass:pass -> budget:int -> t
+  val create : ?deadline:Deadline.t -> pass:pass -> budget:int -> unit -> t
   val tick : t -> unit
   val remaining : t -> int
 end

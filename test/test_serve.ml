@@ -1,0 +1,421 @@
+(* Tests for the compile service: deadlines, the content-addressed
+   cache and its keys, the supervised pool (retry, quarantine,
+   load-shedding), the socket daemon end-to-end, and a subset of the
+   service fault matrix (the full matrix runs under [slpfault
+   --service] and the CI serve-smoke job). *)
+
+open Slp_ir
+module E = Slp_util.Slp_error
+module Fnv = Slp_util.Fnv
+module Backoff = Slp_util.Backoff
+module Prng = Slp_util.Prng
+module Json = Slp_obs.Json
+module Metrics = Slp_obs.Metrics
+module P = Slp_pipeline.Pipeline
+module M = Slp_machine.Machine
+module Proto = Slp_serve.Proto
+module Ckey = Slp_serve.Ckey
+module Cache = Slp_serve.Cache
+module Fault = Slp_serve.Fault
+module Job = Slp_serve.Job
+module Pool = Slp_serve.Pool
+module Server = Slp_serve.Server
+module Client = Slp_serve.Client
+module SF = Slp_faultinject.Servicefault
+module Suite = Slp_benchmarks.Suite
+
+let scratch = Filename.concat (Filename.get_temp_dir_name ()) "slp-serve-test"
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat scratch (Printf.sprintf "case%d" !n)
+
+let kernel_src =
+  {|
+f64 a[64]; f64 b[64]; f64 c[64];
+for i = 0 to 64 {
+  c[i] = a[i] * b[i] + c[i];
+}
+|}
+
+let small_spec ?(scheme = P.Global) ?(name = "k") () =
+  { (Proto.default_spec ~kernel:kernel_src ~name) with Proto.scheme }
+
+(* -- deadlines ------------------------------------------------------- *)
+
+let test_deadline_basics () =
+  let t = ref 0.0 in
+  let clock () = !t in
+  let d = E.Deadline.create ~clock ~seconds:10.0 in
+  Alcotest.(check bool) "fresh not expired" false (E.Deadline.expired d);
+  E.Deadline.check d;
+  t := 9.9;
+  Alcotest.(check bool) "inside budget" false (E.Deadline.expired d);
+  t := 10.1;
+  Alcotest.(check bool) "past budget" true (E.Deadline.expired d);
+  (match E.Deadline.check d with
+  | () -> Alcotest.fail "expired check did not raise"
+  | exception E.Error e ->
+      Alcotest.(check string) "BAIL16" "BAIL16-deadline" (E.code_name e.E.code));
+  Alcotest.(check bool)
+    "never survives any clock" false
+    (E.Deadline.expired E.Deadline.never);
+  Alcotest.(check (float 1e-9)) "remaining infinite" infinity
+    (E.Deadline.remaining E.Deadline.never)
+
+let test_fuel_checks_deadline () =
+  let t = ref 0.0 in
+  let d = E.Deadline.create ~clock:(fun () -> !t) ~seconds:1.0 in
+  let fuel = E.Fuel.create ~deadline:d ~pass:E.Grouping ~budget:max_int () in
+  (* Inside the deadline: many ticks pass freely. *)
+  for _ = 1 to 1000 do
+    E.Fuel.tick fuel
+  done;
+  t := 5.0;
+  (* The stride means the breach lands within one batch of ticks. *)
+  match
+    for _ = 1 to 512 do
+      E.Fuel.tick fuel
+    done
+  with
+  | () -> Alcotest.fail "fuel never noticed the expired deadline"
+  | exception E.Error e ->
+      Alcotest.(check string) "BAIL16 via fuel" "BAIL16-deadline" (E.code_name e.E.code)
+
+let test_compile_deadline () =
+  let prog = Suite.program (List.hd Suite.all) in
+  let t = ref 0.0 in
+  let d = E.Deadline.create ~clock:(fun () -> !t) ~seconds:1.0 in
+  t := 2.0;
+  match P.compile ~deadline:d ~scheme:P.Global ~machine:M.intel_dunnington prog with
+  | _ -> Alcotest.fail "compile ignored an already-expired deadline"
+  | exception E.Error e ->
+      Alcotest.(check string) "BAIL16 from compile" "BAIL16-deadline" (E.code_name e.E.code)
+
+(* -- backoff --------------------------------------------------------- *)
+
+let test_backoff () =
+  let delays seed =
+    let prng = Prng.create seed in
+    List.init 8 (fun i -> Backoff.delay Backoff.default ~prng ~attempt:(i + 1))
+  in
+  Alcotest.(check (list (float 1e-12))) "seeded determinism" (delays 5) (delays 5);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "positive" true (d > 0.0);
+      Alcotest.(check bool) "capped" true (d <= Backoff.default.Backoff.cap))
+    (delays 5)
+
+(* -- cache keys ------------------------------------------------------ *)
+
+let key_of ?(op = Proto.Execute) spec =
+  match Ckey.of_spec ~op spec with
+  | Result.Ok (key, _) -> key
+  | Result.Error e -> Alcotest.fail ("unexpected key failure: " ^ E.to_string e)
+
+let test_key_stability =
+  let gen =
+    QCheck.make
+      ~print:(fun p -> Program.to_source p)
+      (QCheck.Gen.map
+         (fun seed ->
+           Slp_fuzz.Gen.program ~name:"keyfuzz" (Slp_util.Prng.create seed))
+         (QCheck.Gen.int_bound 1_000_000))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"cache key is invariant under to_source round-trip and splits on flags"
+    gen
+    (fun prog ->
+      let src = Program.to_source prog in
+      let spec = { (Proto.default_spec ~kernel:src ~name:"a") with Proto.scheme = P.Global } in
+      let k1 = key_of spec in
+      (* Round-trip: reparse of the canonical source keys identically,
+         and a different job name keys identically. *)
+      let round = key_of { spec with Proto.name = "b" } in
+      (* Flag changes split the key. *)
+      let other_scheme = key_of { spec with Proto.scheme = P.Slp } in
+      let other_machine = key_of { spec with Proto.machine = M.amd_phenom_ii } in
+      let other_unroll = key_of { spec with Proto.unroll = Some 8 } in
+      let other_seed = key_of { spec with Proto.seed = 43 } in
+      let other_op = key_of ~op:Proto.Compile spec in
+      let timeout_ignored = key_of { spec with Proto.timeout = Some 5.0 } in
+      k1 = round && k1 = timeout_ignored && k1 <> other_scheme
+      && k1 <> other_machine && k1 <> other_unroll && k1 <> other_seed
+      && k1 <> other_op)
+
+let test_fnv_framing () =
+  Alcotest.(check bool)
+    "field boundaries matter" true
+    (Fnv.hash_fields [ "ab"; "c" ] <> Fnv.hash_fields [ "a"; "bc" ]);
+  let h = Fnv.hash64 "slp" in
+  Alcotest.(check (option int64)) "hex round-trip" (Some h) (Fnv.of_hex (Fnv.to_hex h))
+
+(* -- protocol -------------------------------------------------------- *)
+
+let test_proto_roundtrip () =
+  let spec =
+    {
+      (small_spec ()) with
+      Proto.unroll = Some 4;
+      max_steps = Some 1000;
+      timeout = Some 2.5;
+      cores = 2;
+      seed = 7;
+    }
+  in
+  let req = { Proto.id = 9; op = Proto.Job (Proto.Execute, spec) } in
+  (match Proto.request_of_line (Proto.request_to_line req) with
+  | Result.Ok r ->
+      Alcotest.(check int) "id" 9 r.Proto.id;
+      (match r.Proto.op with
+      | Proto.Job (Proto.Execute, s) ->
+          Alcotest.(check string) "kernel" spec.Proto.kernel s.Proto.kernel;
+          Alcotest.(check (option int)) "unroll" (Some 4) s.Proto.unroll;
+          Alcotest.(check (option (float 1e-9))) "timeout" (Some 2.5) s.Proto.timeout;
+          Alcotest.(check int) "cores" 2 s.Proto.cores
+      | _ -> Alcotest.fail "op did not round-trip")
+  | Result.Error (_, msg) -> Alcotest.fail msg);
+  let err = E.make ~pass:E.Grouping E.Fuel_exhausted "out of steps" in
+  let reply =
+    Proto.ok_reply ~cached:true ~attempts:2 ~errors:[ err ] ~id:9
+      (Json.Obj [ ("x", Json.Num 1.0) ])
+  in
+  match Proto.reply_of_line (Proto.reply_to_line reply) with
+  | Result.Ok r ->
+      Alcotest.(check bool) "cached" true r.Proto.cached;
+      Alcotest.(check int) "attempts" 2 r.Proto.attempts;
+      (match r.Proto.errors with
+      | [ e ] -> Alcotest.(check string) "code" "BAIL11-fuel" (E.code_name e.E.code)
+      | _ -> Alcotest.fail "errors did not round-trip")
+  | Result.Error msg -> Alcotest.fail msg
+
+let test_bad_request () =
+  (match Proto.request_of_line "{\"id\": 3, \"op\": \"warp\"}" with
+  | Result.Error (3, _) -> ()
+  | _ -> Alcotest.fail "unknown op must fail with its id");
+  match Proto.request_of_line "not json" with
+  | Result.Error (-1, _) -> ()
+  | _ -> Alcotest.fail "garbage must fail with id -1"
+
+(* -- cache ----------------------------------------------------------- *)
+
+let test_cache_integrity () =
+  Fault.disarm ();
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let key = Fnv.hash64 "k1" in
+  Cache.store cache key "{\"v\": 1}";
+  Alcotest.(check (option string)) "hit" (Some "{\"v\": 1}") (Cache.find cache key);
+  (* Rot the entry on disk behind the cache's back. *)
+  let file = Filename.concat (Cache.dir cache) (Fnv.to_hex key ^ ".entry") in
+  let oc = open_out_bin file in
+  output_string oc "deadbeefdeadbeef {\"v\": 2}\n";
+  close_out oc;
+  Alcotest.(check (option string)) "corrupt entry evicted" None (Cache.find cache key);
+  Alcotest.(check bool) "file removed" false (Sys.file_exists file);
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "eviction counted" 1 stats.Cache.corrupt_evictions;
+  (* The next store heals it. *)
+  Cache.store cache key "{\"v\": 3}";
+  Alcotest.(check (option string)) "healed" (Some "{\"v\": 3}") (Cache.find cache key)
+
+let test_cache_corrupt_store_fault () =
+  Fault.disarm ();
+  let cache = Cache.create ~dir:(fresh_dir ()) in
+  let key = Fnv.hash64 "k2" in
+  Fault.arm (Fault.Corrupt_store 1);
+  Cache.store cache key "payload";
+  Alcotest.(check (option string)) "flipped byte caught" None (Cache.find cache key);
+  Alcotest.(check int) "evicted" 1 (Cache.stats cache).Cache.corrupt_evictions;
+  Fault.disarm ()
+
+(* -- pool ------------------------------------------------------------ *)
+
+let quick_config =
+  { Pool.default_config with Pool.workers = 1; sleep = (fun _ -> ()); seed = 11 }
+
+let with_pool ?(config = quick_config) f =
+  Fault.disarm ();
+  let pool = Pool.create ~config ~cache:(Cache.create ~dir:(fresh_dir ())) () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool; Fault.disarm ()) (fun () -> f pool)
+
+let test_pool_basic_and_cached () =
+  with_pool (fun pool ->
+      let spec = small_spec () in
+      let first = Pool.run_sync pool ~id:1 ~op:Proto.Execute ~spec () in
+      Alcotest.(check string) "ok" "ok" (Proto.status_name first.Proto.status);
+      Alcotest.(check bool) "fresh" false first.Proto.cached;
+      Alcotest.(check int) "one attempt" 1 first.Proto.attempts;
+      let again = Pool.run_sync pool ~id:2 ~op:Proto.Execute ~spec () in
+      Alcotest.(check bool) "cache hit" true again.Proto.cached;
+      Alcotest.(check string) "bit-identical payload"
+        (Json.to_string first.Proto.payload)
+        (Json.to_string again.Proto.payload))
+
+let test_pool_retries_worker_death () =
+  with_pool (fun pool ->
+      let spec = small_spec () in
+      Fault.arm (Fault.Kill_worker 1);
+      let reply = Pool.run_sync pool ~id:1 ~op:Proto.Execute ~spec () in
+      Alcotest.(check string) "ok after restart" "ok"
+        (Proto.status_name reply.Proto.status);
+      Alcotest.(check int) "two attempts" 2 reply.Proto.attempts;
+      Alcotest.(check (float 1e-9)) "restart counted" 1.0
+        (Metrics.get (Pool.metrics pool) "worker_restarts"))
+
+let test_pool_quarantines_poison () =
+  with_pool (fun pool ->
+      (* A zero step budget fails deterministically on every attempt. *)
+      let spec = { (small_spec ()) with Proto.max_steps = Some 0 } in
+      let reply = Pool.run_sync pool ~id:1 ~op:Proto.Execute ~spec () in
+      Alcotest.(check string) "degraded" "degraded"
+        (Proto.status_name reply.Proto.status);
+      Alcotest.(check bool) "quarantined" true reply.Proto.quarantined;
+      Alcotest.(check int) "attempts capped" quick_config.Pool.max_attempts
+        reply.Proto.attempts;
+      Alcotest.(check bool) "BAIL11 catalogued" true
+        (List.exists (fun (e : E.t) -> e.E.code = E.Fuel_exhausted) reply.Proto.errors);
+      Alcotest.(check int) "key recorded" 1 (List.length (Pool.quarantined pool));
+      (* Resubmission takes the quarantine fast path: no fresh attempts. *)
+      let again = Pool.run_sync pool ~id:2 ~op:Proto.Execute ~spec () in
+      Alcotest.(check bool) "still quarantined" true again.Proto.quarantined)
+
+let test_pool_sheds_when_full () =
+  let config = { quick_config with Pool.queue_depth = 2 } in
+  with_pool ~config (fun pool ->
+      Pool.pause pool;
+      let replies = Array.make 5 None in
+      for i = 0 to 4 do
+        Pool.submit pool ~id:i ~op:Proto.Execute ~spec:(small_spec ())
+          ~reply:(fun r -> replies.(i) <- Some r)
+      done;
+      let shed =
+        Array.to_list replies
+        |> List.filter_map Fun.id
+        |> List.filter (fun r -> r.Proto.status = Proto.Overloaded)
+      in
+      (* First job may be cached? No cache yet: 2 queued, 3 shed. *)
+      Alcotest.(check int) "three shed" 3 (List.length shed);
+      Pool.resume pool;
+      Pool.drain pool;
+      Alcotest.(check int) "every submission answered" 5
+        (Array.to_list replies |> List.filter_map Fun.id |> List.length))
+
+(* -- end-to-end over the socket -------------------------------------- *)
+
+let test_server_end_to_end () =
+  Fault.disarm ();
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "slpd.sock" in
+  let pool = Pool.create ~config:quick_config ~cache:(Cache.create ~dir) () in
+  let daemon = Domain.spawn (fun () -> Server.run ~pool ~socket ()) in
+  let rec connect tries =
+    match Client.connect ~socket with
+    | c -> c
+    | exception Unix.Unix_error _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        connect (tries - 1)
+  in
+  let client = connect 100 in
+  let ping = Client.call client { Proto.id = 1; op = Proto.Ping } in
+  Alcotest.(check string) "pong" "ok" (Proto.status_name ping.Proto.status);
+  let spec = small_spec () in
+  let first =
+    Client.call client { Proto.id = 2; op = Proto.Job (Proto.Execute, spec) }
+  in
+  Alcotest.(check string) "job ok" "ok" (Proto.status_name first.Proto.status);
+  Alcotest.(check bool) "computed" false first.Proto.cached;
+  (* Interleaved ids: submit two, read in reverse order. *)
+  Client.send client { Proto.id = 3; op = Proto.Job (Proto.Execute, spec) };
+  Client.send client { Proto.id = 4; op = Proto.Ping };
+  let pong2 = Client.wait client ~id:4 in
+  Alcotest.(check string) "second ping" "ok" (Proto.status_name pong2.Proto.status);
+  let cached = Client.wait client ~id:3 in
+  Alcotest.(check bool) "served from cache" true cached.Proto.cached;
+  Alcotest.(check string) "bit-identical over the wire"
+    (Json.to_string first.Proto.payload)
+    (Json.to_string cached.Proto.payload);
+  let stats = Client.call client { Proto.id = 5; op = Proto.Stats } in
+  (match Json.member "cache" stats.Proto.payload with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "stats payload lacks cache section");
+  let bye = Client.call client { Proto.id = 6; op = Proto.Shutdown } in
+  Alcotest.(check string) "shutdown acknowledged" "ok"
+    (Proto.status_name bye.Proto.status);
+  Domain.join daemon;
+  Client.close client;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+(* -- service fault matrix (subset) ----------------------------------- *)
+
+let test_service_matrix_subset () =
+  let kernels =
+    List.filteri (fun i _ -> i < 2) Slp_benchmarks.Suite.all
+  in
+  let outcomes =
+    SF.run_matrix ~machines:[ M.intel_dunnington ] ~kernels ~dir:(fresh_dir ()) ()
+  in
+  List.iter
+    (fun (o : SF.outcome) ->
+      if not o.SF.ok then
+        Printf.printf "FAIL %s at %s: status=%s attempts=%d codes=[%s] identical=%b lost=%b\n"
+          o.SF.kernel (SF.point_name o.SF.point) o.SF.status o.SF.attempts
+          (String.concat "; " o.SF.codes)
+          o.SF.identical (not o.SF.no_lost_jobs))
+    outcomes;
+  Alcotest.(check int) "case count" (2 * 4) (List.length outcomes);
+  Alcotest.(check bool) "all recovered" true (SF.all_ok outcomes)
+
+let test_service_report_json () =
+  let prog = Suite.program (List.hd Suite.all) in
+  let o =
+    SF.run_case ~dir:(fresh_dir ()) ~machine:M.intel_dunnington
+      ~point:SF.Kill_worker prog
+  in
+  let json = SF.report_json [ o ] in
+  let contains needle hay =
+    let ln = String.length needle and lh = String.length hay in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "one case" true (contains "\"cases\": 1" json);
+  Alcotest.(check bool) "names the point" true (contains "kill-worker" json)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "deadline",
+        [
+          Alcotest.test_case "deadline basics" `Quick test_deadline_basics;
+          Alcotest.test_case "fuel ticks check deadline" `Quick test_fuel_checks_deadline;
+          Alcotest.test_case "compile honors deadline" `Quick test_compile_deadline;
+          Alcotest.test_case "backoff is seeded and capped" `Quick test_backoff;
+        ] );
+      ( "cache",
+        [
+          Seeded.to_alcotest test_key_stability;
+          Alcotest.test_case "fnv framing" `Quick test_fnv_framing;
+          Alcotest.test_case "integrity eviction" `Quick test_cache_integrity;
+          Alcotest.test_case "corrupt-store fault" `Quick test_cache_corrupt_store_fault;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round-trip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "bad requests" `Quick test_bad_request;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "compute then cache" `Quick test_pool_basic_and_cached;
+          Alcotest.test_case "worker death retried" `Quick test_pool_retries_worker_death;
+          Alcotest.test_case "poison job quarantined" `Quick test_pool_quarantines_poison;
+          Alcotest.test_case "bounded queue sheds" `Quick test_pool_sheds_when_full;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "socket end-to-end" `Quick test_server_end_to_end ] );
+      ( "fault matrix",
+        [
+          Alcotest.test_case "service matrix subset" `Slow test_service_matrix_subset;
+          Alcotest.test_case "service report json" `Quick test_service_report_json;
+        ] );
+    ]
