@@ -112,6 +112,18 @@ let suite_wall_clock () =
    cache every run (compile + execute + store); the warm entry answers
    every job from the cache.  The smoke guard holds warm at >= 5x
    cold — the memoization dividend the service exists for. *)
+let serve_specs () =
+  List.filteri (fun i _ -> i < 4) Suite.all
+  |> List.map (fun b ->
+         let prog = Suite.program b in
+         {
+           (Slp_serve.Proto.default_spec
+              ~kernel:(Slp_ir.Program.to_source prog)
+              ~name:prog.Slp_ir.Program.name)
+           with
+           Slp_serve.Proto.scheme = Pipeline.Global;
+         })
+
 let serve_state =
   lazy
     (let dir =
@@ -120,18 +132,7 @@ let serve_state =
      let cache = Slp_serve.Cache.create ~dir in
      let pool = Slp_serve.Pool.create ~cache () in
      at_exit (fun () -> Slp_serve.Pool.shutdown pool);
-     let specs =
-       List.filteri (fun i _ -> i < 4) Suite.all
-       |> List.map (fun b ->
-              let prog = Suite.program b in
-              {
-                (Slp_serve.Proto.default_spec
-                   ~kernel:(Slp_ir.Program.to_source prog)
-                   ~name:prog.Slp_ir.Program.name)
-                with
-                Slp_serve.Proto.scheme = Pipeline.Global;
-              })
-     in
+     let specs = serve_specs () in
      (* Pre-warm so the warm entry never measures a first compile. *)
      List.iter
        (fun spec ->
@@ -153,6 +154,46 @@ let serve_throughput_cold () =
   serve_jobs ()
 
 let serve_throughput_warm () = serve_jobs ()
+
+(* Service telemetry overhead: the warm 4-kernel batch against pools
+   whose telemetry bundle is dormant (log threshold Off, no trace
+   hub) vs fully enabled (Debug log ring plus a live trace hub
+   collecting spans).  On an idle host both sit within a few percent
+   of serve_throughput_warm (the lazy log ring is what keeps the
+   enabled path there); the smoke guard is a 5x gross backstop
+   because sub-millisecond cross-entry ratios swing +/-60% under
+   load — see the comment in bench/smoke.sh. *)
+let telemetry_pool ~tag ~level ~hub =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ()) ("slp-telem-bench-" ^ tag)
+     in
+     let cache = Slp_serve.Cache.create ~dir in
+     let telem =
+       Slp_serve.Telemetry.create ~log:(Slp_obs.Log.create ~level ()) ?hub ()
+     in
+     let pool = Slp_serve.Pool.create ~telem ~cache () in
+     at_exit (fun () -> Slp_serve.Pool.shutdown pool);
+     let specs = serve_specs () in
+     List.iter
+       (fun spec ->
+         ignore
+           (Slp_serve.Pool.run_sync pool ~op:Slp_serve.Proto.Execute ~spec ()))
+       specs;
+     (pool, specs))
+
+let telemetry_off_state = telemetry_pool ~tag:"off" ~level:Slp_obs.Log.Off ~hub:None
+
+let telemetry_on_state =
+  telemetry_pool ~tag:"on" ~level:Slp_obs.Log.Debug
+    ~hub:(Some (Slp_obs.Tracehub.create ()))
+
+let telemetry_jobs state () =
+  let pool, specs = Lazy.force state in
+  List.iter
+    (fun spec ->
+      ignore (Slp_serve.Pool.run_sync pool ~op:Slp_serve.Proto.Execute ~spec ()))
+    specs
 
 (* The Figure 15 block, used by the phase and ablation benchmarks. *)
 let fig15 () =
@@ -240,6 +281,10 @@ let all_tests =
        the content-addressed cache (see bench/smoke.sh guard). *)
     t "serve_throughput_cold" serve_throughput_cold;
     t "serve_throughput_warm" serve_throughput_warm;
+    (* Telemetry overhead on the service hot path: dormant vs fully
+       enabled instruments (see bench/smoke.sh guards). *)
+    t "telemetry_overhead_suite_off" (telemetry_jobs telemetry_off_state);
+    t "telemetry_overhead_suite_on" (telemetry_jobs telemetry_on_state);
     (* Compilation overhead (the paper's +27% claim). *)
     t "compile_overhead_slp" (compile_only ~scheme:Pipeline.Slp "cactusADM");
     t "compile_overhead_global" (compile_only ~scheme:Pipeline.Global "cactusADM");
@@ -440,6 +485,23 @@ let () =
           names;
         List.filter (fun (n, _) -> List.mem n names) all_tests
   in
+  (* Force pool state (spawn + pre-warm) outside the measured loop:
+     at smoke quotas an entry may run exactly once, and a lazy cold
+     compile forced inside that one iteration would be the whole
+     measurement. *)
+  let warmups =
+    [
+      ("serve_throughput_cold", fun () -> ignore (Lazy.force serve_state));
+      ("serve_throughput_warm", fun () -> ignore (Lazy.force serve_state));
+      ( "telemetry_overhead_suite_off",
+        fun () -> ignore (Lazy.force telemetry_off_state) );
+      ( "telemetry_overhead_suite_on",
+        fun () -> ignore (Lazy.force telemetry_on_state) );
+    ]
+  in
+  List.iter
+    (fun (name, warm) -> if List.mem_assoc name selected then warm ())
+    warmups;
   let tests =
     List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) selected
   in

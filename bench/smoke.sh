@@ -14,7 +14,8 @@ dune exec bench/main.exe -- \
   obs_overhead_suite_off obs_overhead_suite_on \
   optimal_compile_suite \
   suite_wall_clock fig21_sequential_4core fig21_domains_4core \
-  serve_throughput_cold serve_throughput_warm
+  serve_throughput_cold serve_throughput_warm \
+  telemetry_overhead_suite_off telemetry_overhead_suite_on
 
 # Guard: the domain-parallel Figure 21 workload (NAS kernels, 4
 # simulated cores, real OCaml domains) must not be slower than its
@@ -63,4 +64,34 @@ awk -F'"' '
       exit 1
     }
     printf "serve guard ok: cold %.0f ns/run, warm %.0f ns/run (%.1fx)\n", cold, warm, cold / warm
+  }' BENCH_vm.json
+
+# Guard: service telemetry must be close to free.  On an idle host
+# the dormant bundle (log threshold Off, no trace hub) and the
+# fully-enabled one (Debug log ring + live trace spans) both measure
+# within a few percent of the plain warm serve path — the lazy log
+# ring is what keeps the enabled path there.  These sub-millisecond
+# entries swing +/-60% between runs under load (domain GC syncs,
+# scheduler phases), so the CI-stable assertion is a 5x gross
+# backstop per entry: it still catches the regression class that
+# matters — state forced inside the measured loop (~600x), eager
+# rendering or I/O per event on the hot path (10x+) — without
+# flaking on timer noise.  Tighter claims are checked by eye against
+# the BENCH_vm.json trajectory.
+awk -F'"' '
+  $2 == "serve_throughput_warm"         { v = $3; sub(/^[: ]+/, "", v); warm = v + 0 }
+  $2 == "telemetry_overhead_suite_off"  { v = $3; sub(/^[: ]+/, "", v); off = v + 0 }
+  $2 == "telemetry_overhead_suite_on"   { v = $3; sub(/^[: ]+/, "", v); on = v + 0 }
+  END {
+    if (warm <= 0 || off <= 0 || on <= 0) { print "telemetry guard: entries missing from BENCH_vm.json"; exit 1 }
+    noise = 2e4
+    if (off > warm * 5 + noise) {
+      printf "telemetry guard FAILED: dormant %.0f ns/run vs warm serve %.0f ns/run (backstop 5x)\n", off, warm
+      exit 1
+    }
+    if (on > warm * 5 + noise) {
+      printf "telemetry guard FAILED: enabled %.0f ns/run vs warm serve %.0f ns/run (backstop 5x)\n", on, warm
+      exit 1
+    }
+    printf "telemetry guard ok: warm %.0f ns/run, dormant %.0f ns/run, enabled %.0f ns/run\n", warm, off, on
   }' BENCH_vm.json

@@ -1,12 +1,17 @@
 (* obscheck — validate observability artifacts.
 
-   Usage: obscheck FILE...
+   Usage: obscheck [--trace] [--metrics] FILE...
 
-   Each FILE must be well-formed Chrome trace-event JSON with balanced,
-   properly nested B/E spans per (pid, tid) thread and non-decreasing
-   timestamps.  Exit 0 when every file validates, 1 on any validation
-   failure, 2 on usage or I/O errors.  CI runs this over the traces the
-   smoke job records. *)
+   Mode flags apply to the files that follow them (default --trace).
+   Trace files must be well-formed Chrome trace-event JSON with
+   balanced, properly nested B/E spans per (pid, tid) thread and
+   non-decreasing timestamps.  Metrics files must be structurally
+   valid Prometheus text exposition — # TYPE before samples, unique
+   (name, label-set) pairs, counter/_total and histogram/_seconds
+   suffix conventions, monotone cumulative buckets with a +Inf bucket
+   matching _count.  Exit 0 when every file validates, 1 on any
+   validation failure, 2 on usage or I/O errors.  CI runs this over
+   the artifacts the smoke jobs record. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,23 +21,37 @@ let read_file path =
   src
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
-  if files = [] then begin
-    prerr_endline "usage: obscheck FILE...";
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] || args = [ "--trace" ] || args = [ "--metrics" ] then begin
+    prerr_endline "usage: obscheck [--trace] [--metrics] FILE...";
     exit 2
   end;
   let failed = ref false in
+  let mode = ref `Trace in
   List.iter
-    (fun path ->
-      match read_file path with
-      | exception Sys_error msg ->
-          Printf.eprintf "%s: %s\n" path msg;
-          exit 2
-      | contents -> (
-          match Slp_obs.Trace.validate_chrome_json contents with
-          | Ok n -> Printf.printf "%s: ok (%d events, balanced)\n" path n
-          | Error msg ->
-              Printf.eprintf "%s: INVALID: %s\n" path msg;
-              failed := true))
-    files;
+    (fun arg ->
+      match arg with
+      | "--trace" -> mode := `Trace
+      | "--metrics" -> mode := `Metrics
+      | path -> (
+          match read_file path with
+          | exception Sys_error msg ->
+              Printf.eprintf "%s: %s\n" path msg;
+              exit 2
+          | contents -> (
+              match !mode with
+              | `Trace -> (
+                  match Slp_obs.Trace.validate_chrome_json contents with
+                  | Ok n ->
+                      Printf.printf "%s: ok (%d events, balanced)\n" path n
+                  | Error msg ->
+                      Printf.eprintf "%s: INVALID: %s\n" path msg;
+                      failed := true)
+              | `Metrics -> (
+                  match Slp_obs.Metric.validate_exposition contents with
+                  | Ok () -> Printf.printf "%s: ok (valid exposition)\n" path
+                  | Error msg ->
+                      Printf.eprintf "%s: INVALID: %s\n" path msg;
+                      failed := true))))
+    args;
   exit (if !failed then 1 else 0)

@@ -14,7 +14,10 @@ module E = Slp_util.Slp_error
 module P = Slp_pipeline.Pipeline
 module M = Slp_machine.Machine
 module Json = Slp_obs.Json
+module Log = Slp_obs.Log
+module Tracehub = Slp_obs.Tracehub
 module Proto = Slp_serve.Proto
+module Telemetry = Slp_serve.Telemetry
 module Cache = Slp_serve.Cache
 module Fault = Slp_serve.Fault
 module Job = Slp_serve.Job
@@ -45,7 +48,16 @@ let fault_of_string s =
   | [ "drop-client"; n ] -> Option.map (fun n -> Fault.Drop_client n) (num n)
   | _ -> None
 
-let serve socket cache_dir workers queue_depth max_attempts timeout faults =
+let serve socket cache_dir workers queue_depth max_attempts timeout faults
+    log_file log_level trace_file =
+  let level =
+    match Log.level_of_string log_level with
+    | Some l -> l
+    | None ->
+        Printf.eprintf
+          "slpd: bad --log-level %S (debug|info|warn|error|off)\n" log_level;
+        exit 2
+  in
   let armed =
     List.map
       (fun s ->
@@ -69,11 +81,24 @@ let serve socket cache_dir workers queue_depth max_attempts timeout faults =
       default_timeout = timeout;
     }
   in
-  let pool = Pool.create ~config ~cache:(Cache.create ~dir:cache_dir) () in
+  let log = Log.create ~level () in
+  Option.iter (Log.with_file log) log_file;
+  let hub = Option.map (fun _ -> Tracehub.create ()) trace_file in
+  let telem = Telemetry.create ~log ?hub () in
+  let pool =
+    Pool.create ~config ~telem ~cache:(Cache.create ~dir:cache_dir) ()
+  in
   Printf.printf "slpd: serving on %s (%d workers, cache %s)\n%!" socket workers
     cache_dir;
   Server.run ~pool ~socket ();
   print_endline (Json.to_string (Server.stats_json pool));
+  (match (trace_file, hub) with
+  | Some path, Some hub ->
+      Tracehub.write_file hub path;
+      Printf.printf "slpd: wrote campaign trace (%d domain rows) to %s\n"
+        (Tracehub.domains hub) path
+  | _ -> ());
+  Log.close log;
   0
 
 let serve_cmd =
@@ -116,11 +141,33 @@ let serve_cmd =
              kill-worker:N, clock-skip:SECS:N, corrupt-store:N, \
              drop-client:N.  For smoke testing the supervision path.")
   in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Append structured JSON-line log events to FILE.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LVL"
+          ~doc:"Log threshold: debug, info, warn, error, or off.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record reactor and worker-domain spans and write the merged \
+             Chrome trace (one row per domain) to FILE on exit.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"run the compile-service daemon")
     Term.(
       const serve $ socket_arg $ cache_dir $ workers $ queue_depth
-      $ max_attempts $ timeout $ faults)
+      $ max_attempts $ timeout $ faults $ log_file $ log_level $ trace_file)
 
 (* -- shared client helpers ------------------------------------------- *)
 
@@ -329,22 +376,88 @@ let campaign_cmd =
              verify every reply against an in-process oracle")
     Term.(const campaign $ socket_arg $ clients $ scheme)
 
-(* -- stats ----------------------------------------------------------- *)
+(* -- stats / metrics / health ---------------------------------------- *)
 
-let stats socket =
+let watch_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "watch" ] ~docv:"SECS"
+        ~doc:"Re-poll every SECS seconds until interrupted.")
+
+(* One poll per connection; in watch mode the daemon may restart
+   between polls, so each round reconnects from scratch. *)
+let repeated watch poll =
+  match watch with
+  | None -> poll ()
+  | Some secs ->
+      let rec loop () =
+        ignore (poll ());
+        Unix.sleepf secs;
+        loop ()
+      in
+      loop ()
+
+let one_shot op render socket =
   let c = connect socket in
-  let reply = Client.call c { Proto.id = 1; op = Proto.Stats } in
+  let reply = Client.call c { Proto.id = 1; op } in
   Client.close c;
-  print_endline (Json.to_string reply.Proto.payload);
-  0
+  render reply.Proto.payload;
+  if reply.Proto.status = Proto.Ok then 0 else 1
+
+let stats socket watch =
+  repeated watch (fun () ->
+      one_shot Proto.Stats
+        (fun payload -> print_endline (Json.to_string payload))
+        socket)
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"print daemon statistics") Term.(const stats $ socket_arg)
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print daemon statistics")
+    Term.(const stats $ socket_arg $ watch_arg)
+
+let metrics socket =
+  one_shot Proto.Metrics
+    (fun payload ->
+      match payload with
+      | Json.Str text -> print_string text
+      | j -> print_endline (Json.to_string j))
+    socket
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"print the daemon's Prometheus text exposition")
+    Term.(const metrics $ socket_arg)
+
+let health socket watch =
+  repeated watch (fun () ->
+      let c = connect socket in
+      let reply = Client.call c { Proto.id = 1; op = Proto.Health } in
+      Client.close c;
+      print_endline (Json.to_string reply.Proto.payload);
+      let ready =
+        match Json.member "ready" reply.Proto.payload with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      if reply.Proto.status = Proto.Ok && ready then 0 else 1)
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "check daemon liveness/readiness; exit 0 only when ready (live \
+          workers, queue below the shed threshold, not draining)")
+    Term.(const health $ socket_arg $ watch_arg)
 
 let cmd =
   Cmd.group
     (Cmd.info "slpd" ~version:"1.0"
        ~doc:"supervised compile service for the SLP framework")
-    [ serve_cmd; submit_cmd; campaign_cmd; ping_cmd; stats_cmd ]
+    [
+      serve_cmd; submit_cmd; campaign_cmd; ping_cmd; stats_cmd; metrics_cmd;
+      health_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

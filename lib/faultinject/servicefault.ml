@@ -112,7 +112,7 @@ let run_case ?(scheme = P.Global_layout) ~dir ~machine ~point prog =
              (reply.Proto.status = Proto.Ok
              && reply.Proto.attempts = 2
              && List.mem expected codes
-             && Metrics.get (Pool.metrics pool) "worker_restarts" >= 1.0)
+             && Metrics.get (Pool.metrics pool) "worker_restarts_total" >= 1.0)
            ~identical:(payload_string reply = oracle)
            ~no_lost_jobs:true)
   | Clock_skip ->
@@ -170,7 +170,10 @@ let run_case ?(scheme = P.Global_layout) ~dir ~machine ~point prog =
       Fault.arm (Fault.Drop_client 1);
       Pool.submit pool ~id:1 ~op ~spec ~reply:(fun _ -> ());
       Pool.drain pool;
-      let dropped = Metrics.get (Pool.metrics pool) "replies_dropped" in
+      let dropped =
+        Metrics.get ~where:[ ("outcome", "dropped") ] (Pool.metrics pool)
+          "replies_total"
+      in
       let replay = run ~id:2 () in
       finish
         (base
@@ -180,7 +183,10 @@ let run_case ?(scheme = P.Global_layout) ~dir ~machine ~point prog =
            ~expected:"-"
            ~code_seen:(dropped >= 1.0 && replay.Proto.cached)
            ~identical:(payload_string replay = oracle)
-           ~no_lost_jobs:(Metrics.get (Pool.metrics pool) "jobs_ok" = 1.0))
+           ~no_lost_jobs:
+             (Metrics.get ~where:[ ("outcome", "ok") ] (Pool.metrics pool)
+                "jobs_total"
+             = 1.0))
 
 let run_matrix ?(machines = [ M.intel_dunnington ]) ?(points = all_points)
     ?(kernels = Slp_benchmarks.Suite.all) ~dir () =

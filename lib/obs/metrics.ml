@@ -1,25 +1,63 @@
-type t = { mutex : Mutex.t; table : (string, float) Hashtbl.t }
+(* Legacy flat counter/gauge view, now a thin shim over [Metric].
 
-let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+   The compile service registers typed, labeled instruments directly
+   with the [Metric] core; this module keeps the old name->float API
+   alive for tests and the fault matrix, which assert on individual
+   series.  [get] sums every series of a family whose labels match
+   [where]; [snapshot] flattens labeled series to "name{k=\"v\"}" keys,
+   copying rows under each family lock and sorting outside it. *)
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+type t = Metric.t
 
-let incr ?(by = 1) t name =
-  locked t (fun () ->
-      let v = Option.value ~default:0.0 (Hashtbl.find_opt t.table name) in
-      Hashtbl.replace t.table name (v +. float_of_int by))
+let create = Metric.create
 
-let set t name v = locked t (fun () -> Hashtbl.replace t.table name v)
+let incr ?by t name = Metric.Counter.incr ?by (Metric.Counter.plain t name)
+let set t name v = Metric.Gauge.set (Metric.Gauge.plain t name) v
 
-let get t name =
-  locked t (fun () ->
-      Option.value ~default:0.0 (Hashtbl.find_opt t.table name))
+let matches where labels =
+  List.for_all (fun (k, v) -> List.assoc_opt k labels = Some v) where
+
+let get ?(where = []) t name =
+  Metric.snapshot t
+  |> List.fold_left
+       (fun acc (fs : Metric.family_snap) ->
+         if fs.Metric.name <> name then acc
+         else
+           List.fold_left
+             (fun acc (s : Metric.sample) ->
+               if not (matches where s.Metric.labels) then acc
+               else
+                 match s.Metric.value with
+                 | Metric.Vcounter v | Metric.Vgauge v -> acc +. v
+                 | Metric.Vhist h -> acc +. float_of_int (Metric.hcount h))
+             acc fs.Metric.samples)
+       0.0
+
+let flat_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      name ^ "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
 
 let snapshot t =
-  locked t (fun () ->
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  Metric.snapshot t
+  |> List.concat_map (fun (fs : Metric.family_snap) ->
+         List.concat_map
+           (fun (s : Metric.sample) ->
+             match s.Metric.value with
+             | Metric.Vcounter v | Metric.Vgauge v ->
+                 [ (flat_name fs.Metric.name s.Metric.labels, v) ]
+             | Metric.Vhist h ->
+                 [
+                   ( flat_name (fs.Metric.name ^ "_count") s.Metric.labels,
+                     float_of_int (Metric.hcount h) );
+                   ( flat_name (fs.Metric.name ^ "_sum") s.Metric.labels,
+                     Metric.hsum h );
+                 ])
+           fs.Metric.samples)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (snapshot t))

@@ -1,27 +1,33 @@
-(** Named monotonic counters and gauges.
+(** Flat name->float view over the typed {!Metric} registry.
 
-    The compile service tracks queue depth, cache hits/misses,
-    retries, worker restarts and shed jobs; tests and the [stats]
-    protocol op read them back, and [slpd --stats-json] exports them.
-    Counters are mutex-protected — the supervisor, socket reactor and
-    worker domains all report into one registry — and reads take a
-    consistent snapshot. *)
+    Historically this module WAS the metrics store (a mutex-guarded
+    string->float table); the service now registers typed, labeled
+    instruments with {!Metric} and this shim keeps the old reading and
+    ad-hoc writing API working on the same registry, so existing
+    assertions ([servicefault.ml], the serve tests) read the new
+    instruments without change beyond series names. *)
 
-type t
+type t = Metric.t
+(** The shim operates directly on a {!Metric} registry. *)
 
 val create : unit -> t
 
 val incr : ?by:int -> t -> string -> unit
-(** Add [by] (default 1) to a counter, creating it at 0 first. *)
+(** Add [by] (default 1) to the unlabeled counter family [name],
+    registering it on first use. *)
 
 val set : t -> string -> float -> unit
-(** Set a gauge to an absolute value. *)
+(** Set the unlabeled gauge family [name] to an absolute value. *)
 
-val get : t -> string -> float
-(** Current value; 0 for never-touched names. *)
+val get : ?where:(string * string) list -> t -> string -> float
+(** Sum every series of family [name] whose labels include all
+    [where] pairs; histograms contribute their observation count.
+    0 for unknown families. *)
 
 val snapshot : t -> (string * float) list
-(** All metrics, sorted by name. *)
+(** All series flattened to ["name"] / ["name{k=\"v\"}"] keys, sorted;
+    histograms appear as [_count] and [_sum].  Rows are copied under
+    each family's lock; sorting happens outside. *)
 
 val to_json : t -> Json.t
-(** One object, metric names as fields. *)
+(** One object, flattened series names as fields. *)

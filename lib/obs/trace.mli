@@ -31,6 +31,12 @@ val balanced : t -> bool
 
 val event_count : t -> int
 
+val tid : t -> int
+
+val events : t -> (string * char * float * (string * string) list) list
+(** Chronological [(name, ph, ts, args)] tuples with raw {!Clock}
+    timestamps — the merge feed for {!Tracehub}. *)
+
 val to_chrome_json : t -> string
 (** Serialize as a Chrome trace-event document:
     [{"traceEvents":[...],"displayTimeUnit":"ms"}] with microsecond

@@ -98,11 +98,11 @@ let payload ~op ~spec c =
 let deadline_of ?(clock = Fault.now) (spec : Proto.spec) =
   Option.map (fun seconds -> E.Deadline.create ~clock ~seconds) spec.Proto.timeout
 
-let run ?clock ~op ~(spec : Proto.spec) prog =
+let run ?clock ?obs ~op ~(spec : Proto.spec) prog =
   let deadline = deadline_of ?clock spec in
   match
     P.compile ?unroll:spec.Proto.unroll ?max_steps:spec.Proto.max_steps
-      ?solver_steps:spec.Proto.solver_steps ?deadline
+      ?solver_steps:spec.Proto.solver_steps ?deadline ?obs
       ~on_stage:Fault.stage_hook ~scheme:spec.Proto.scheme
       ~machine:spec.Proto.machine prog
   with

@@ -12,15 +12,18 @@
 
 val run :
   ?clock:(unit -> float) ->
+  ?obs:Slp_obs.Obs.t ->
   op:Proto.jobop ->
   spec:Proto.spec ->
   Slp_ir.Program.t ->
   (Slp_obs.Json.t, Slp_util.Slp_error.t) result
 (** One attempt.  [clock] (default {!Fault.now}, which folds injected
-    skew in) seeds the deadline when [spec.timeout] is set.  Pipeline
-    and deadline failures come back as structured errors;
-    {!Fault.Worker_killed} is re-raised so the supervisor can tell a
-    dead worker from a failed job. *)
+    skew in) seeds the deadline when [spec.timeout] is set; [obs]
+    (default off) carries the worker's trace row so pipeline stage
+    spans land on the job's timeline.  Pipeline and deadline failures
+    come back as structured errors; {!Fault.Worker_killed} is
+    re-raised so the supervisor can tell a dead worker from a failed
+    job. *)
 
 val run_degraded :
   op:Proto.jobop ->

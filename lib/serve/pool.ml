@@ -2,7 +2,8 @@ module E = Slp_util.Slp_error
 module Backoff = Slp_util.Backoff
 module Prng = Slp_util.Prng
 module Json = Slp_obs.Json
-module Metrics = Slp_obs.Metrics
+module Clock = Slp_obs.Clock
+module Log = Slp_obs.Log
 
 type config = {
   workers : int;
@@ -27,21 +28,25 @@ let default_config =
 
 type jobrec = {
   job_id : int;
+  trace_id : string;
   op : Proto.jobop;
   spec : Proto.spec;
   key : Ckey.t;
   prog : Slp_ir.Program.t;
   reply : Proto.reply -> unit;
+  mutable enqueued_at : float;
   mutable attempts : int;
   mutable errors : E.t list;  (** Reverse chronological. *)
 }
 
 type event = Died of int * jobrec | Stop
 
+type slot_state = Idle | Busy | Dead
+
 type t = {
   config : config;
   job_cache : Cache.t;
-  metrics : Metrics.t;
+  telem : Telemetry.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
@@ -53,14 +58,18 @@ type t = {
   prng : Prng.t;  (** Jitter source; guarded by [mutex]. *)
   quarantine : (Ckey.t, string) Hashtbl.t;  (** Guarded by [mutex]. *)
   handles : unit Domain.t option array;  (** Guarded by [mutex]. *)
+  slots : slot_state array;  (** Guarded by [mutex]. *)
+  seq : int Atomic.t;  (** Fallback trace-id counter. *)
   ev_mutex : Mutex.t;
   ev_nonempty : Condition.t;
   events : event Queue.t;
   mutable supervisor : unit Domain.t option;
 }
 
-let metrics t = t.metrics
+let metrics t = Telemetry.registry t.telem
+let telemetry t = t.telem
 let cache t = t.job_cache
+let logger t = Telemetry.log t.telem
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -75,31 +84,74 @@ let push_event t ev =
 let backoff_delay t ~attempt =
   locked t (fun () -> Backoff.delay t.config.backoff ~prng:t.prng ~attempt)
 
+type health = {
+  live_workers : int;
+  queue_len : int;
+  queue_limit : int;
+  stopping : bool;
+}
+
+let health t =
+  locked t (fun () ->
+      {
+        live_workers =
+          Array.fold_left
+            (fun acc s -> if s = Dead then acc else acc + 1)
+            0 t.slots;
+        queue_len = Queue.length t.queue;
+        queue_limit = t.config.queue_depth;
+        stopping = t.stopping;
+      })
+
 (* Every reply funnels through here so client-disconnect faults are
    observed (and survived) uniformly: the job's work is already done
    and cached by the time the callback runs, so a vanished client
    costs nothing but the reply bytes. *)
 let guard_reply t cb reply =
-  try
+  match
     Fault.reply_hook ();
     cb reply
-  with _ -> Metrics.incr t.metrics "replies_dropped"
+  with
+  | () -> Telemetry.reply t.telem ~outcome:"delivered"
+  | exception _ ->
+      Telemetry.reply t.telem ~outcome:"dropped";
+      Log.warn (logger t) "reply_dropped"
+        [ ("id", Json.Num (float_of_int reply.Proto.id)) ]
 
 (* Reply for an in-flight job: deliver, then retire it from the
    drain accounting. *)
 let deliver t (job : jobrec) reply =
+  Telemetry.observe_latency t.telem
+    ~op:(Proto.jobop_name job.op)
+    (Clock.now () -. job.enqueued_at);
   guard_reply t job.reply reply;
   locked t (fun () ->
       t.in_flight <- t.in_flight - 1;
       if t.in_flight = 0 then Condition.broadcast t.idle)
 
+let job_fields (job : jobrec) =
+  [
+    ("trace", Json.Str job.trace_id);
+    ("job", Json.Str job.spec.Proto.name);
+    ("id", Json.Num (float_of_int job.job_id));
+  ]
+
 let quarantine_and_degrade t (job : jobrec) =
-  locked t (fun () ->
-      if not (Hashtbl.mem t.quarantine job.key) then (
-        Hashtbl.replace t.quarantine job.key job.spec.Proto.name;
-        Metrics.incr t.metrics "quarantined"));
+  let fresh =
+    locked t (fun () ->
+        if Hashtbl.mem t.quarantine job.key then false
+        else (
+          Hashtbl.replace t.quarantine job.key job.spec.Proto.name;
+          true))
+  in
+  if fresh then (
+    Telemetry.quarantine t.telem;
+    Log.error (logger t) "quarantine"
+      (job_fields job @ [ ("key", Json.Str (Ckey.to_hex job.key)) ]));
   let payload, fallback_errors = Job.run_degraded ~op:job.op ~spec:job.spec job.prog in
-  Metrics.incr t.metrics "jobs_degraded";
+  Telemetry.job t.telem
+    ~scheme:(Proto.scheme_to_string job.spec.Proto.scheme)
+    ~outcome:"degraded";
   deliver t job
     {
       Proto.id = job.job_id;
@@ -118,11 +170,16 @@ let is_quarantined t key = locked t (fun () -> Hashtbl.mem t.quarantine key)
 let rec run_job t (job : jobrec) =
   if is_quarantined t job.key then quarantine_and_degrade t job
   else
-    match Job.run ~op:job.op ~spec:job.spec job.prog with
+    let obs = Telemetry.obs t.telem in
+    match Job.run ~obs ~op:job.op ~spec:job.spec job.prog with
     | Result.Ok payload ->
         job.attempts <- job.attempts + 1;
         Cache.store t.job_cache job.key (Json.to_string payload);
-        Metrics.incr t.metrics "jobs_ok";
+        Telemetry.job t.telem
+          ~scheme:(Proto.scheme_to_string job.spec.Proto.scheme)
+          ~outcome:"ok";
+        Log.debug (logger t) "job_ok"
+          (job_fields job @ [ ("attempts", Json.Num (float_of_int job.attempts)) ]);
         deliver t job
           (Proto.ok_reply ~attempts:job.attempts ~errors:(List.rev job.errors)
              ~id:job.job_id payload)
@@ -131,9 +188,17 @@ let rec run_job t (job : jobrec) =
         job.errors <- err :: job.errors;
         if job.attempts >= t.config.max_attempts then quarantine_and_degrade t job
         else (
-          Metrics.incr t.metrics "retries";
+          Telemetry.retry t.telem ~reason:"failure";
+          Log.warn (logger t) "job_retry"
+            (job_fields job
+            @ [
+                ("attempt", Json.Num (float_of_int job.attempts));
+                ("error", Json.Str (E.to_string err));
+              ]);
           t.config.sleep (backoff_delay t ~attempt:job.attempts);
           run_job t job)
+
+let set_slot t slot state = locked t (fun () -> t.slots.(slot) <- state)
 
 let rec worker_loop t slot =
   let job =
@@ -143,15 +208,33 @@ let rec worker_loop t slot =
           else if Queue.is_empty t.queue || (t.paused && not t.stopping) then (
             Condition.wait t.nonempty t.mutex;
             await ())
-          else Some (Queue.pop t.queue)
+          else (
+            let job = Queue.pop t.queue in
+            t.slots.(slot) <- Busy;
+            Some job)
         in
         await ())
   in
   match job with
   | None -> ()
   | Some job -> (
-      match run_job t job with
-      | () -> worker_loop t slot
+      Telemetry.observe_queue_wait t.telem (Clock.now () -. job.enqueued_at);
+      let run () =
+        Telemetry.span t.telem
+          ~args:
+            [
+              ("trace", job.trace_id);
+              ("kernel", job.spec.Proto.name);
+              ("scheme", Proto.scheme_to_string job.spec.Proto.scheme);
+              ("op", Proto.jobop_name job.op);
+            ]
+          "job"
+          (fun () -> run_job t job)
+      in
+      match run () with
+      | () ->
+          set_slot t slot Idle;
+          worker_loop t slot
       | exception Fault.Worker_killed ->
           (* This worker is "dead": hand the job to the supervisor and
              let the domain terminate. *)
@@ -172,7 +255,10 @@ let rec supervisor_loop t =
   match ev with
   | Stop -> ()
   | Died (slot, job) ->
-      Metrics.incr t.metrics "worker_restarts";
+      set_slot t slot Dead;
+      Telemetry.worker_restart t.telem;
+      Log.error (logger t) "worker_death"
+        (job_fields job @ [ ("slot", Json.Num (float_of_int slot)) ]);
       (* Join the corpse, then bring the slot back up. *)
       (match locked t (fun () -> t.handles.(slot)) with
       | Some d -> Domain.join d
@@ -181,7 +267,12 @@ let rec supervisor_loop t =
         if locked t (fun () -> t.stopping) then None
         else Some (spawn_worker t slot)
       in
-      locked t (fun () -> t.handles.(slot) <- replacement);
+      locked t (fun () ->
+          t.handles.(slot) <- replacement;
+          if replacement <> None then t.slots.(slot) <- Idle);
+      if replacement <> None then
+        Log.info (logger t) "worker_respawn"
+          [ ("slot", Json.Num (float_of_int slot)) ];
       job.attempts <- job.attempts + 1;
       job.errors <-
         E.make ~pass:E.Pipeline E.Internal
@@ -189,19 +280,26 @@ let rec supervisor_loop t =
         :: job.errors;
       if job.attempts >= t.config.max_attempts then quarantine_and_degrade t job
       else (
-        Metrics.incr t.metrics "retries";
+        Telemetry.retry t.telem ~reason:"worker_death";
+        Log.warn (logger t) "job_retry"
+          (job_fields job
+          @ [
+              ("attempt", Json.Num (float_of_int job.attempts));
+              ("error", Json.Str "worker died mid-job");
+            ]);
         t.config.sleep (backoff_delay t ~attempt:job.attempts);
         locked t (fun () ->
             Queue.push job t.queue;
             Condition.signal t.nonempty));
       supervisor_loop t
 
-let create ?(config = default_config) ~cache () =
+let create ?(config = default_config) ?telem ~cache () =
+  let telem = match telem with Some tm -> tm | None -> Telemetry.create () in
   let t =
     {
       config;
       job_cache = cache;
-      metrics = Metrics.create ();
+      telem;
       mutex = Mutex.create ();
       nonempty = Condition.create ();
       idle = Condition.create ();
@@ -213,19 +311,53 @@ let create ?(config = default_config) ~cache () =
       prng = Prng.create config.seed;
       quarantine = Hashtbl.create 16;
       handles = Array.make (max 1 config.workers) None;
+      slots = Array.make (max 1 config.workers) Idle;
+      seq = Atomic.make 0;
       ev_mutex = Mutex.create ();
       ev_nonempty = Condition.create ();
       events = Queue.create ();
       supervisor = None;
     }
   in
+  (* Scrape-derived gauges: refreshed by the registry's collect hook
+     just before each snapshot, so stats/metrics reads see live queue
+     and cache state without any hot-path bookkeeping. *)
+  let registry = Telemetry.registry telem in
+  let module Metric = Slp_obs.Metric in
+  let g name help = Metric.Gauge.plain registry ~help name in
+  let cache_hits = g "cache_hits" "Result-cache lookups served" in
+  let cache_misses = g "cache_misses" "Result-cache lookups missed" in
+  let cache_stores = g "cache_stores" "Result-cache entries written" in
+  let cache_corrupt = g "cache_corrupt_evictions" "Corrupt entries evicted" in
+  let cache_hit_rate = g "cache_hit_rate" "hits / (hits + misses)" in
+  Metric.on_collect registry (fun () ->
+      let depth, inflight = locked t (fun () -> (Queue.length t.queue, t.in_flight)) in
+      let h = health t in
+      Telemetry.set_queue_depth telem depth;
+      Telemetry.set_in_flight telem inflight;
+      Telemetry.set_workers_live telem h.live_workers;
+      let cs = Cache.stats t.job_cache in
+      let hits = float_of_int cs.Cache.hits in
+      let misses = float_of_int cs.Cache.misses in
+      Metric.Gauge.set cache_hits hits;
+      Metric.Gauge.set cache_misses misses;
+      Metric.Gauge.set cache_stores (float_of_int cs.Cache.stores);
+      Metric.Gauge.set cache_corrupt (float_of_int cs.Cache.corrupt_evictions);
+      Metric.Gauge.set cache_hit_rate
+        (if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0));
   for slot = 0 to max 1 config.workers - 1 do
     t.handles.(slot) <- Some (spawn_worker t slot)
   done;
   t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
   t
 
-let submit t ~id ~op ~spec ~reply =
+let submit ?trace_id t ~id ~op ~spec ~reply =
+  let trace_id =
+    match trace_id with
+    | Some tid -> tid
+    | None -> Printf.sprintf "job-%d" (Atomic.fetch_and_add t.seq 1)
+  in
+  let scheme = Proto.scheme_to_string spec.Proto.scheme in
   let spec =
     match (spec.Proto.timeout, t.config.default_timeout) with
     | None, Some s -> { spec with Proto.timeout = Some s }
@@ -233,14 +365,26 @@ let submit t ~id ~op ~spec ~reply =
   in
   match Ckey.of_spec ~op spec with
   | Result.Error err ->
-      Metrics.incr t.metrics "jobs_bad";
+      Telemetry.job t.telem ~scheme ~outcome:"bad";
+      Log.warn (logger t) "job_rejected"
+        [
+          ("trace", Json.Str trace_id);
+          ("job", Json.Str spec.Proto.name);
+          ("error", Json.Str (E.to_string err));
+        ];
       guard_reply t reply
         (Proto.error_reply ~errors:[ err ] ~message:"kernel rejected" ~id
            Proto.Bad_request)
   | Result.Ok (key, prog) -> (
       match Cache.find t.job_cache key with
       | Some stored ->
-          Metrics.incr t.metrics "jobs_cached";
+          Telemetry.job t.telem ~scheme ~outcome:"cached";
+          Log.debug (logger t) "cache_hit"
+            [
+              ("trace", Json.Str trace_id);
+              ("job", Json.Str spec.Proto.name);
+              ("key", Json.Str (Ckey.to_hex key));
+            ];
           let payload =
             match Json.parse stored with
             | Result.Ok j -> j
@@ -248,45 +392,50 @@ let submit t ~id ~op ~spec ~reply =
           in
           guard_reply t reply (Proto.ok_reply ~cached:true ~attempts:0 ~id payload)
       | None ->
+          let job =
+            {
+              job_id = id;
+              trace_id;
+              op;
+              spec;
+              key;
+              prog;
+              reply;
+              enqueued_at = Clock.now ();
+              attempts = 0;
+              errors = [];
+            }
+          in
           let verdict =
             locked t (fun () ->
                 if t.stopping then `Draining
                 else if Queue.length t.queue >= t.config.queue_depth then `Shed
                 else (
-                  Queue.push
-                    {
-                      job_id = id;
-                      op;
-                      spec;
-                      key;
-                      prog;
-                      reply;
-                      attempts = 0;
-                      errors = [];
-                    }
-                    t.queue;
+                  Queue.push job t.queue;
                   t.in_flight <- t.in_flight + 1;
                   Condition.signal t.nonempty;
                   `Queued))
           in
           (match verdict with
-          | `Queued -> ()
+          | `Queued -> Log.debug (logger t) "job_enqueue" (job_fields job)
           | `Draining ->
-              Metrics.incr t.metrics "jobs_draining";
+              Telemetry.job t.telem ~scheme ~outcome:"draining";
+              Log.warn (logger t) "job_draining" (job_fields job);
               guard_reply t reply
                 (Proto.error_reply ~message:"service is draining" ~id
                    Proto.Draining)
           | `Shed ->
-              Metrics.incr t.metrics "jobs_shed";
+              Telemetry.job t.telem ~scheme ~outcome:"shed";
+              Log.warn (logger t) "job_shed" (job_fields job);
               guard_reply t reply
                 (Proto.error_reply ~message:"queue full, job shed" ~id
                    Proto.Overloaded)))
 
-let run_sync t ?(id = 0) ~op ~spec () =
+let run_sync t ?(id = 0) ?trace_id ~op ~spec () =
   let m = Mutex.create () in
   let c = Condition.create () in
   let slot = ref None in
-  submit t ~id ~op ~spec ~reply:(fun r ->
+  submit t ?trace_id ~id ~op ~spec ~reply:(fun r ->
       Mutex.lock m;
       slot := Some r;
       Condition.signal c;

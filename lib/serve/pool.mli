@@ -41,17 +41,21 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> cache:Cache.t -> unit -> t
+val create : ?config:config -> ?telem:Telemetry.t -> cache:Cache.t -> unit -> t
+(** [telem] defaults to a fresh {!Telemetry.create} bundle; the pool
+    registers a collect hook on its registry that refreshes queue,
+    worker, and cache gauges at every scrape. *)
 
 val submit :
-  t -> id:int -> op:Proto.jobop -> spec:Proto.spec ->
+  ?trace_id:string -> t -> id:int -> op:Proto.jobop -> spec:Proto.spec ->
   reply:(Proto.reply -> unit) -> unit
 (** Never blocks for the job itself (cache hits, sheds and parse
     failures reply on the caller's thread; queued jobs reply from a
     worker or supervisor thread — the callback must be thread-safe). *)
 
 val run_sync :
-  t -> ?id:int -> op:Proto.jobop -> spec:Proto.spec -> unit -> Proto.reply
+  t -> ?id:int -> ?trace_id:string -> op:Proto.jobop -> spec:Proto.spec ->
+  unit -> Proto.reply
 (** Submit and wait for this job's reply — the in-process convenience
     used by benchmarks and tests. *)
 
@@ -72,5 +76,17 @@ val shutdown : t -> unit
 (** [drain], then stop and join every worker and the supervisor.
     Idempotent. *)
 
+type health = {
+  live_workers : int;  (** Worker slots not currently dead. *)
+  queue_len : int;
+  queue_limit : int;
+  stopping : bool;
+}
+
+val health : t -> health
+(** Readiness inputs: the server reports ready iff workers are live,
+    the queue is below the shed threshold, and nothing is stopping. *)
+
 val metrics : t -> Slp_obs.Metrics.t
+val telemetry : t -> Telemetry.t
 val cache : t -> Cache.t

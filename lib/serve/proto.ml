@@ -34,7 +34,7 @@ let default_spec ~kernel ~name =
     seed = 42;
   }
 
-type op = Job of jobop * spec | Ping | Stats | Shutdown
+type op = Job of jobop * spec | Ping | Stats | Metrics | Health | Shutdown
 
 type request = { id : int; op : op }
 
@@ -129,6 +129,8 @@ let request_to_line (r : request) =
     match r.op with
     | Ping -> [ ("op", Json.Str "ping") ]
     | Stats -> [ ("op", Json.Str "stats") ]
+    | Metrics -> [ ("op", Json.Str "metrics") ]
+    | Health -> [ ("op", Json.Str "health") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
     | Job (jop, spec) -> (("op", Json.Str (jobop_name jop)) :: spec_fields spec)
   in
@@ -214,6 +216,8 @@ let request_of_line line =
       | None -> fail "missing field \"op\""
       | Some "ping" -> Result.Ok { id; op = Ping }
       | Some "stats" -> Result.Ok { id; op = Stats }
+      | Some "metrics" -> Result.Ok { id; op = Metrics }
+      | Some "health" -> Result.Ok { id; op = Health }
       | Some "shutdown" -> Result.Ok { id; op = Shutdown }
       | Some (("compile" | "execute") as opname) -> (
           match spec_of_json obj with

@@ -30,6 +30,8 @@ type op =
   | Job of jobop * spec
   | Ping
   | Stats
+  | Metrics  (** Prometheus text exposition; payload is one string. *)
+  | Health  (** Liveness/readiness snapshot. *)
   | Shutdown  (** Drain-then-exit, same as SIGTERM. *)
 
 type request = { id : int; op : op }

@@ -1,24 +1,50 @@
 module Json = Slp_obs.Json
 module Metrics = Slp_obs.Metrics
+module Metric = Slp_obs.Metric
+module Log = Slp_obs.Log
+module Clock = Slp_obs.Clock
 
 type config = { socket_path : string; accept_backlog : int }
 
 let default_config ~socket_path = { socket_path; accept_backlog = 16 }
 
+(* The full snapshot: flat legacy view under "pool", the typed
+   registry under "metrics", plus queue/worker/cache/log summaries.
+   Quarantine keys ride along so operators can clear them by hand. *)
 let stats_json pool =
+  let telem = Pool.telemetry pool in
+  let h = Pool.health pool in
   let cache_stats = Cache.stats (Pool.cache pool) in
+  let hits = float_of_int cache_stats.Cache.hits in
+  let misses = float_of_int cache_stats.Cache.misses in
   Json.Obj
     [
+      ( "uptime_seconds",
+        Json.Num (Clock.now () -. Telemetry.started_at telem) );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Num (float_of_int h.Pool.queue_len));
+            ("limit", Json.Num (float_of_int h.Pool.queue_limit));
+          ] );
+      ( "workers",
+        Json.Obj [ ("live", Json.Num (float_of_int h.Pool.live_workers)) ] );
       ("pool", Metrics.to_json (Pool.metrics pool));
+      ("metrics", Metric.to_json (Telemetry.registry telem));
       ( "cache",
         Json.Obj
           [
-            ("hits", Json.Num (float_of_int cache_stats.Cache.hits));
-            ("misses", Json.Num (float_of_int cache_stats.Cache.misses));
+            ("hits", Json.Num hits);
+            ("misses", Json.Num misses);
             ("stores", Json.Num (float_of_int cache_stats.Cache.stores));
             ( "corrupt_evictions",
               Json.Num (float_of_int cache_stats.Cache.corrupt_evictions) );
+            ( "hit_rate",
+              Json.Num
+                (if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0)
+            );
           ] );
+      ("log", Log.stats_json (Telemetry.log telem));
       ( "quarantined",
         Json.Arr
           (List.map
@@ -26,6 +52,27 @@ let stats_json pool =
                Json.Obj
                  [ ("key", Json.Str (Ckey.to_hex key)); ("name", Json.Str name) ])
              (Pool.quarantined pool)) );
+    ]
+
+let metrics_text pool =
+  Metric.to_prometheus (Telemetry.registry (Pool.telemetry pool))
+
+let health_json ?(draining = false) pool =
+  let h = Pool.health pool in
+  let ready =
+    h.Pool.live_workers > 0
+    && h.Pool.queue_len < h.Pool.queue_limit
+    && (not h.Pool.stopping)
+    && not draining
+  in
+  Json.Obj
+    [
+      ("live", Json.Bool true);
+      ("ready", Json.Bool ready);
+      ("workers_live", Json.Num (float_of_int h.Pool.live_workers));
+      ("queue_depth", Json.Num (float_of_int h.Pool.queue_len));
+      ("queue_limit", Json.Num (float_of_int h.Pool.queue_limit));
+      ("draining", Json.Bool (h.Pool.stopping || draining));
     ]
 
 type client = {
@@ -67,28 +114,67 @@ let enqueue_reply t token line =
         | _ -> false)
   in
   if found then wake t
-  else Metrics.incr (Pool.metrics t.pool) "replies_unroutable"
+  else begin
+    Telemetry.reply (Pool.telemetry t.pool) ~outcome:"unroutable";
+    Log.warn
+      (Telemetry.log (Pool.telemetry t.pool))
+      "reply_unroutable"
+      [ ("token", Json.Num (float_of_int token)) ]
+  end
 
 let drop_client t (c : client) =
   locked t (fun () ->
       c.gone <- true;
       Hashtbl.remove t.clients c.token);
+  Log.debug
+    (Telemetry.log (Pool.telemetry t.pool))
+    "client_gone"
+    [ ("token", Json.Num (float_of_int c.token)) ];
   try Unix.close c.fd with Unix.Unix_error _ -> ()
 
+(* The job's trace id, minted here at the reactor and carried into the
+   worker domain: client token + request id names the span family a
+   whole request tree shares. *)
+let trace_id_of (c : client) id = Printf.sprintf "c%d-r%d" c.token id
+
 let handle_line t (c : client) line =
+  let telem = Pool.telemetry t.pool in
   match Proto.request_of_line line with
   | Result.Error (id, msg) ->
+      Log.warn (Telemetry.log telem) "bad_request"
+        [
+          ("token", Json.Num (float_of_int c.token)); ("error", Json.Str msg);
+        ];
       enqueue_reply t c.token
         (Proto.reply_to_line (Proto.error_reply ~message:msg ~id Proto.Bad_request))
   | Result.Ok { Proto.id; op } -> (
+      let trace = trace_id_of c id in
+      let rx name f =
+        Telemetry.span telem ~args:[ ("trace", trace); ("op", name) ] "rx" f
+      in
       match op with
       | Proto.Ping ->
-          enqueue_reply t c.token
-            (Proto.reply_to_line (Proto.ok_reply ~id (Json.Str "pong")))
+          rx "ping" (fun () ->
+              enqueue_reply t c.token
+                (Proto.reply_to_line (Proto.ok_reply ~id (Json.Str "pong"))))
       | Proto.Stats ->
-          enqueue_reply t c.token
-            (Proto.reply_to_line (Proto.ok_reply ~id (stats_json t.pool)))
+          rx "stats" (fun () ->
+              enqueue_reply t c.token
+                (Proto.reply_to_line (Proto.ok_reply ~id (stats_json t.pool))))
+      | Proto.Metrics ->
+          rx "metrics" (fun () ->
+              enqueue_reply t c.token
+                (Proto.reply_to_line
+                   (Proto.ok_reply ~id (Json.Str (metrics_text t.pool)))))
+      | Proto.Health ->
+          rx "health" (fun () ->
+              enqueue_reply t c.token
+                (Proto.reply_to_line
+                   (Proto.ok_reply ~id
+                      (health_json ~draining:t.draining t.pool))))
       | Proto.Shutdown ->
+          Log.info (Telemetry.log telem) "shutdown_requested"
+            [ ("token", Json.Num (float_of_int c.token)) ];
           enqueue_reply t c.token
             (Proto.reply_to_line (Proto.ok_reply ~id (Json.Str "draining")));
           Atomic.set t.stop true
@@ -100,8 +186,10 @@ let handle_line t (c : client) line =
                     Proto.Draining))
           else
             let token = c.token in
-            Pool.submit t.pool ~id ~op:jop ~spec ~reply:(fun reply ->
-                enqueue_reply t token (Proto.reply_to_line reply)))
+            rx (Proto.jobop_name jop) (fun () ->
+                Pool.submit t.pool ~trace_id:trace ~id ~op:jop ~spec
+                  ~reply:(fun reply ->
+                    enqueue_reply t token (Proto.reply_to_line reply))))
 
 let handle_readable t (c : client) =
   let chunk = Bytes.create 65536 in
@@ -150,11 +238,24 @@ let accept_client t =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | fd, _ ->
       Unix.set_nonblock fd;
-      locked t (fun () ->
-          let token = t.next_token in
-          t.next_token <- token + 1;
-          Hashtbl.replace t.clients token
-            { token; fd; buf = Buffer.create 256; out = Queue.create (); gone = false })
+      let token =
+        locked t (fun () ->
+            let token = t.next_token in
+            t.next_token <- token + 1;
+            Hashtbl.replace t.clients token
+              {
+                token;
+                fd;
+                buf = Buffer.create 256;
+                out = Queue.create ();
+                gone = false;
+              };
+            token)
+      in
+      Log.info
+        (Telemetry.log (Pool.telemetry t.pool))
+        "client_accept"
+        [ ("token", Json.Num (float_of_int token)) ]
 
 let drain_wake_pipe t =
   let junk = Bytes.create 64 in
@@ -240,10 +341,14 @@ let run ?config ~pool ~socket () =
          callbacks run on worker domains, so the reactor need not spin
          while we wait), flush what queued up, and tear down. *)
       t.draining <- true;
-      Pool.drain pool;
-      let flush_rounds = ref 0 in
-      while pending_output t && !flush_rounds < 50 do
-        incr flush_rounds;
-        select_once t ~timeout:0.1
-      done;
+      let telem = Pool.telemetry pool in
+      Log.info (Telemetry.log telem) "drain_start" [];
+      Telemetry.span telem "drain" (fun () ->
+          Pool.drain pool;
+          let flush_rounds = ref 0 in
+          while pending_output t && !flush_rounds < 50 do
+            incr flush_rounds;
+            select_once t ~timeout:0.1
+          done);
+      Log.info (Telemetry.log telem) "drain_done" [];
       Pool.shutdown pool)

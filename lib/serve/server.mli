@@ -21,8 +21,20 @@ type config = {
 val default_config : socket_path:string -> config
 
 val stats_json : Pool.t -> Slp_obs.Json.t
-(** Pool metrics + cache stats + quarantined keys — the [stats] op's
-    payload, also printed by [slpd] on exit. *)
+(** The [stats] op's payload, also printed by [slpd] on exit: uptime,
+    queue and worker state, the flat legacy metric view ("pool"), the
+    full typed registry ("metrics"), cache stats with hit rate, log
+    counts, and quarantined keys. *)
+
+val metrics_text : Pool.t -> string
+(** The [metrics] op's payload: Prometheus text exposition of the
+    pool's registry, with collect hooks (queue/worker/cache gauges)
+    run first. *)
+
+val health_json : ?draining:bool -> Pool.t -> Slp_obs.Json.t
+(** The [health] op's payload.  [live] is always true from a running
+    reactor; [ready] requires live workers, a queue below the shed
+    threshold, and no drain in progress. *)
 
 val run : ?config:config -> pool:Pool.t -> socket:string -> unit -> unit
 (** Serve until a shutdown trigger, then drain and return.  Installs

@@ -262,7 +262,7 @@ let test_pool_retries_worker_death () =
         (Proto.status_name reply.Proto.status);
       Alcotest.(check int) "two attempts" 2 reply.Proto.attempts;
       Alcotest.(check (float 1e-9)) "restart counted" 1.0
-        (Metrics.get (Pool.metrics pool) "worker_restarts"))
+        (Metrics.get (Pool.metrics pool) "worker_restarts_total"))
 
 let test_pool_quarantines_poison () =
   with_pool (fun pool ->
@@ -301,6 +301,15 @@ let test_pool_sheds_when_full () =
       Pool.drain pool;
       Alcotest.(check int) "every submission answered" 5
         (Array.to_list replies |> List.filter_map Fun.id |> List.length))
+
+let test_pool_health () =
+  with_pool (fun pool ->
+      let h = Pool.health pool in
+      Alcotest.(check int) "one live worker" 1 h.Pool.live_workers;
+      Alcotest.(check int) "idle queue" 0 h.Pool.queue_len;
+      Alcotest.(check int) "limit from config" quick_config.Pool.queue_depth
+        h.Pool.queue_limit;
+      Alcotest.(check bool) "not stopping" false h.Pool.stopping)
 
 (* -- end-to-end over the socket -------------------------------------- *)
 
@@ -346,6 +355,60 @@ let test_server_end_to_end () =
   Domain.join daemon;
   Client.close client;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+let test_server_observability () =
+  Fault.disarm ();
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "slpd.sock" in
+  let pool = Pool.create ~config:quick_config ~cache:(Cache.create ~dir) () in
+  let daemon = Domain.spawn (fun () -> Server.run ~pool ~socket ()) in
+  let rec connect tries =
+    match Client.connect ~socket with
+    | c -> c
+    | exception Unix.Unix_error _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        connect (tries - 1)
+  in
+  (* A client that vanishes before its reply lands: the reactor must
+     count the undeliverable reply, not lose it. *)
+  let ghost = connect 100 in
+  Client.send ghost { Proto.id = 1; op = Proto.Job (Proto.Execute, small_spec ()) };
+  Client.close ghost;
+  let unroutable () =
+    Metrics.get ~where:[ ("outcome", "unroutable") ] (Pool.metrics pool)
+      "replies_total"
+  in
+  let rec await tries =
+    if unroutable () >= 1.0 then ()
+    else if tries = 0 then Alcotest.fail "unroutable reply never counted"
+    else begin
+      Unix.sleepf 0.025;
+      await (tries - 1)
+    end
+  in
+  await 400;
+  let client = connect 100 in
+  let health = Client.call client { Proto.id = 2; op = Proto.Health } in
+  Alcotest.(check string) "health ok" "ok" (Proto.status_name health.Proto.status);
+  (match Json.member "ready" health.Proto.payload with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "daemon not ready");
+  let metrics = Client.call client { Proto.id = 3; op = Proto.Metrics } in
+  (match metrics.Proto.payload with
+  | Json.Str text -> (
+      match Slp_obs.Metric.validate_exposition text with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("metrics exposition invalid: " ^ e))
+  | _ -> Alcotest.fail "metrics payload not text");
+  let stats = Client.call client { Proto.id = 4; op = Proto.Stats } in
+  (match Json.member "metrics" stats.Proto.payload with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "stats lacks typed metrics section");
+  let bye = Client.call client { Proto.id = 5; op = Proto.Shutdown } in
+  Alcotest.(check string) "shutdown acknowledged" "ok"
+    (Proto.status_name bye.Proto.status);
+  Domain.join daemon;
+  Client.close client
 
 (* -- service fault matrix (subset) ----------------------------------- *)
 
@@ -410,9 +473,14 @@ let () =
           Alcotest.test_case "worker death retried" `Quick test_pool_retries_worker_death;
           Alcotest.test_case "poison job quarantined" `Quick test_pool_quarantines_poison;
           Alcotest.test_case "bounded queue sheds" `Quick test_pool_sheds_when_full;
+          Alcotest.test_case "health snapshot" `Quick test_pool_health;
         ] );
       ( "daemon",
-        [ Alcotest.test_case "socket end-to-end" `Quick test_server_end_to_end ] );
+        [
+          Alcotest.test_case "socket end-to-end" `Quick test_server_end_to_end;
+          Alcotest.test_case "health, metrics, unroutable" `Quick
+            test_server_observability;
+        ] );
       ( "fault matrix",
         [
           Alcotest.test_case "service matrix subset" `Slow test_service_matrix_subset;
